@@ -1,0 +1,10 @@
+"""Benchmark configuration: print regenerated tables after timing."""
+
+import pytest
+
+
+def emit(title: str, table_text: str) -> None:
+    """Print a regenerated paper table/figure (visible with `pytest -s`,
+    always captured into the benchmark log)."""
+    print(f"\n=== {title} ===")
+    print(table_text)

@@ -1,0 +1,46 @@
+"""Figure 7 — TCP microbenchmark throughput vs packet size.
+
+Paper: for each of the five middleboxes, Gallium on a single server core
+beats FastClick on 4 cores ("outperforms by 20-187%"), and single-core
+CPU savings at iso-throughput are 21-79% (higher here because our steady
+streams punt even less often).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import (
+    EVAL_MIDDLEBOXES,
+    cpu_savings,
+    figure7_throughput,
+)
+from repro.eval.reporting import render_table
+
+
+@pytest.mark.parametrize("name", EVAL_MIDDLEBOXES)
+def test_figure7(benchmark, name):
+    header, rows = benchmark.pedantic(
+        figure7_throughput,
+        kwargs={"name": name, "packets_per_connection": 60},
+        iterations=1,
+        rounds=2,
+    )
+    emit(f"Figure 7 ({name}): throughput (Gbps)", render_table(header, rows))
+    for row in rows:
+        size, offloaded, click1, click2, click4 = row
+        assert click1 <= click2 <= click4  # FastClick scales with cores
+    row_1500 = next(row for row in rows if row[0] == "1500B")
+    assert row_1500[1] > row_1500[4], f"{name}: offloaded must beat Click-4c"
+
+
+def test_cpu_savings(benchmark):
+    def measure():
+        return [(name, cpu_savings(name)) for name in EVAL_MIDDLEBOXES]
+
+    results = benchmark.pedantic(measure, iterations=1, rounds=1)
+    emit(
+        "CPU cycles saved at iso-throughput (paper: 21-79%)",
+        "\n".join(f"{name:10s} {saved:.0%}" for name, saved in results),
+    )
+    for name, saved in results:
+        assert saved >= 0.2, name

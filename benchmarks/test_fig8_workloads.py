@@ -1,0 +1,27 @@
+"""Figure 8 — throughput on the CONGA enterprise / data-mining workloads.
+
+Paper: Gallium with one core achieves 1-35 % more throughput than 4-core
+FastClick on the enterprise workload and 18-46 % more on data mining.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import EVAL_MIDDLEBOXES, figure8_workloads
+from repro.eval.reporting import render_table
+
+
+@pytest.mark.parametrize("name", EVAL_MIDDLEBOXES)
+def test_figure8(benchmark, name):
+    header, rows = benchmark.pedantic(
+        figure8_workloads,
+        kwargs={"name": name, "flows": 1500},
+        iterations=1,
+        rounds=1,
+    )
+    emit(f"Figure 8 ({name}): workload throughput (Gbps)",
+         render_table(header, rows))
+    for row in rows:
+        workload, offloaded, click1, click2, click4 = row
+        assert offloaded >= click4, f"{name}/{workload}"
+        assert click1 <= click2 <= click4

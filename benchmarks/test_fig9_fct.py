@@ -1,0 +1,41 @@
+"""Figure 9 — flow completion time by flow size bin.
+
+Paper: "the reduction in flow completion time is concentrated on the long
+flows ... because long flows will have the majority of their packets
+handled by the programmable switch instead of the server."
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import EVAL_MIDDLEBOXES, figure9_fct
+from repro.eval.reporting import render_table
+
+
+@pytest.mark.parametrize("name", ["mazunat", "lb", "trojan"])
+def test_figure9_stateful(benchmark, name):
+    header, rows = benchmark.pedantic(
+        figure9_fct, kwargs={"name": name, "flows": 1500},
+        iterations=1, rounds=1,
+    )
+    emit(f"Figure 9 ({name}): FCT by flow size (µs)",
+         render_table(header, rows))
+    by_bin = {row[0]: row for row in rows}
+    # Long flows gain on both workloads.
+    long_row = by_bin[">10M"]
+    assert long_row[2] < long_row[1]  # offloaded(E) < click(E)
+    assert long_row[4] < long_row[3]  # offloaded(D) < click(D)
+
+
+@pytest.mark.parametrize("name", ["firewall", "proxy"])
+def test_figure9_stateless(benchmark, name):
+    """Fully offloaded middleboxes win in every bin: no setup slow path."""
+    header, rows = benchmark.pedantic(
+        figure9_fct, kwargs={"name": name, "flows": 1500},
+        iterations=1, rounds=1,
+    )
+    emit(f"Figure 9 ({name}): FCT by flow size (µs)",
+         render_table(header, rows))
+    for row in rows:
+        assert row[2] <= row[1] * 1.05
+        assert row[4] <= row[3] * 1.05

@@ -1,0 +1,22 @@
+"""Table 2 — packet latency: FastClick vs Gallium.
+
+Paper: FastClick 22.45–23.16 µs, Gallium 14.80–15.98 µs (~31 % less).
+"""
+
+from benchmarks.conftest import emit
+from repro.eval.experiments import table2_latency
+from repro.eval.reporting import render_table
+
+
+def test_table2(benchmark):
+    header, rows = benchmark.pedantic(
+        table2_latency, kwargs={"samples": 100}, iterations=1, rounds=3
+    )
+    emit("Table 2: latency (µs)", render_table(header, rows))
+    for row in rows:
+        fastclick = float(row[1].split(" ")[0])
+        gallium = float(row[2].split(" ")[0])
+        assert 21.0 <= fastclick <= 24.5, row
+        assert 14.0 <= gallium <= 17.0, row
+        reduction = 1 - gallium / fastclick
+        assert 0.2 <= reduction <= 0.4, row

@@ -1,0 +1,151 @@
+"""Register liveness and cross-partition transfer sets.
+
+Two consumers:
+
+* the metadata allocator reuses scratchpad bytes of dead temporaries
+  (paper §4.3.1: "Gallium records when temporary variables are first and
+  last used ... reuses the memory consumed by variables that are no longer
+  useful"),
+* the partition splitter computes which variables must travel in the shim
+  header between the switch and the server (§4.3.2: "Gallium does a
+  variable liveness test on the partition boundary to decide what variables
+  need to be transferred").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.values import Reg
+
+
+def _defs(inst: Instruction) -> Set[str]:
+    out: Set[str] = set()
+    result = inst.result()
+    if result is not None:
+        out.add(result.name)
+    found = getattr(inst, "found", None)
+    if isinstance(found, Reg):
+        out.add(found.name)
+    return out
+
+
+def _uses(inst: Instruction) -> Set[str]:
+    return {op.name for op in inst.operands() if isinstance(op, Reg)}
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out register-name sets."""
+
+    live_in: Dict[str, Set[str]]
+    live_out: Dict[str, Set[str]]
+
+    def live_at_entry(self, block_name: str) -> Set[str]:
+        return self.live_in.get(block_name, set())
+
+
+def compute_liveness(function: Function) -> LivenessInfo:
+    """Standard backward may-liveness over register names."""
+    use: Dict[str, Set[str]] = {}
+    define: Dict[str, Set[str]] = {}
+    for name, block in function.blocks.items():
+        block_use: Set[str] = set()
+        block_def: Set[str] = set()
+        for inst in block.instructions:
+            block_use |= _uses(inst) - block_def
+            block_def |= _defs(inst)
+        use[name] = block_use
+        define[name] = block_def
+    live_in: Dict[str, Set[str]] = {name: set() for name in function.blocks}
+    live_out: Dict[str, Set[str]] = {name: set() for name in function.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for name, block in function.blocks.items():
+            out: Set[str] = set()
+            for succ in block.successors():
+                out |= live_in.get(succ, set())
+            new_in = use[name] | (out - define[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return LivenessInfo(live_in=live_in, live_out=live_out)
+
+
+def transfer_variables(
+    producer_insts: Iterable[Instruction],
+    consumer_insts: Iterable[Instruction],
+) -> List[Reg]:
+    """Registers defined by ``producer_insts`` and used by ``consumer_insts``.
+
+    This is the (conservative) liveness test at a partition boundary: when
+    the producing partition hands the packet off, exactly these values must
+    ride in the shim header.  Returned in a deterministic order (by name).
+    """
+    defined: Dict[str, Reg] = {}
+    for inst in producer_insts:
+        result = inst.result()
+        if result is not None:
+            defined[result.name] = result
+        found = getattr(inst, "found", None)
+        if isinstance(found, Reg):
+            defined[found.name] = found
+    needed: Set[str] = set()
+    for inst in consumer_insts:
+        for op in inst.operands():
+            if isinstance(op, Reg) and op.name in defined:
+                needed.add(op.name)
+    return [defined[name] for name in sorted(needed)]
+
+
+def live_ranges(function: Function) -> Dict[str, Tuple[int, int]]:
+    """First/last use positions of each register in linearized order.
+
+    Used by the scratchpad metadata allocator to reuse bytes of dead
+    temporaries.  Positions index the instruction sequence produced by
+    ``function.instructions()``.  For registers live across block
+    boundaries the range conservatively covers all their occurrences.
+    """
+    ranges: Dict[str, Tuple[int, int]] = {}
+    for position, inst in enumerate(function.instructions()):
+        for name in _defs(inst) | _uses(inst):
+            if name in ranges:
+                first, _ = ranges[name]
+                ranges[name] = (first, position)
+            else:
+                ranges[name] = (position, position)
+    return ranges
+
+
+def peak_live_bytes(function: Function) -> int:
+    """Peak bytes of simultaneously-live registers (scratchpad estimate).
+
+    This is the metadata footprint of the partition after live-range reuse
+    (constraint 4): positions where many registers overlap set the peak.
+    """
+    ranges = live_ranges(function)
+    widths: Dict[str, int] = {}
+    for inst in function.instructions():
+        for op in list(inst.operands()) + [inst.result()]:
+            if isinstance(op, Reg):
+                bits = op.type.bit_width() if hasattr(op.type, "bit_width") else 32
+                widths[op.name] = max(1, (bits + 7) // 8)
+        found = getattr(inst, "found", None)
+        if isinstance(found, Reg):
+            widths[found.name] = 1
+    events: Dict[int, int] = {}
+    for name, (first, last) in ranges.items():
+        size = widths.get(name, 4)
+        events[first] = events.get(first, 0) + size
+        events[last + 1] = events.get(last + 1, 0) - size
+    current = 0
+    peak = 0
+    for position in sorted(events):
+        current += events[position]
+        peak = max(peak, current)
+    return peak

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile <name|file.cc>``
+    Run the Gallium pipeline; print the partition summary and write the
+    ``.p4`` / ``_server.cc`` artifacts.
+``partition <name|file.cc>``
+    Print the three projected partition CFGs (paper Figure 4).
+``experiments [table1|table2|table3|fig7|fig8|fig9|all]``
+    Regenerate the paper's tables/figures.
+``list``
+    List the bundled middleboxes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler import compile_source
+from repro.eval import render_table
+from repro.eval.experiments import (
+    EVAL_MIDDLEBOXES,
+    figure7_throughput,
+    figure8_workloads,
+    figure9_fct,
+    table1_loc,
+    table2_latency,
+    table3_state_sync,
+)
+from repro.ir.printer import format_function
+from repro.middleboxes import MIDDLEBOX_NAMES, load_source
+
+
+def _read_source(target: str) -> tuple:
+    if target in MIDDLEBOX_NAMES:
+        return load_source(target), f"{target}.cc", target
+    path = Path(target)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {target!r} is neither a bundled middlebox"
+            f" ({', '.join(MIDDLEBOX_NAMES)}) nor a file"
+        )
+    return path.read_text(), path.name, path.stem
+
+
+def cmd_compile(args) -> int:
+    source, filename, stem = _read_source(args.target)
+    result = compile_source(source, filename=filename)
+    print(result.plan.summary())
+    print(f"input {result.input_loc()} LoC -> P4 {result.p4_loc()} LoC"
+          f" + C++ {result.cpp_loc()} LoC")
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    p4_path = out_dir / f"{stem}.p4"
+    cpp_path = out_dir / f"{stem}_server.cc"
+    p4_path.write_text(result.p4_source)
+    cpp_path.write_text(result.cpp_source)
+    print(f"wrote {p4_path}")
+    print(f"wrote {cpp_path}")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    source, filename, _ = _read_source(args.target)
+    result = compile_source(source, filename=filename)
+    plan = result.plan
+    for title, function in (
+        ("pre-processing (switch)", plan.pre),
+        ("non-offloaded (server)", plan.non_offloaded),
+        ("post-processing (switch)", plan.post),
+    ):
+        print(f"=== {title} ===")
+        print(format_function(function))
+        print()
+    print("shim to server :", plan.to_server.names(),
+          f"({plan.to_server.byte_size()} bytes)")
+    print("shim to switch :", plan.to_switch.names(),
+          f"({plan.to_switch.byte_size()} bytes)")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    which = args.which
+    if which in ("table1", "all"):
+        print("Table 1 — lines of code")
+        print(render_table(*table1_loc()))
+        print()
+    if which in ("table2", "all"):
+        print("Table 2 — latency (µs)")
+        print(render_table(*table2_latency(samples=100)))
+        print()
+    if which in ("table3", "all"):
+        print("Table 3 — state sync latency (µs)")
+        print(render_table(*table3_state_sync(trials=100)))
+        print()
+    if which in ("fig7", "all"):
+        for name in EVAL_MIDDLEBOXES:
+            print(f"Figure 7 — {name} throughput (Gbps)")
+            print(render_table(*figure7_throughput(name)))
+            print()
+    if which in ("fig8", "all"):
+        for name in EVAL_MIDDLEBOXES:
+            print(f"Figure 8 — {name} workload throughput (Gbps)")
+            print(render_table(*figure8_workloads(name, flows=args.flows)))
+            print()
+    if which in ("fig9", "all"):
+        for name in EVAL_MIDDLEBOXES:
+            print(f"Figure 9 — {name} FCT by flow size (µs)")
+            print(render_table(*figure9_fct(name, flows=args.flows)))
+            print()
+    return 0
+
+
+def cmd_list(args) -> int:
+    from repro.middleboxes import load
+
+    for name in MIDDLEBOX_NAMES:
+        bundle = load(name)
+        loc = bundle.lowered.program.source_line_count()
+        print(f"{name:10s} {bundle.display_name:16s} {loc:4d} LoC")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gallium reproduction: middlebox-to-P4 compiler"
+        " + evaluation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile a middlebox")
+    compile_parser.add_argument("target", help="bundled name or .cc file")
+    compile_parser.add_argument("--out", default="out",
+                                help="artifact output directory")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    partition_parser = sub.add_parser(
+        "partition", help="show the three partition CFGs"
+    )
+    partition_parser.add_argument("target")
+    partition_parser.set_defaults(func=cmd_partition)
+
+    experiments_parser = sub.add_parser(
+        "experiments", help="regenerate paper tables/figures"
+    )
+    experiments_parser.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=["table1", "table2", "table3", "fig7", "fig8", "fig9", "all"],
+    )
+    experiments_parser.add_argument("--flows", type=int, default=1000)
+    experiments_parser.set_defaults(func=cmd_experiments)
+
+    list_parser = sub.add_parser("list", help="list bundled middleboxes")
+    list_parser.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

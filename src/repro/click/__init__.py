@@ -1,0 +1,43 @@
+"""Click substrate: an executable, annotated Click-like runtime.
+
+Gallium's input programs are Click elements written in C++.  This package
+provides the Python equivalent of the runtime those elements link against:
+
+* :class:`~repro.click.packet.Packet` — the Click packet API
+  (``network_header()``, ``transport_header()``, ``send()``, ``drop()``, ...)
+* :class:`~repro.click.hashmap.HashMap` and
+  :class:`~repro.click.vector.Vector` — the two data structures Gallium
+  knows how to offload (paper §7)
+* :class:`~repro.click.element.Element` — base class for middlebox elements
+* :mod:`~repro.click.annotations` — the read/write-set annotations on the
+  Click APIs that dependency extraction consumes (paper §4.1)
+
+The substrate has *two* consumers: middlebox programs execute directly
+against it (the FastClick-style baseline and differential tests), and the
+compiler reads its annotations to build read/write sets for statements that
+call into the API.
+"""
+
+from repro.click.packet import Packet, PacketAction
+from repro.click.hashmap import HashMap
+from repro.click.vector import Vector
+from repro.click.element import Element, PortSpec
+from repro.click.annotations import (
+    ApiAnnotation,
+    AccessEffect,
+    CLICK_API_ANNOTATIONS,
+    annotation_for,
+)
+
+__all__ = [
+    "Packet",
+    "PacketAction",
+    "HashMap",
+    "Vector",
+    "Element",
+    "PortSpec",
+    "ApiAnnotation",
+    "AccessEffect",
+    "CLICK_API_ANNOTATIONS",
+    "annotation_for",
+]

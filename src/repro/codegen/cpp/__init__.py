@@ -1,0 +1,5 @@
+"""C++ (DPDK-style) code generation for the non-offloaded partition."""
+
+from repro.codegen.cpp.emit import emit_cpp_program
+
+__all__ = ["emit_cpp_program"]

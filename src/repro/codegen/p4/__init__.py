@@ -1,0 +1,5 @@
+"""P4-16 code generation for the pre/post pipelines (paper §4.3.1)."""
+
+from repro.codegen.p4.emit import emit_p4_program
+
+__all__ = ["emit_p4_program"]

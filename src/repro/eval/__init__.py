@@ -1,0 +1,33 @@
+"""Evaluation harness: regenerates every table and figure of §6.
+
+* :mod:`repro.eval.profiles` — drives the compiled artifacts with real
+  packet streams and measures per-packet costs and fast-path fractions,
+* :mod:`repro.eval.experiments` — one function per paper table/figure,
+  each returning printable rows,
+* :mod:`repro.eval.reporting` — plain-text table rendering.
+"""
+
+from repro.eval.profiles import MiddleboxProfile, build_baseline, build_gallium, profile_middlebox
+from repro.eval.experiments import (
+    table1_loc,
+    table2_latency,
+    table3_state_sync,
+    figure7_throughput,
+    figure8_workloads,
+    figure9_fct,
+)
+from repro.eval.reporting import render_table
+
+__all__ = [
+    "MiddleboxProfile",
+    "build_baseline",
+    "build_gallium",
+    "profile_middlebox",
+    "table1_loc",
+    "table2_latency",
+    "table3_state_sync",
+    "figure7_throughput",
+    "figure8_workloads",
+    "figure9_fct",
+    "render_table",
+]

@@ -1,0 +1,99 @@
+"""Gallium's intermediate representation.
+
+The paper builds its analyses on LLVM IR ("because LLVM's syntax is simpler
+than C++ ... and a statement in the LLVM IR can be mapped to a corresponding
+switch pipeline statement").  This package is the from-scratch equivalent: a
+three-address IR over a control-flow graph of basic blocks, where
+
+* temporaries are single-assignment, named locals are mutable registers,
+* every instruction knows its read and write sets over *abstract locations*
+  (variables, element state, packet regions), which is exactly the input the
+  dependency extraction of §4.1 needs,
+* Click API calls are first-class instructions (``MapFind``, ``MapInsert``,
+  ``VectorGet`` ...), so the P4 mapping of Figure 6 is a per-opcode decision,
+* each instruction records the source ``stmt_id`` it was lowered from, so
+  analyses can be reported at paper-figure (statement) granularity.
+"""
+
+from repro.ir.values import Location, LocKind, Operand, Const, Reg
+from repro.ir.instructions import (
+    Instruction,
+    Assign,
+    BinOp,
+    UnOp,
+    Cast,
+    LoadPacketField,
+    StorePacketField,
+    LoadState,
+    StoreState,
+    RegisterRMW,
+    MapFind,
+    MapInsert,
+    MapErase,
+    VectorGet,
+    VectorLen,
+    VectorPush,
+    ExternCall,
+    Send,
+    SendTo,
+    Drop,
+    Jump,
+    Branch,
+    Return,
+    BinOpKind,
+    UnOpKind,
+    P4_SUPPORTED_BINOPS,
+)
+from repro.ir.function import BasicBlock, Function
+from repro.ir.builder import FunctionBuilder
+from repro.ir.lowering import lower_program, LoweredMiddlebox, LoweringError
+from repro.ir.printer import format_function
+from repro.ir.validate import validate_function, IRValidationError
+from repro.ir.interp import Interpreter, ExecutionResult, PacketView, StateStore
+
+__all__ = [
+    "Location",
+    "LocKind",
+    "Operand",
+    "Const",
+    "Reg",
+    "Instruction",
+    "Assign",
+    "BinOp",
+    "UnOp",
+    "Cast",
+    "LoadPacketField",
+    "StorePacketField",
+    "LoadState",
+    "StoreState",
+    "RegisterRMW",
+    "MapFind",
+    "MapInsert",
+    "MapErase",
+    "VectorGet",
+    "VectorLen",
+    "VectorPush",
+    "ExternCall",
+    "Send",
+    "SendTo",
+    "Drop",
+    "Jump",
+    "Branch",
+    "Return",
+    "BinOpKind",
+    "UnOpKind",
+    "P4_SUPPORTED_BINOPS",
+    "BasicBlock",
+    "Function",
+    "FunctionBuilder",
+    "lower_program",
+    "LoweredMiddlebox",
+    "LoweringError",
+    "format_function",
+    "validate_function",
+    "IRValidationError",
+    "Interpreter",
+    "ExecutionResult",
+    "PacketView",
+    "StateStore",
+]

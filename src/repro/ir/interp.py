@@ -1,0 +1,503 @@
+"""IR interpreter.
+
+Gives the IR executable semantics.  Three consumers:
+
+* the **baseline** (FastClick-style) runner executes the whole ``process``
+  function per packet on the simulated middlebox server,
+* the **Gallium server runtime** executes the projected non-offloaded
+  partition, seeded with the shim-header values the switch forwarded,
+* **differential tests** compare the unpartitioned interpretation against
+  the deployed switch+server pipeline packet by packet (the paper's
+  functional-equivalence goal).
+
+The interpreter also counts executed instructions, which the performance
+model converts to CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.types import BOOL, IntType
+from repro.ir import instructions as irin
+from repro.ir.externs import ExternHost
+from repro.ir.function import Function
+from repro.ir.lowering import StateMember
+from repro.ir.values import Const, Operand, Reg
+from repro.net.addresses import Ipv4Address, MacAddress
+from repro.net.headers import TcpHeader, UdpHeader
+
+
+class InterpreterError(Exception):
+    """Raised on interpreter failures (bad IR, runaway loops...)."""
+
+
+_MAX_STEPS = 1_000_000
+
+
+# ---------------------------------------------------------------------------
+# Packet adapter
+# ---------------------------------------------------------------------------
+
+# (region, field) -> (attribute path, converter to int, converter from int)
+_FIELD_MAP = {
+    ("ip", "saddr"): ("ip", "saddr", True),
+    ("ip", "daddr"): ("ip", "daddr", True),
+    ("ip", "protocol"): ("ip", "protocol", False),
+    ("ip", "ttl"): ("ip", "ttl", False),
+    ("ip", "tos"): ("ip", "tos", False),
+    ("ip", "tot_len"): ("ip", "total_length", False),
+    ("ip", "id"): ("ip", "identification", False),
+    ("ip", "frag_off"): ("ip", "frag_offset", False),
+    ("ip", "check"): ("ip", "checksum", False),
+    ("ip", "version"): ("ip", "version", False),
+    ("ip", "ihl"): ("ip", "ihl", False),
+    ("tcp", "sport"): ("tcp", "sport", False),
+    ("tcp", "dport"): ("tcp", "dport", False),
+    ("tcp", "seq"): ("tcp", "seq", False),
+    ("tcp", "ack_seq"): ("tcp", "ack", False),
+    ("tcp", "doff"): ("tcp", "data_offset", False),
+    ("tcp", "flags"): ("tcp", "flags", False),
+    ("tcp", "window"): ("tcp", "window", False),
+    ("tcp", "check"): ("tcp", "checksum", False),
+    ("tcp", "urg_ptr"): ("tcp", "urgent", False),
+    ("udp", "sport"): ("udp", "sport", False),
+    ("udp", "dport"): ("udp", "dport", False),
+    ("udp", "len"): ("udp", "length", False),
+    ("udp", "check"): ("udp", "checksum", False),
+}
+
+
+class PacketView:
+    """Adapter exposing (region, field) get/set over a RawPacket."""
+
+    def __init__(self, raw):
+        self.raw = raw
+        self.verdict: Optional[str] = None
+        self.egress_port: Optional[int] = None
+
+    # -- header fields -----------------------------------------------------
+
+    def get_field(self, region: str, field_name: str) -> int:
+        if region == "meta":
+            if field_name == "ingress_port":
+                return self.raw.ingress_port
+            raise InterpreterError(f"unknown meta field {field_name!r}")
+        if region == "eth":
+            eth = self.raw.eth
+            if field_name == "h_dest":
+                return int(eth.dst)
+            if field_name == "h_source":
+                return int(eth.src)
+            if field_name == "h_proto":
+                return eth.ethertype
+            raise InterpreterError(f"unknown eth field {field_name!r}")
+        mapping = _FIELD_MAP.get((region, field_name))
+        if mapping is None:
+            raise InterpreterError(f"unknown field {region}.{field_name}")
+        header_attr, attr, is_addr = mapping
+        header = self._header(region, field_name)
+        if header is None:
+            return 0  # absent header: reads yield 0 (guarded by protocol checks)
+        value = getattr(header, attr)
+        return int(value) if is_addr else value
+
+    def set_field(self, region: str, field_name: str, value: int) -> None:
+        if region == "eth":
+            eth = self.raw.eth
+            if field_name == "h_dest":
+                eth.dst = MacAddress(value & ((1 << 48) - 1))
+            elif field_name == "h_source":
+                eth.src = MacAddress(value & ((1 << 48) - 1))
+            elif field_name == "h_proto":
+                eth.ethertype = value & 0xFFFF
+            else:
+                raise InterpreterError(f"unknown eth field {field_name!r}")
+            return
+        mapping = _FIELD_MAP.get((region, field_name))
+        if mapping is None:
+            raise InterpreterError(f"unknown field {region}.{field_name}")
+        header_attr, attr, is_addr = mapping
+        header = self._header(region, field_name)
+        if header is None:
+            return  # writes to absent headers are dropped
+        if is_addr:
+            setattr(header, attr, Ipv4Address(value & 0xFFFFFFFF))
+        else:
+            setattr(header, attr, value)
+
+    def _header(self, region: str, field_name: str = ""):
+        if region == "ip":
+            return self.raw.ip
+        if region == "tcp":
+            if self.raw.tcp is not None:
+                return self.raw.tcp
+            # Click's transport_header() aliases the TCP/UDP port fields
+            # (same offsets); other TCP fields read 0 on UDP packets.
+            if self.raw.udp is not None and field_name in ("sport", "dport"):
+                return self.raw.udp
+            return None
+        if region == "udp":
+            return self.raw.udp
+        return None
+
+    def payload(self) -> bytes:
+        return self.raw.payload
+
+    # -- verdicts -----------------------------------------------------------
+
+    def send(self, port: Optional[int] = None) -> None:
+        self.verdict = "send"
+        self.egress_port = port
+
+    def drop(self) -> None:
+        self.verdict = "drop"
+
+
+# ---------------------------------------------------------------------------
+# State store
+# ---------------------------------------------------------------------------
+
+
+class StateStore:
+    """Runtime values of a middlebox's state members."""
+
+    def __init__(self, members: Dict[str, StateMember]):
+        self.members = members
+        self.maps: Dict[str, Dict[tuple, int]] = {}
+        self.vectors: Dict[str, List[int]] = {}
+        self.scalars: Dict[str, int] = {}
+        for name, member in members.items():
+            if member.kind == "map":
+                self.maps[name] = {}
+            elif member.kind == "vector":
+                self.vectors[name] = []
+            else:
+                self.scalars[name] = 0
+        #: Mutation journal: (op, member, keys, value) tuples appended by
+        #: every write; the Gallium runtime drains it to replicate updates to
+        #: the switch (paper §4.3.3).
+        self.journal: List[tuple] = []
+        #: Optional read log (name, keys, found, value); enabled by the
+        #: table-cache runtime to learn which entries to refill (§7).
+        self.track_reads = False
+        self.read_log: List[tuple] = []
+
+    # -- maps ----------------------------------------------------------------
+
+    def map_find(self, name: str, keys: tuple) -> Tuple[bool, int]:
+        table = self.maps[name]
+        if keys in table:
+            if self.track_reads:
+                self.read_log.append((name, keys, True, table[keys]))
+            return True, table[keys]
+        if self.track_reads:
+            self.read_log.append((name, keys, False, 0))
+        return False, 0
+
+    def map_insert(self, name: str, keys: tuple, value: int) -> None:
+        member = self.members[name]
+        table = self.maps[name]
+        if (
+            member.max_entries is not None
+            and keys not in table
+            and len(table) >= member.max_entries
+        ):
+            # Full table: drop the update (same observable behaviour as a
+            # switch table rejecting an insert); record it for diagnostics.
+            self.journal.append(("insert_failed", name, keys, value))
+            return
+        table[keys] = value
+        self.journal.append(("insert", name, keys, value))
+
+    def map_erase(self, name: str, keys: tuple) -> None:
+        self.maps[name].pop(keys, None)
+        self.journal.append(("erase", name, keys, None))
+
+    # -- vectors --------------------------------------------------------------
+
+    def vector_get(self, name: str, index: int) -> int:
+        vector = self.vectors[name]
+        if 0 <= index < len(vector):
+            return vector[index]
+        return 0
+
+    def vector_len(self, name: str) -> int:
+        return len(self.vectors[name])
+
+    def vector_push(self, name: str, value: int) -> None:
+        self.vectors[name].append(value)
+        self.journal.append(("push", name, (len(self.vectors[name]) - 1,), value))
+
+    # -- scalars ---------------------------------------------------------------
+
+    def load_scalar(self, name: str) -> int:
+        return self.scalars[name]
+
+    def store_scalar(self, name: str, value: int) -> None:
+        self.scalars[name] = value
+        self.journal.append(("store", name, (), value))
+
+    def rmw_scalar(self, name: str, op, operand: int, width: int) -> int:
+        old = self.scalars[name]
+        new = _apply_binop(op, old, operand)
+        mask = (1 << width) - 1 if width else 0xFFFFFFFF
+        self.scalars[name] = new & mask
+        self.journal.append(("store", name, (), self.scalars[name]))
+        return old
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "maps": {k: dict(v) for k, v in self.maps.items()},
+            "vectors": {k: list(v) for k, v in self.vectors.items()},
+            "scalars": dict(self.scalars),
+        }
+
+    def drain_journal(self) -> List[tuple]:
+        entries = self.journal
+        self.journal = []
+        return entries
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionResult:
+    verdict: Optional[str]
+    egress_port: Optional[int]
+    instructions_executed: int
+    executed_ids: List[int] = field(default_factory=list)
+    env: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sent(self) -> bool:
+        return self.verdict == "send"
+
+    @property
+    def dropped(self) -> bool:
+        return self.verdict == "drop"
+
+
+def _apply_binop(op: irin.BinOpKind, a: int, b: int) -> int:
+    kind = irin.BinOpKind
+    if op is kind.ADD:
+        return a + b
+    if op is kind.SUB:
+        return a - b
+    if op is kind.MUL:
+        return a * b
+    if op is kind.DIV:
+        return a // b if b else 0
+    if op is kind.MOD:
+        return a % b if b else 0
+    if op is kind.AND:
+        return a & b
+    if op is kind.OR:
+        return a | b
+    if op is kind.XOR:
+        return a ^ b
+    if op is kind.SHL:
+        return a << (b & 63)
+    if op is kind.SHR:
+        return a >> (b & 63)
+    if op is kind.EQ:
+        return int(a == b)
+    if op is kind.NE:
+        return int(a != b)
+    if op is kind.LT:
+        return int(a < b)
+    if op is kind.LE:
+        return int(a <= b)
+    if op is kind.GT:
+        return int(a > b)
+    if op is kind.GE:
+        return int(a >= b)
+    if op is kind.LAND:
+        return int(bool(a) and bool(b))
+    if op is kind.LOR:
+        return int(bool(a) or bool(b))
+    raise InterpreterError(f"unknown binop {op}")
+
+
+def _width_of(type_) -> int:
+    try:
+        return type_.bit_width()
+    except Exception:
+        return 32
+
+
+class Interpreter:
+    """Executes one IR function against a packet view and state store."""
+
+    def __init__(
+        self,
+        function: Function,
+        state: StateStore,
+        externs: Optional[ExternHost] = None,
+    ):
+        self.function = function
+        self.state = state
+        self.externs = externs or ExternHost()
+
+    def run(
+        self,
+        packet: Optional[PacketView] = None,
+        initial_env: Optional[Dict[str, int]] = None,
+        collect_ids: bool = False,
+    ) -> ExecutionResult:
+        env: Dict[str, int] = dict(initial_env or {})
+        block = self.function.blocks[self.function.entry]
+        steps = 0
+        executed: List[int] = []
+        verdict: Optional[str] = None
+        egress: Optional[int] = None
+
+        def value_of(operand: Operand) -> int:
+            if isinstance(operand, Const):
+                return operand.value
+            if isinstance(operand, Reg):
+                try:
+                    return env[operand.name]
+                except KeyError:
+                    raise InterpreterError(
+                        f"{self.function.name}: read of undefined register"
+                        f" %{operand.name}"
+                    ) from None
+            raise InterpreterError(f"bad operand {operand!r}")
+
+        while True:
+            next_block: Optional[str] = None
+            for inst in block.instructions:
+                steps += 1
+                if steps > _MAX_STEPS:
+                    raise InterpreterError(
+                        f"{self.function.name}: step limit exceeded"
+                        " (runaway loop?)"
+                    )
+                if collect_ids:
+                    executed.append(inst.id)
+                if isinstance(inst, irin.Assign):
+                    env[inst.dst.name] = self._wrap(value_of(inst.src), inst.dst)
+                elif isinstance(inst, irin.BinOp):
+                    result = _apply_binop(
+                        inst.op, value_of(inst.lhs), value_of(inst.rhs)
+                    )
+                    env[inst.dst.name] = self._wrap(result, inst.dst)
+                elif isinstance(inst, irin.UnOp):
+                    src = value_of(inst.src)
+                    if inst.op is irin.UnOpKind.NEG:
+                        result = -src
+                    elif inst.op is irin.UnOpKind.NOT:
+                        result = ~src
+                    else:  # LNOT
+                        result = int(not src)
+                    env[inst.dst.name] = self._wrap(result, inst.dst)
+                elif isinstance(inst, irin.Cast):
+                    env[inst.dst.name] = self._wrap(value_of(inst.src), inst.dst)
+                elif isinstance(inst, irin.LoadPacketField):
+                    if packet is None:
+                        raise InterpreterError("packet access without a packet")
+                    env[inst.dst.name] = self._wrap(
+                        packet.get_field(inst.region, inst.field), inst.dst
+                    )
+                elif isinstance(inst, irin.StorePacketField):
+                    if packet is None:
+                        raise InterpreterError("packet access without a packet")
+                    packet.set_field(inst.region, inst.field, value_of(inst.src))
+                elif isinstance(inst, irin.LoadState):
+                    env[inst.dst.name] = self._wrap(
+                        self.state.load_scalar(inst.state), inst.dst
+                    )
+                elif isinstance(inst, irin.StoreState):
+                    self.state.store_scalar(inst.state, value_of(inst.src))
+                elif isinstance(inst, irin.RegisterRMW):
+                    old = self.state.rmw_scalar(
+                        inst.state,
+                        inst.op,
+                        value_of(inst.operand),
+                        _width_of(inst.dst.type),
+                    )
+                    env[inst.dst.name] = self._wrap(old, inst.dst)
+                elif isinstance(inst, irin.MapFind):
+                    keys = tuple(value_of(k) for k in inst.keys)
+                    found, value = self.state.map_find(inst.state, keys)
+                    env[inst.found.name] = int(found)
+                    if inst.value is not None:
+                        env[inst.value.name] = value
+                elif isinstance(inst, irin.MapInsert):
+                    keys = tuple(value_of(k) for k in inst.keys)
+                    self.state.map_insert(inst.state, keys, value_of(inst.value))
+                elif isinstance(inst, irin.MapErase):
+                    keys = tuple(value_of(k) for k in inst.keys)
+                    self.state.map_erase(inst.state, keys)
+                elif isinstance(inst, irin.VectorGet):
+                    env[inst.dst.name] = self.state.vector_get(
+                        inst.state, value_of(inst.index)
+                    )
+                elif isinstance(inst, irin.VectorLen):
+                    env[inst.dst.name] = self.state.vector_len(inst.state)
+                elif isinstance(inst, irin.VectorPush):
+                    self.state.vector_push(inst.state, value_of(inst.value))
+                elif isinstance(inst, irin.ExternCall):
+                    args = [value_of(a) for a in inst.args]
+                    result = self.externs.call(inst.name, args, packet)
+                    if inst.dst is not None:
+                        env[inst.dst.name] = self._wrap(result, inst.dst)
+                elif isinstance(inst, irin.SendTo):
+                    verdict = "send"
+                    egress = value_of(inst.port)
+                    if packet is not None:
+                        packet.send(egress)
+                    next_block = None
+                    break
+                elif isinstance(inst, irin.Send):
+                    verdict = "send"
+                    if packet is not None:
+                        packet.send()
+                    next_block = None
+                    break
+                elif isinstance(inst, irin.Drop):
+                    verdict = "drop"
+                    if packet is not None:
+                        packet.drop()
+                    next_block = None
+                    break
+                elif isinstance(inst, irin.Jump):
+                    next_block = inst.target
+                    break
+                elif isinstance(inst, irin.Branch):
+                    next_block = (
+                        inst.if_true if value_of(inst.cond) else inst.if_false
+                    )
+                    break
+                elif isinstance(inst, irin.Return):
+                    next_block = None
+                    break
+                else:
+                    raise InterpreterError(
+                        f"unhandled instruction {type(inst).__name__}"
+                    )
+            if next_block is None:
+                return ExecutionResult(
+                    verdict=verdict,
+                    egress_port=egress,
+                    instructions_executed=steps,
+                    executed_ids=executed,
+                    env=env,
+                )
+            block = self.function.blocks[next_block]
+
+    @staticmethod
+    def _wrap(value: int, reg: Reg) -> int:
+        type_ = reg.type
+        if type_ is BOOL:
+            return 1 if value else 0
+        if isinstance(type_, IntType):
+            return value & type_.mask
+        return value & 0xFFFFFFFFFFFFFFFF

@@ -1,0 +1,105 @@
+"""IR operands and abstract memory locations.
+
+*Operands* are what instructions consume and produce: constants and
+registers.  *Locations* are what the dependency analysis reasons about: a
+register's slot, a piece of element state, or a packet region.  The paper's
+read/write sets (§4.1) are sets of these locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang.types import BOOL, IntType, Type
+
+
+class LocKind(enum.Enum):
+    """The kind of an abstract location."""
+
+    VAR = "var"  # a local variable or temporary
+    STATE = "state"  # element member (global, cross-packet state)
+    PACKET = "packet"  # a packet region: ip / tcp / udp / eth / payload / meta
+
+
+@dataclass(frozen=True)
+class Location:
+    """An abstract memory location used in read/write sets."""
+
+    kind: LocKind
+    name: str
+
+    @classmethod
+    def var(cls, name: str) -> "Location":
+        return cls(LocKind.VAR, name)
+
+    @classmethod
+    def state(cls, name: str) -> "Location":
+        return cls(LocKind.STATE, name)
+
+    @classmethod
+    def packet(cls, region: str) -> "Location":
+        return cls(LocKind.PACKET, region)
+
+    @property
+    def is_global(self) -> bool:
+        """True for cross-packet (element) state."""
+        return self.kind is LocKind.STATE
+
+    @property
+    def is_packet(self) -> bool:
+        return self.kind is LocKind.PACKET
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}"
+
+
+#: All header packet regions a switch can touch (payload excluded: §2.2,
+#: switches only read the start of the packet).
+HEADER_REGIONS = ("eth", "ip", "tcp", "udp")
+ALL_PACKET_REGIONS = HEADER_REGIONS + ("payload", "meta")
+
+
+class Operand:
+    """Base class for instruction operands."""
+
+    type: Type
+
+
+@dataclass(frozen=True)
+class Const(Operand):
+    """An integer (or bool) literal operand."""
+
+    value: int
+    type: Type
+
+    def __str__(self) -> str:
+        if self.type is BOOL:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Reg(Operand):
+    """A register: a temporary (single assignment) or a named local."""
+
+    name: str
+    type: Type
+    is_temp: bool = True
+
+    @property
+    def location(self) -> Location:
+        return Location.var(self.name)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+def const_bool(value: bool) -> Const:
+    return Const(1 if value else 0, BOOL)
+
+
+def const_int(value: int, bits: int = 32) -> Const:
+    int_type = IntType(bits)
+    return Const(int_type.wrap(value), int_type)

@@ -1,0 +1,68 @@
+"""Frontend for the C++ subset Gallium accepts.
+
+The paper's implementation parses C++ Click elements with Clang and works on
+LLVM IR.  This reproduction implements the equivalent pipeline from scratch:
+
+* :mod:`repro.lang.lexer` — tokenizer
+* :mod:`repro.lang.ast_nodes` — abstract syntax tree
+* :mod:`repro.lang.types` — the subset's type system (fixed-width integers,
+  pointers, ``HashMap<K,V>``, ``Vector<T>``, packet/header types)
+* :mod:`repro.lang.parser` — recursive-descent parser
+* :mod:`repro.lang.diagnostics` — source-located errors
+
+The subset covers everything the five evaluation middleboxes need: a class
+with annotated state members, methods (inlined into ``process`` during
+lowering), integer arithmetic, pointers to packet headers, ``if``/``else``,
+loops, and calls into the annotated Click APIs.
+"""
+
+from repro.lang.diagnostics import SourceLocation, FrontendError, ParseError, LexError
+from repro.lang.lexer import Lexer, Token, TokenKind, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang import ast_nodes as ast
+from repro.lang.types import (
+    Type,
+    IntType,
+    BoolType,
+    VoidType,
+    PointerType,
+    PacketType,
+    HeaderType,
+    HashMapType,
+    VectorType,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    BOOL,
+    VOID,
+)
+
+__all__ = [
+    "SourceLocation",
+    "FrontendError",
+    "ParseError",
+    "LexError",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "ast",
+    "Type",
+    "IntType",
+    "BoolType",
+    "VoidType",
+    "PointerType",
+    "PacketType",
+    "HeaderType",
+    "HashMapType",
+    "VectorType",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "BOOL",
+    "VOID",
+]

@@ -1,0 +1,278 @@
+"""AST for the C++ subset.
+
+Nodes are plain dataclasses; every node carries a :class:`SourceLocation`.
+Statement nodes get a stable ``stmt_id`` assigned by the parser, which the
+rest of the compiler uses to relate IR instructions, dependency-graph
+vertices, and partition labels back to source statements (the granularity the
+paper's figures use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.lang.diagnostics import SourceLocation
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    location: SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+
+@dataclass
+class NameRef(Expr):
+    """Reference to a local variable, parameter, or member (resolved later)."""
+
+    name: str
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``base.field`` or ``base->field`` (``arrow=True``)."""
+
+    base: Expr
+    field: str
+    arrow: bool
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """``op operand`` where op in {-, ~, !, *, &}."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    """``lhs op rhs`` for arithmetic / bitwise / comparison / logical ops."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class ConditionalExpr(Expr):
+    """``cond ? then : otherwise``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """``(type)(expr)``."""
+
+    target_type: Type
+    operand: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    """A call: ``callee(args)`` where callee resolves to a method.
+
+    ``receiver`` is the object expression for method calls
+    (``map.find(...)``, ``pkt->send()``); ``None`` for calls to other methods
+    of the enclosing class (``this->helper(...)`` written as ``helper(...)``).
+    """
+
+    callee: str
+    receiver: Optional[Expr]
+    args: List[Expr]
+    receiver_arrow: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    stmt_id: int = field(default=-1, kw_only=True)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """``type name = init;`` (init may be None)."""
+
+    decl_type: Type
+    name: str
+    init: Optional[Expr]
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target op= value;`` where target is a NameRef / FieldAccess / deref."""
+
+    target: Expr
+    value: Expr
+    op: str = "="  # "=", "+=", "-=", ...
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: List[Stmt]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemberDecl(Node):
+    """A state member of the middlebox class.
+
+    ``annotations`` carries ``// @gallium:`` key/values — most importantly
+    ``max_entries`` for HashMap members that may be offloaded.
+    """
+
+    member_type: Type
+    name: str
+    annotations: dict
+
+
+@dataclass
+class ParamDecl(Node):
+    param_type: Type
+    name: str
+
+
+@dataclass
+class MethodDecl(Node):
+    return_type: Type
+    name: str
+    params: List[ParamDecl]
+    body: List[Stmt]
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str
+    members: List[MemberDecl]
+    methods: List[MethodDecl]
+
+    def member(self, name: str) -> Optional[MemberDecl]:
+        for member in self.members:
+            if member.name == name:
+                return member
+        return None
+
+    def method(self, name: str) -> Optional[MethodDecl]:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+
+@dataclass
+class Program(Node):
+    """A parsed translation unit: one middlebox class."""
+
+    middlebox: ClassDecl
+    source: str = ""
+
+    def source_line_count(self) -> int:
+        """Count non-blank, non-comment-only source lines (Table 1 metric)."""
+        count = 0
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith("//"):
+                count += 1
+        return count
+
+
+def walk_statements(body: List[Stmt]):
+    """Yield every statement in ``body``, recursing into compound bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, IfStmt):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, WhileStmt):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.step is not None:
+                yield stmt.step
+            yield from walk_statements(stmt.body)

@@ -1,0 +1,20 @@
+"""The evaluation middleboxes (paper §6.1) and the MiniLB running example.
+
+Each middlebox ships as:
+
+* its C++-subset source (``sources/*.cc``) — the compiler's input,
+* a default configuration (the extern config sections ``configure()`` reads),
+* an independent Python reference implementation
+  (:mod:`repro.middleboxes.reference`) used by differential tests.
+
+Use :func:`load` to get a bundle, e.g. ``load("mazunat")``.
+"""
+
+from repro.middleboxes.registry import (
+    MIDDLEBOX_NAMES,
+    MiddleboxBundle,
+    load,
+    load_source,
+)
+
+__all__ = ["MIDDLEBOX_NAMES", "MiddleboxBundle", "load", "load_source"]

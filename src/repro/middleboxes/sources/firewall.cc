@@ -1,0 +1,70 @@
+// Stateless five-tuple firewall (paper section 6.1).
+//
+// Adapted from the Click paper's example firewall: a whitelist of
+// five-tuples is installed at configuration time, one direction per table
+// (internal traffic arrives on switch port 1, external on port 2).  A
+// packet whose five-tuple is missing from the direction's whitelist is
+// dropped.
+//
+// After compilation both whitelists become switch match-action tables and
+// every packet completes on the fast path; the non-offloaded partition is
+// only the rule-construction code (paper 6.2).
+class Firewall {
+  // internal -> external whitelist
+  // @gallium: max_entries=4096
+  HashMap<Tuple<uint32_t, uint32_t, uint16_t, uint16_t, uint8_t>, uint32_t> wl_out;
+  // external -> internal whitelist
+  // @gallium: max_entries=4096
+  HashMap<Tuple<uint32_t, uint32_t, uint16_t, uint16_t, uint8_t>, uint32_t> wl_in;
+
+  void configure() {
+    // Config section 1: outbound rules, five values per rule.
+    uint32_t n_out = config_len(1);
+    uint32_t one = 1;
+    for (uint32_t i = 0; i + 4 < n_out; i += 5) {
+      uint32_t r_src = config_u32(1, i);
+      uint32_t r_dst = config_u32(1, i + 1);
+      uint16_t r_sport = (uint16_t)config_u32(1, i + 2);
+      uint16_t r_dport = (uint16_t)config_u32(1, i + 3);
+      uint8_t r_proto = (uint8_t)config_u32(1, i + 4);
+      wl_out.insert(&r_src, &r_dst, &r_sport, &r_dport, &r_proto, &one);
+    }
+    // Config section 2: inbound rules.
+    uint32_t n_in = config_len(2);
+    for (uint32_t j = 0; j + 4 < n_in; j += 5) {
+      uint32_t s_src = config_u32(2, j);
+      uint32_t s_dst = config_u32(2, j + 1);
+      uint16_t s_sport = (uint16_t)config_u32(2, j + 2);
+      uint16_t s_dport = (uint16_t)config_u32(2, j + 3);
+      uint8_t s_proto = (uint8_t)config_u32(2, j + 4);
+      wl_in.insert(&s_src, &s_dst, &s_sport, &s_dport, &s_proto, &one);
+    }
+  }
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    tcphdr *tcp_hdr = pkt->transport_header();
+    uint8_t direction = pkt->ingress_port();
+    uint32_t src_ip = ip_hdr->saddr;
+    uint32_t dst_ip = ip_hdr->daddr;
+    uint16_t src_port = tcp_hdr->sport;
+    uint16_t dst_port = tcp_hdr->dport;
+    uint8_t proto = ip_hdr->protocol;
+
+    if (direction == 1) {
+      uint32_t *allowed = wl_out.find(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      if (allowed == NULL) {
+        pkt->drop();
+      } else {
+        pkt->send();
+      }
+    } else {
+      uint32_t *permitted = wl_in.find(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      if (permitted == NULL) {
+        pkt->drop();
+      } else {
+        pkt->send();
+      }
+    }
+  }
+};

@@ -1,0 +1,85 @@
+// L4 load balancer (paper section 6.1).
+//
+// Assigns incoming TCP and UDP traffic to a list of backend servers using
+// a hash of the five-tuple, and keeps a connection-consistency map so all
+// packets of a flow reach the same backend even when the backend list
+// changes.  Finished TCP connections are garbage-collected by intercepting
+// RST/FIN control packets; establishment timestamps are kept on the server
+// so an idle-timeout sweep can reclaim flows whose FIN was never seen.
+//
+// After compilation the consistency map lives on the switch; only new
+// connections and TCP control packets touch the middlebox server (the
+// paper reports 0.1% of packets on the slow path).
+class L4LoadBalancer {
+  // five-tuple -> backend address
+  // @gallium: max_entries=65536
+  HashMap<Tuple<uint32_t, uint32_t, uint16_t, uint16_t, uint8_t>, uint32_t> conn_map;
+  // five-tuple -> establishment timestamp (server-only bookkeeping)
+  // @gallium: max_entries=65536
+  HashMap<Tuple<uint32_t, uint32_t, uint16_t, uint16_t, uint8_t>, uint32_t> conn_ts;
+  Vector<uint32_t> backends;
+  uint32_t conn_timeout_sec;
+
+  void configure() {
+    conn_timeout_sec = config_u32(0, 0);
+    uint32_t n = config_len(1);
+    for (uint32_t i = 0; i < n; i += 1) {
+      uint32_t backend = config_u32(1, i);
+      backends.push_back(backend);
+    }
+  }
+
+  uint32_t pick_backend(uint32_t hash32) {
+    uint32_t idx = hash32 % backends.size();
+    uint32_t chosen = backends[idx];
+    return chosen;
+  }
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    tcphdr *tcp_hdr = pkt->transport_header();
+    uint32_t src_ip = ip_hdr->saddr;
+    uint32_t dst_ip = ip_hdr->daddr;
+    uint16_t src_port = tcp_hdr->sport;
+    uint16_t dst_port = tcp_hdr->dport;
+    uint8_t proto = ip_hdr->protocol;
+    uint8_t tcp_flags = tcp_hdr->flags;
+
+    // FIN (0x01) / RST (0x04) tear the connection down on the server.
+    uint8_t is_teardown = 0;
+    if (proto == 6) {
+      if ((tcp_flags & 0x05) != 0) {
+        is_teardown = 1;
+      }
+    }
+
+    if (is_teardown == 1) {
+      // Steer the control packet to its backend, then forget the flow.
+      uint32_t *bk = conn_map.find(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      if (bk != NULL) {
+        ip_hdr->daddr = *bk;
+      }
+      conn_map.erase(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      conn_ts.erase(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      pkt->send();
+    } else {
+      uint32_t *assigned = conn_map.find(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+      if (assigned != NULL) {
+        ip_hdr->daddr = *assigned;
+        pkt->send();
+      } else {
+        // New connection: consistent-hash onto the backend list.
+        uint32_t hash32 = src_ip ^ dst_ip;
+        hash32 = hash32 ^ ((uint32_t)src_port << 16);
+        hash32 = hash32 ^ (uint32_t)dst_port;
+        hash32 = hash32 ^ (uint32_t)proto;
+        uint32_t chosen = pick_backend(hash32);
+        uint32_t now = now_sec();
+        conn_map.insert(&src_ip, &dst_ip, &src_port, &dst_port, &proto, &chosen);
+        conn_ts.insert(&src_ip, &dst_ip, &src_port, &dst_port, &proto, &now);
+        ip_hdr->daddr = chosen;
+        pkt->send();
+      }
+    }
+  }
+};

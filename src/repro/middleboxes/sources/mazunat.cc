@@ -1,0 +1,77 @@
+// MazuNAT -- network address (and port) translation gateway.
+//
+// Modeled on the Mazu Networks NAT the paper evaluates: a gateway that
+// separates an internal network (switch port 1) from the external network
+// (switch port 2).
+//
+//  * Internal -> external: allocate an externally visible port from a
+//    monotonically increasing counter, remember the bidirectional mapping,
+//    and rewrite the source address/port so the flow appears to originate
+//    from the NAT itself.
+//  * External -> internal: look up the reverse mapping; rewrite the
+//    destination back to the internal host, or drop if no mapping exists.
+//
+// The translation tables are offloaded to the switch; the port-allocation
+// counter becomes a P4 register whose current value travels to the server
+// in the shim header when a new mapping must be installed (paper 6.2).
+class MazuNAT {
+  // internal (saddr, sport) -> externally visible port
+  // @gallium: max_entries=65536
+  HashMap<Tuple<uint32_t, uint16_t>, uint16_t> nat_out;
+  // externally visible port -> internal address
+  // @gallium: max_entries=65536
+  HashMap<uint16_t, uint32_t> rev_addr;
+  // externally visible port -> internal port
+  // @gallium: max_entries=65536
+  HashMap<uint16_t, uint16_t> rev_port;
+  // the NAT's externally visible IPv4 address
+  uint32_t external_ip;
+  // next externally visible port to hand out
+  uint32_t port_counter;
+
+  void configure() {
+    external_ip = config_u32(0, 0);
+    port_counter = config_u32(0, 1);
+  }
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    tcphdr *tcp_hdr = pkt->transport_header();
+    uint8_t direction = pkt->ingress_port();
+    uint32_t src_ip = ip_hdr->saddr;
+    uint16_t src_port = tcp_hdr->sport;
+    uint16_t dst_port = tcp_hdr->dport;
+
+    if (direction == 1) {
+      // Internal -> external.
+      uint16_t *mapped = nat_out.find(&src_ip, &src_port);
+      if (mapped != NULL) {
+        ip_hdr->saddr = external_ip;
+        tcp_hdr->sport = *mapped;
+        pkt->send();
+      } else {
+        // Allocate a fresh external port (fetch-and-add on the counter).
+        uint32_t ticket = port_counter;
+        port_counter += 1;
+        uint16_t new_port = (uint16_t)(ticket & 0xFFFF);
+        nat_out.insert(&src_ip, &src_port, &new_port);
+        rev_addr.insert(&new_port, &src_ip);
+        rev_port.insert(&new_port, &src_port);
+        ip_hdr->saddr = external_ip;
+        tcp_hdr->sport = new_port;
+        pkt->send();
+      }
+    } else {
+      // External -> internal: only packets of established mappings pass.
+      uint32_t *internal_addr = rev_addr.find(&dst_port);
+      if (internal_addr == NULL) {
+        pkt->drop();
+      } else {
+        uint16_t *internal_port = rev_port.find(&dst_port);
+        ip_hdr->daddr = *internal_addr;
+        tcp_hdr->dport = *internal_port;
+        pkt->send();
+      }
+    }
+  }
+};

@@ -1,0 +1,29 @@
+// MiniLB -- the paper's running example (SIGCOMM'20, section 4).
+//
+// Consistent-hash load balancer: assigns incoming TCP connections to a
+// list of server backends by rewriting the destination IP address, and
+// remembers the assignment so packets of an existing connection keep
+// going to the same backend even when the backend list changes.
+// For simplicity MiniLB does not garbage-collect completed connections.
+class MiniLB {
+  // @gallium: max_entries=65536
+  HashMap<uint16_t, uint32_t> map;
+  Vector<uint32_t> backends;
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    uint32_t hash32 = ip_hdr->saddr ^ ip_hdr->daddr;
+    uint16_t key = (uint16_t)(hash32 & 0xFFFF);
+    uint32_t *bk_addr = map.find(&key);
+    if (bk_addr != NULL) {
+      ip_hdr->daddr = *bk_addr;
+      pkt->send();
+    } else {
+      uint32_t idx = hash32 % backends.size();
+      uint32_t bk_addr2 = backends[idx];
+      ip_hdr->daddr = bk_addr2;
+      map.insert(&key, &bk_addr2);
+      pkt->send();
+    }
+  }
+};

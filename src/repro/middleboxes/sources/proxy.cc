@@ -1,0 +1,51 @@
+// Transparent web proxy (paper section 6.1).
+//
+// Adapted from the Click paper's example: traffic whose TCP destination
+// port is in a configured list is redirected to a designated web proxy by
+// rewriting the destination address and port; everything else passes
+// through untouched.
+//
+// After compilation the port list is a switch match-action table and the
+// proxy address/port are switch registers, so every packet completes on
+// the fast path (paper 6.2: "for the firewall and the proxy, all packet
+// processing happens in the programmable switch").
+class TransparentProxy {
+  // TCP destination ports to redirect (port -> 1)
+  // @gallium: max_entries=64
+  HashMap<uint16_t, uint32_t> proxy_ports;
+  // where redirected traffic goes
+  uint32_t proxy_addr;
+  uint32_t proxy_port;
+
+  void configure() {
+    proxy_addr = config_u32(0, 0);
+    proxy_port = config_u32(0, 1);
+    uint32_t n = config_len(1);
+    uint32_t one = 1;
+    for (uint32_t i = 0; i < n; i += 1) {
+      uint16_t port = (uint16_t)config_u32(1, i);
+      proxy_ports.insert(&port, &one);
+    }
+  }
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    tcphdr *tcp_hdr = pkt->transport_header();
+    uint8_t proto = ip_hdr->protocol;
+    uint16_t dst_port = tcp_hdr->dport;
+
+    if (proto != 6) {
+      // Only TCP traffic is proxied.
+      pkt->send();
+    } else {
+      uint32_t *redirect = proxy_ports.find(&dst_port);
+      if (redirect != NULL) {
+        ip_hdr->daddr = proxy_addr;
+        tcp_hdr->dport = (uint16_t)(proxy_port & 0xFFFF);
+        pkt->send();
+      } else {
+        pkt->send();
+      }
+    }
+  }
+};

@@ -1,0 +1,118 @@
+// Trojan detector (paper section 6.1, after De Carli et al., CCS'14).
+//
+// Tracks per-endhost protocol activity and flags a host as Trojan-infected
+// when it exhibits, in order: (1) an SSH connection, (2) a download of an
+// .html page (from a web server) or a .zip/.exe file (from an FTP server),
+// and (3) IRC traffic.  The host-state and TCP-flow tables live on the
+// switch; TCP control packets (which update the tables) and HTTP/FTP
+// requests from SSH-active hosts (which need deep packet inspection) are
+// processed on the middlebox server.  Plain data packets complete on the
+// fast path (paper 6.2).
+class TrojanDetector {
+  // endhost address -> progress bitmap (1 = SSH, 2 = download, 4 = IRC)
+  // @gallium: max_entries=65536
+  HashMap<uint32_t, uint32_t> host_state;
+  // established five-tuple flows
+  // @gallium: max_entries=65536
+  HashMap<Tuple<uint32_t, uint32_t, uint16_t, uint16_t, uint8_t>, uint32_t> flows;
+
+  uint32_t classify_request(Packet *pkt) {
+    // Scan the request line for ".htm", ".zip" or ".exe"; returns 2 when a
+    // download of interest is seen.  Byte-wise scanning has no P4
+    // counterpart, so this helper always stays on the server.
+    uint32_t n = payload_len(pkt);
+    uint32_t verdict = 0;
+    if (n > 3) {
+      for (uint32_t i = 0; i + 3 < n; i += 1) {
+        uint8_t c0 = payload_byte(pkt, i);
+        uint8_t c1 = payload_byte(pkt, i + 1);
+        uint8_t c2 = payload_byte(pkt, i + 2);
+        uint8_t c3 = payload_byte(pkt, i + 3);
+        if (c0 == 46) {
+          // ".htm"
+          if (c1 == 104 && c2 == 116 && c3 == 109) {
+            verdict = 2;
+            break;
+          }
+          // ".zip"
+          if (c1 == 122 && c2 == 105 && c3 == 112) {
+            verdict = 2;
+            break;
+          }
+          // ".exe"
+          if (c1 == 101 && c2 == 120 && c3 == 101) {
+            verdict = 2;
+            break;
+          }
+        }
+      }
+    }
+    return verdict;
+  }
+
+  void update_host(uint32_t host, uint32_t bit) {
+    uint32_t *current = host_state.find(&host);
+    uint32_t value = bit;
+    if (current != NULL) {
+      value = *current | bit;
+    }
+    host_state.insert(&host, &value);
+    if (value == 7) {
+      // SSH + suspicious download + IRC: report the infected host.
+      log_event(host);
+    }
+  }
+
+  void process(Packet *pkt) {
+    iphdr *ip_hdr = pkt->network_header();
+    tcphdr *tcp_hdr = pkt->transport_header();
+    uint8_t proto = ip_hdr->protocol;
+    if (proto != 6) {
+      pkt->send();
+    } else {
+      uint32_t src_ip = ip_hdr->saddr;
+      uint32_t dst_ip = ip_hdr->daddr;
+      uint16_t src_port = tcp_hdr->sport;
+      uint16_t dst_port = tcp_hdr->dport;
+      uint8_t tcp_flags = tcp_hdr->flags;
+
+      // SYN / FIN / RST packets maintain the flow table on the server.
+      if ((tcp_flags & 0x07) != 0) {
+        if ((tcp_flags & 0x02) != 0) {
+          // SYN: record the flow and note SSH (22) / IRC (6667) activity.
+          uint32_t one = 1;
+          flows.insert(&src_ip, &dst_ip, &src_port, &dst_port, &proto, &one);
+          if (dst_port == 22) {
+            update_host(src_ip, 1);
+          }
+          if (dst_port == 6667) {
+            update_host(src_ip, 4);
+          }
+        } else {
+          flows.erase(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+        }
+        pkt->send();
+      } else {
+        // Data packet: verify the flow is established (switch lookup).
+        uint32_t *established = flows.find(&src_ip, &dst_ip, &src_port, &dst_port, &proto);
+        if (established == NULL) {
+          pkt->drop();
+        } else {
+          uint32_t *progress = host_state.find(&src_ip);
+          if (progress != NULL && (dst_port == 80 || dst_port == 21)) {
+            // HTTP/FTP request from a tracked host: inspect the payload on
+            // the server, then release the packet from there.
+            uint32_t seen = classify_request(pkt);
+            if (seen == 2) {
+              update_host(src_ip, 2);
+            }
+            pkt->send();
+          } else {
+            // Plain data packet: released directly by the switch.
+            pkt->send();
+          }
+        }
+      }
+    }
+  }
+};

@@ -1,0 +1,48 @@
+"""Network substrate: addresses, checksums, protocol headers, raw packets.
+
+This package provides the byte-level plumbing that every other layer in the
+reproduction builds on.  It deliberately mirrors the small slice of a real
+network stack that Gallium's evaluation exercises: Ethernet framing, IPv4,
+TCP and UDP headers, plus the synthesized Gallium "shim" header that carries
+temporary state between the programmable switch and the middlebox server
+(paper Figure 5).
+"""
+
+from repro.net.addresses import (
+    MacAddress,
+    Ipv4Address,
+    mac,
+    ip,
+)
+from repro.net.checksum import internet_checksum
+from repro.net.headers import (
+    EthernetHeader,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+    TcpFlags,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_GALLIUM,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+from repro.net.packet import RawPacket, PacketBuildError
+
+__all__ = [
+    "MacAddress",
+    "Ipv4Address",
+    "mac",
+    "ip",
+    "internet_checksum",
+    "EthernetHeader",
+    "Ipv4Header",
+    "TcpHeader",
+    "UdpHeader",
+    "TcpFlags",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_GALLIUM",
+    "IPPROTO_TCP",
+    "IPPROTO_UDP",
+    "RawPacket",
+    "PacketBuildError",
+]

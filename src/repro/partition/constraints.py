@@ -1,0 +1,102 @@
+"""Switch resource model (paper §4.2.2, constraints 1–5).
+
+Defaults mirror the paper's Tofino-class description (§2.2): a few tens of
+MB of table memory, 10–20 pipeline stages (we default to the conservative
+12 the paper alludes to), under ~100 bytes of per-packet scratchpad
+metadata, and a 20-byte budget for the shim header that carries temporary
+state between switch and server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class SwitchResources:
+    """Resource limits the generated P4 program must respect."""
+
+    #: Constraint 1 — total switch memory for global state, in bytes.
+    memory_bytes: int = 16 * 1024 * 1024
+    #: Constraint 2 — match-action pipeline depth (longest dependency
+    #: chain).  §2.2 puts physical stage counts "around 10 to 20"; every
+    #: chain step in our metric is a stage-consuming op, so we default to
+    #: the upper end.
+    pipeline_depth: int = 20
+    #: Constraint 4 — per-packet scratchpad metadata, in bytes.
+    metadata_bytes: int = 96
+    #: Constraint 5 — per-direction shim-header budget, in bytes.
+    transfer_bytes: int = 20
+    #: Default table size assumed for offloaded maps with no annotation
+    #: (None = an unannotated map cannot be placed on the switch).
+    default_map_entries: Optional[int] = None
+    #: Default table size for offloaded read-only vectors.
+    default_vector_entries: int = 1024
+
+    @classmethod
+    def tofino_like(cls) -> "SwitchResources":
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "SwitchResources":
+        """A deliberately starved switch, used by constraint-pressure tests."""
+        return cls(
+            memory_bytes=4096,
+            pipeline_depth=6,
+            metadata_bytes=16,
+            transfer_bytes=8,
+        )
+
+
+@dataclass
+class ConstraintReport:
+    """Measured resource usage of a candidate partitioning."""
+
+    memory_bytes: int = 0
+    pipeline_depth_pre: int = 0
+    pipeline_depth_post: int = 0
+    metadata_bytes_pre: int = 0
+    metadata_bytes_post: int = 0
+    transfer_bytes_to_server: int = 0
+    transfer_bytes_to_switch: int = 0
+    #: state name -> number of offloaded access sites (constraint 3)
+    state_access_sites: Dict[str, int] = field(default_factory=dict)
+
+    def violations(self, limits: SwitchResources) -> List[str]:
+        problems: List[str] = []
+        if self.memory_bytes > limits.memory_bytes:
+            problems.append(
+                f"constraint 1: switch memory {self.memory_bytes} >"
+                f" {limits.memory_bytes}"
+            )
+        depth = max(self.pipeline_depth_pre, self.pipeline_depth_post)
+        if depth > limits.pipeline_depth:
+            problems.append(
+                f"constraint 2: dependency chain {depth} >"
+                f" pipeline depth {limits.pipeline_depth}"
+            )
+        for state, sites in self.state_access_sites.items():
+            if sites > 1:
+                problems.append(
+                    f"constraint 3: state {state!r} has {sites} offloaded"
+                    " access sites"
+                )
+        metadata = max(self.metadata_bytes_pre, self.metadata_bytes_post)
+        if metadata > limits.metadata_bytes:
+            problems.append(
+                f"constraint 4: per-packet metadata {metadata} bytes >"
+                f" {limits.metadata_bytes}"
+            )
+        transfer = max(
+            self.transfer_bytes_to_server, self.transfer_bytes_to_switch
+        )
+        if transfer > limits.transfer_bytes:
+            problems.append(
+                f"constraint 5: shim transfer {transfer} bytes >"
+                f" {limits.transfer_bytes}"
+            )
+        return problems
+
+    def satisfied(self, limits: SwitchResources) -> bool:
+        return not self.violations(limits)

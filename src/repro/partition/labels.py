@@ -1,0 +1,166 @@
+"""The label-removing algorithm (paper §4.2.1).
+
+Each instruction starts with the label set ``{pre, post, non_off}`` if P4
+can express it, else ``{non_off}``.  Rules are applied to a fixpoint:
+
+1. ``S' ⇝* S  ∧  post ∉ L(S)   ⟹  post ∉ L(S')``
+2. ``S' ⇝* S  ∧  pre ∉ L(S')   ⟹  pre ∉ L(S)``
+3. ``S' ⇝* S  ∧  same global state  ∧  pre ∈ L(S')   ⟹  pre ∉ L(S)``
+4. ``S' ⇝* S  ∧  same global state  ∧  post ∈ L(S)   ⟹  post ∉ L(S')``
+5. ``S ⇝* S  ⟹  L(S) = {non_off}`` (loops never offload)
+
+where ``S' ⇝* S`` means S transitively depends on S'.  The algorithm
+terminates because the total number of labels decreases monotonically.
+
+Partition assignment from the final label sets: ``pre ∈ L`` → PRE;
+else ``post ∈ L`` → POST; else NON_OFF.  (This is the maximal-offload
+reading of the paper's assignment rule and reproduces Figure 4.)
+
+*Pins* let later passes force instructions into the non-offloaded
+partition (resource-constraint refinement re-runs the rules after each
+pin, as §4.2.2 prescribes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.analysis.depgraph import DependencyGraph
+from repro.ir.instructions import Instruction
+
+
+class Label(enum.Enum):
+    PRE = "pre"
+    POST = "post"
+    NON_OFF = "non_off"
+
+
+class Partition(enum.Enum):
+    """Final partition assignment; ordered by execution phase."""
+
+    PRE = 0
+    NON_OFF = 1
+    POST = 2
+
+
+ALL_LABELS = frozenset({Label.PRE, Label.POST, Label.NON_OFF})
+NON_OFF_ONLY = frozenset({Label.NON_OFF})
+
+
+@dataclass
+class LabelAssignment:
+    """Result of the label-removing fixpoint."""
+
+    labels: Dict[int, Set[Label]]
+    graph: DependencyGraph
+
+    def partition_of(self, inst: Instruction) -> Partition:
+        label_set = self.labels[inst.id]
+        if Label.PRE in label_set:
+            return Partition.PRE
+        if Label.POST in label_set:
+            return Partition.POST
+        return Partition.NON_OFF
+
+    def assignment(self) -> Dict[int, Partition]:
+        return {
+            inst.id: self.partition_of(inst) for inst in self.graph.instructions
+        }
+
+    def offloaded_count(self) -> int:
+        """Number of instructions assigned to the switch."""
+        return sum(
+            1
+            for inst in self.graph.instructions
+            if self.partition_of(inst) is not Partition.NON_OFF
+        )
+
+
+def initial_labels(
+    graph: DependencyGraph,
+    removed: Optional[Dict[int, Set[Label]]] = None,
+) -> Dict[int, Set[Label]]:
+    """Initial label sets, minus any labels pinned away by ``removed``.
+
+    The resource-refinement passes of §4.2.2 express "move this statement
+    to the non-offloaded partition" as removing its pre/post labels up
+    front and re-running the rules.
+    """
+    labels: Dict[int, Set[Label]] = {}
+    removed = removed or {}
+    for inst in graph.instructions:
+        if inst.p4_supported():
+            label_set = set(ALL_LABELS)
+        else:
+            label_set = set(NON_OFF_ONLY)
+        label_set -= removed.get(inst.id, set())
+        label_set.add(Label.NON_OFF)  # every statement can run on the server
+        labels[inst.id] = label_set
+    return labels
+
+
+def run_label_removal(
+    graph: DependencyGraph,
+    removed: Optional[Dict[int, Set[Label]]] = None,
+) -> LabelAssignment:
+    """Apply rules 1–5 to a fixpoint and return the final label sets."""
+    labels = initial_labels(graph, removed)
+    instructions = graph.instructions
+
+    # Rule 5 first: any instruction that transitively depends on itself (or
+    # sits on a CFG cycle) can only be non-offloaded.
+    for inst in instructions:
+        if graph.self_dependent(inst) or graph.reachability.in_cycle(inst):
+            labels[inst.id] = set(NON_OFF_ONLY)
+
+    shares_global = _shared_global_matrix(graph)
+
+    changed = True
+    while changed:
+        changed = False
+        for src_id, dst_ids in graph.closure.items():
+            src_labels = labels[src_id]
+            for dst_id in dst_ids:
+                if dst_id == src_id:
+                    continue
+                dst_labels = labels[dst_id]
+                # Rule 1: downstream lost post -> upstream loses post.
+                if Label.POST not in dst_labels and Label.POST in src_labels:
+                    src_labels.discard(Label.POST)
+                    changed = True
+                # Rule 2: upstream lost pre -> downstream loses pre.
+                if Label.PRE not in src_labels and Label.PRE in dst_labels:
+                    dst_labels.discard(Label.PRE)
+                    changed = True
+                if (src_id, dst_id) in shares_global:
+                    # Rule 3: upstream access offloadable as pre -> the
+                    # downstream access to the same state cannot be pre.
+                    if Label.PRE in src_labels and Label.PRE in dst_labels:
+                        dst_labels.discard(Label.PRE)
+                        changed = True
+                    # Rule 4: downstream access may be post -> the upstream
+                    # access cannot be post.
+                    if Label.POST in dst_labels and Label.POST in src_labels:
+                        src_labels.discard(Label.POST)
+                        changed = True
+    return LabelAssignment(labels=labels, graph=graph)
+
+
+def _shared_global_matrix(graph: DependencyGraph) -> Set[tuple]:
+    """Pairs (src_id, dst_id) in the closure that access a common global."""
+    accesses = {
+        inst.id: inst.global_state_accesses() for inst in graph.instructions
+    }
+    shared: Set[tuple] = set()
+    for src_id, dst_ids in graph.closure.items():
+        src_access = accesses.get(src_id)
+        if not src_access:
+            continue
+        for dst_id in dst_ids:
+            if dst_id == src_id:
+                continue
+            if src_access & accesses.get(dst_id, set()):
+                shared.add((src_id, dst_id))
+    return shared

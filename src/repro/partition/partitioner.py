@@ -1,0 +1,571 @@
+"""The partitioning driver (paper §4.2.2).
+
+Order of operations follows the paper:
+
+1. run the label-removing algorithm (expressiveness + dependencies only),
+2. constraint 2 — prune pre/post labels past the pipeline-depth distance,
+3. constraint 1 — evict switch state (in reverse/forward program order)
+   until the table memory fits,
+4. constraint 3 — exhaustive per-state placement search keeping at most
+   one offloaded access site per global state,
+5. constraints 4 & 5 — greedily move boundary statements to the server
+   until the scratchpad and shim budgets fit,
+6. project the three partition CFGs, compute transfer sets and state
+   placements, and return the :class:`PartitionPlan`.
+
+Every refinement step re-runs the label rules, as the paper prescribes
+("Each time a statement is moved, Gallium runs the label-removing algorithm
+to ensure that the dependency constraints are met").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.depgraph import DependencyGraph, build_dependency_graph
+from repro.analysis.distance import dependency_distances
+from repro.analysis.liveness import peak_live_bytes, transfer_variables
+from repro.ir import instructions as irin
+from repro.ir.function import Function
+from repro.ir.lowering import LoweredMiddlebox, StateMember
+from repro.partition.constraints import ConstraintReport, SwitchResources
+from repro.partition.labels import (
+    Label,
+    LabelAssignment,
+    Partition,
+    run_label_removal,
+)
+from repro.partition.plan import (
+    PartitionPlan,
+    PlacementKind,
+    StatePlacement,
+    TransferSpec,
+)
+from repro.partition.projection import NEEDS_SERVER, project_partition
+
+
+class PartitionError(Exception):
+    """Raised when no feasible partitioning exists (should not happen:
+    all-server is always feasible; this signals an internal bug or an
+    unannotated structure the caller must fix)."""
+
+
+_OFFLOAD_LABELS = {Label.PRE, Label.POST}
+_MAX_ENUM_SITES = 8
+
+
+def partition_middlebox(
+    lowered: LoweredMiddlebox,
+    limits: Optional[SwitchResources] = None,
+) -> PartitionPlan:
+    limits = limits or SwitchResources.tofino_like()
+    graph = build_dependency_graph(lowered.process)
+    removed: Dict[int, Set[Label]] = {}
+
+    assignment = run_label_removal(graph, removed)
+
+    # -- constraint 2: pipeline depth ------------------------------------
+    from_entry, to_exit = dependency_distances(graph)
+    depth = limits.pipeline_depth
+    changed = False
+    for inst in graph.instructions:
+        if from_entry[inst.id] > depth:
+            removed.setdefault(inst.id, set()).add(Label.PRE)
+            changed = True
+        if to_exit[inst.id] > depth:
+            removed.setdefault(inst.id, set()).add(Label.POST)
+            changed = True
+    if changed:
+        assignment = run_label_removal(graph, removed)
+
+    # -- constraint 1: switch memory ---------------------------------------
+    assignment = _enforce_memory(lowered, graph, removed, assignment, limits)
+
+    # -- constraint 3: one offloaded access site per global state -----------
+    assignment = _enforce_single_access(lowered, graph, removed, assignment)
+
+    # -- constraints 4 & 5: metadata + shim budgets -------------------------
+    assignment, projections, transfers = _enforce_budgets(
+        lowered, graph, removed, assignment, limits, from_entry, to_exit
+    )
+
+    pre_projection, non_off_projection, post_projection = projections
+    to_server, to_switch = transfers
+    placements = _derive_placements(lowered, graph, assignment, limits)
+    report = _measure(
+        lowered, graph, assignment, placements,
+        pre_projection, post_projection, to_server, to_switch,
+    )
+    violations = report.violations(limits)
+    if violations:
+        raise PartitionError(
+            f"{lowered.name}: partitioning left violations: {violations}"
+        )
+    return PartitionPlan(
+        middlebox=lowered,
+        limits=limits,
+        assignment=assignment.assignment(),
+        pre=pre_projection.function,
+        non_offloaded=non_off_projection.function,
+        post=post_projection.function,
+        to_server=to_server,
+        to_switch=to_switch,
+        placements=placements,
+        report=report,
+        needs_server_reg=NEEDS_SERVER,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constraint 1 — switch memory
+# ---------------------------------------------------------------------------
+
+
+def _state_entries(member: StateMember, limits: SwitchResources) -> Optional[int]:
+    """Capacity for switch accounting; None = cannot be placed on switch."""
+    if member.kind == "map":
+        if member.max_entries is not None:
+            return member.max_entries
+        return limits.default_map_entries
+    if member.kind == "vector":
+        if member.max_entries is not None:
+            return member.max_entries
+        return limits.default_vector_entries
+    return 1
+
+
+def _switch_states(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    assignment: LabelAssignment,
+) -> Dict[str, List[irin.Instruction]]:
+    """Global states with at least one offloaded access site."""
+    out: Dict[str, List[irin.Instruction]] = {}
+    for inst in graph.instructions:
+        if assignment.partition_of(inst) is Partition.NON_OFF:
+            continue
+        for loc in inst.global_state_accesses():
+            if loc.name in lowered.state:
+                out.setdefault(loc.name, []).append(inst)
+    return out
+
+
+def _memory_usage(
+    lowered: LoweredMiddlebox,
+    states: Dict[str, List[irin.Instruction]],
+    limits: SwitchResources,
+) -> int:
+    total = 0
+    for name in states:
+        member = lowered.state[name]
+        entries = _state_entries(member, limits)
+        if entries is None:
+            continue  # handled by the annotation pinning pass
+        total += entries * member.byte_cost_per_entry()
+    return total
+
+
+def _enforce_memory(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    removed: Dict[int, Set[Label]],
+    assignment: LabelAssignment,
+    limits: SwitchResources,
+) -> LabelAssignment:
+    # First pin away accesses to maps that carry no size annotation: the
+    # paper requires the developer annotation before a map can be offloaded.
+    changed = False
+    for inst in graph.instructions:
+        for loc in inst.global_state_accesses():
+            member = lowered.state.get(loc.name)
+            if member is None:
+                continue
+            if _state_entries(member, limits) is None:
+                if removed.setdefault(inst.id, set()) >= _OFFLOAD_LABELS:
+                    continue
+                removed[inst.id] |= _OFFLOAD_LABELS
+                changed = True
+    if changed:
+        assignment = run_label_removal(graph, removed)
+
+    # Evict state until memory fits: remove "pre" labels in reverse program
+    # order and "post" labels in program order (paper §4.2.2).
+    program_order = list(lowered.process.instructions())
+    while True:
+        states = _switch_states(lowered, graph, assignment)
+        if _memory_usage(lowered, states, limits) <= limits.memory_bytes:
+            return assignment
+        evicted = False
+        for inst in reversed(program_order):
+            if (
+                assignment.partition_of(inst) is Partition.PRE
+                and inst.global_state_accesses()
+            ):
+                removed.setdefault(inst.id, set()).add(Label.PRE)
+                evicted = True
+                break
+        if not evicted:
+            for inst in program_order:
+                if (
+                    assignment.partition_of(inst) is Partition.POST
+                    and inst.global_state_accesses()
+                ):
+                    removed.setdefault(inst.id, set()).add(Label.POST)
+                    evicted = True
+                    break
+        if not evicted:
+            return assignment  # nothing left on the switch
+        assignment = run_label_removal(graph, removed)
+
+
+# ---------------------------------------------------------------------------
+# Constraint 3 — single offloaded access site per state
+# ---------------------------------------------------------------------------
+
+
+def _enforce_single_access(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    removed: Dict[int, Set[Label]],
+    assignment: LabelAssignment,
+) -> LabelAssignment:
+    while True:
+        conflict = _find_multi_access_state(lowered, graph, assignment)
+        if conflict is None:
+            return assignment
+        state_name, sites = conflict
+        if len(sites) > _MAX_ENUM_SITES:
+            # Far too many sites to enumerate: keep the first site only.
+            keep_options = [sites[0]]
+        else:
+            keep_options = sites
+        best_choice = None
+        best_count = -1
+        for keep in keep_options:
+            trial_removed = {k: set(v) for k, v in removed.items()}
+            for site in sites:
+                if site.id != keep.id:
+                    trial_removed.setdefault(site.id, set()).update(
+                        _OFFLOAD_LABELS
+                    )
+            trial = run_label_removal(graph, trial_removed)
+            count = _placement_score(graph, trial)
+            if count > best_count:
+                best_count = count
+                best_choice = keep
+        for site in sites:
+            if site.id != best_choice.id:
+                removed.setdefault(site.id, set()).update(_OFFLOAD_LABELS)
+        assignment = run_label_removal(graph, removed)
+
+
+def _placement_score(graph: DependencyGraph, trial: LabelAssignment) -> int:
+    """Objective for the constraint-3 placement search.
+
+    The paper maximizes the number of offloaded statements and notes (§7)
+    that this pure count can pick sub-optimal placements because it values
+    an integer addition as much as a table lookup.  We keep the statement
+    count but weight offloaded *verdicts* heavily: a verdict on the switch
+    is what creates a fast path (packets complete without the server), and
+    that dominates any constant number of offloaded ALU ops.
+    """
+    score = 0
+    for inst in graph.instructions:
+        partition = trial.partition_of(inst)
+        if partition is Partition.NON_OFF:
+            continue
+        # A verdict in the PRE partition completes packets on the switch
+        # without any server involvement — that is the fast path itself.
+        if inst.is_verdict and partition is Partition.PRE:
+            score += 10
+        else:
+            score += 1
+    return score
+
+
+def _find_multi_access_state(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    assignment: LabelAssignment,
+) -> Optional[Tuple[str, List[irin.Instruction]]]:
+    """Find a state whose offloaded access sites violate constraint 3.
+
+    *Registers* (scalar globals) may be read on mutually exclusive control
+    paths — e.g. a NAT reading its external-IP register on both the hit and
+    the miss arm — because a register extern can appear in several exclusive
+    branches; only co-reachable register accesses collide.  *Tables*
+    (maps/vectors) follow the paper strictly: a match-action table can be
+    applied only once in the pipeline, so at most one access site may stay
+    on the switch regardless of path exclusivity.
+    """
+    info = graph.reachability
+    states = _switch_states(lowered, graph, assignment)
+    for name in sorted(states):
+        sites = states[name]
+        if len(sites) < 2:
+            continue
+        member = lowered.state.get(name)
+        if member is not None and member.kind != "scalar":
+            return name, sites
+        for i, first in enumerate(sites):
+            for second in sites[i + 1 :]:
+                if info.can_happen_after(first, second) or info.can_happen_after(
+                    second, first
+                ):
+                    return name, [first, second]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Constraints 4 & 5 — scratchpad metadata and shim transfer budgets
+# ---------------------------------------------------------------------------
+
+
+def _build_projections(lowered: LoweredMiddlebox, graph, assignment):
+    postdoms = graph.reachability.postdominators
+    mapping = assignment.assignment()
+    pre = project_partition(
+        lowered.process, mapping, Partition.PRE, postdoms
+    )
+    non_off = project_partition(
+        lowered.process, mapping, Partition.NON_OFF, postdoms
+    )
+    post = project_partition(
+        lowered.process, mapping, Partition.POST, postdoms
+    )
+    return pre, non_off, post
+
+
+def _build_transfers(pre, non_off, post) -> Tuple[TransferSpec, TransferSpec]:
+    """Shim contents from the projections' unsatisfied uses.
+
+    A projection's *undefined uses* are exactly the values it needs from
+    earlier partitions (local rematerialization already removed everything
+    the partition can recompute itself).  A value the post partition needs
+    but the server partition does not still flows through the server, so it
+    appears in both shims.
+    """
+    from repro.ir.validate import unsatisfied_uses
+
+    pre_defs = _definitions(pre.function)
+    non_off_defs = _definitions(non_off.function)
+    non_off_needs = unsatisfied_uses(non_off.function)
+    post_needs = unsatisfied_uses(post.function)
+    to_server_regs: Dict[str, object] = {}
+    for name, reg in non_off_needs.items():
+        if name in pre_defs:
+            to_server_regs[name] = reg
+    for name, reg in post_needs.items():
+        if name in pre_defs and name not in non_off_defs:
+            to_server_regs[name] = reg
+    to_switch_regs = {
+        name: reg
+        for name, reg in post_needs.items()
+        if name in pre_defs or name in non_off_defs
+    }
+    to_server = TransferSpec(
+        [to_server_regs[name] for name in sorted(to_server_regs)]
+    )
+    to_switch = TransferSpec(
+        [to_switch_regs[name] for name in sorted(to_switch_regs)]
+    )
+    return to_server, to_switch
+
+
+def _definitions(function) -> Dict[str, object]:
+    defs: Dict[str, object] = {}
+    for inst in function.instructions():
+        result = inst.result()
+        if result is not None:
+            defs[result.name] = result
+        found = getattr(inst, "found", None)
+        if found is not None and hasattr(found, "name"):
+            defs[found.name] = found
+    return defs
+
+
+
+
+def _enforce_budgets(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    removed: Dict[int, Set[Label]],
+    assignment: LabelAssignment,
+    limits: SwitchResources,
+    from_entry: Dict[int, int],
+    to_exit: Dict[int, int],
+):
+    """Greedy boundary movement (paper's single linear scan, generalized).
+
+    While a budget is violated, move the offloaded instruction nearest the
+    violated boundary (deepest dependency distance) to the server and
+    re-run the label rules.  Terminates: each move strictly shrinks the
+    offloaded set, and the all-server partitioning satisfies everything.
+    """
+    while True:
+        pre, non_off, post = _build_projections(lowered, graph, assignment)
+        to_server, to_switch = _build_transfers(pre, non_off, post)
+        meta_pre = peak_live_bytes(pre.function)
+        meta_post = peak_live_bytes(post.function)
+        over_pre = (
+            to_server.byte_size() > limits.transfer_bytes
+            or meta_pre > limits.metadata_bytes
+        )
+        over_post = (
+            to_switch.byte_size() > limits.transfer_bytes
+            or meta_post > limits.metadata_bytes
+        )
+        if not over_pre and not over_post:
+            return assignment, (pre, non_off, post), (to_server, to_switch)
+        moved = False
+        if over_pre:
+            candidate = _deepest(
+                graph, assignment, Partition.PRE, from_entry
+            )
+            if candidate is not None:
+                removed.setdefault(candidate.id, set()).add(Label.PRE)
+                moved = True
+        if over_post and not moved:
+            candidate = _deepest(
+                graph, assignment, Partition.POST, to_exit
+            )
+            if candidate is not None:
+                removed.setdefault(candidate.id, set()).add(Label.POST)
+                moved = True
+        if not moved:
+            # Nothing left to move yet a budget is still violated — the
+            # projections are effectively empty, so this cannot happen
+            # unless the limits are inconsistent.
+            raise PartitionError(
+                f"{lowered.name}: cannot satisfy metadata/transfer budgets"
+            )
+        assignment = run_label_removal(graph, removed)
+
+
+def _deepest(
+    graph: DependencyGraph,
+    assignment: LabelAssignment,
+    partition: Partition,
+    distance: Dict[int, int],
+) -> Optional[irin.Instruction]:
+    """The offloaded instruction farthest along the dependency order
+    (closest to the partition boundary).
+
+    Prefers compute/state instructions (moving control flow alone rarely
+    frees budget), but falls back to branches and verdicts when nothing
+    else is left — the all-server partition trivially satisfies every
+    budget, so the refinement loop must always be able to make progress.
+    """
+    best = None
+    best_distance = -1
+    fallback = None
+    fallback_distance = -1
+    for inst in graph.instructions:
+        if assignment.partition_of(inst) is not partition:
+            continue
+        if isinstance(inst, (irin.Jump, irin.Return)):
+            continue
+        inst_distance = distance.get(inst.id, 0)
+        if inst.is_verdict or isinstance(inst, irin.Branch):
+            if inst_distance > fallback_distance:
+                fallback_distance = inst_distance
+                fallback = inst
+            continue
+        if inst_distance > best_distance:
+            best_distance = inst_distance
+            best = inst
+    return best if best is not None else fallback
+
+
+# ---------------------------------------------------------------------------
+# Placement + measurement
+# ---------------------------------------------------------------------------
+
+
+def _derive_placements(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    assignment: LabelAssignment,
+    limits: SwitchResources,
+) -> Dict[str, StatePlacement]:
+    placements: Dict[str, StatePlacement] = {}
+    switch_states = _switch_states(lowered, graph, assignment)
+    server_writers: Dict[str, bool] = {}
+    for inst in graph.instructions:
+        if assignment.partition_of(inst) is Partition.NON_OFF:
+            for loc in inst.writes():
+                if loc.is_global and loc.name in lowered.state:
+                    server_writers[loc.name] = True
+    for name, member in lowered.state.items():
+        on_switch = name in switch_states
+        written_on_server = server_writers.get(name, False)
+        if not on_switch:
+            placements[name] = StatePlacement(member, PlacementKind.SERVER_ONLY)
+            continue
+        entries = _state_entries(member, limits) or 0
+        memory = entries * member.byte_cost_per_entry()
+        if member.kind == "scalar":
+            kind = (
+                PlacementKind.REPLICATED_REGISTER
+                if written_on_server
+                else PlacementKind.SWITCH_REGISTER
+            )
+        else:
+            kind = (
+                PlacementKind.REPLICATED_TABLE
+                if written_on_server
+                else PlacementKind.SWITCH_TABLE
+            )
+        placements[name] = StatePlacement(member, kind, entries, memory)
+    return placements
+
+
+def _measure(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    assignment: LabelAssignment,
+    placements: Dict[str, StatePlacement],
+    pre, post, to_server: TransferSpec, to_switch: TransferSpec,
+) -> ConstraintReport:
+    from_entry, to_exit = dependency_distances(graph)
+    depth_pre = 0
+    depth_post = 0
+    site_insts: Dict[str, List[irin.Instruction]] = {}
+    for inst in graph.instructions:
+        partition = assignment.partition_of(inst)
+        if partition is Partition.PRE:
+            depth_pre = max(depth_pre, from_entry[inst.id])
+        elif partition is Partition.POST:
+            depth_post = max(depth_post, to_exit[inst.id])
+        if partition is not Partition.NON_OFF:
+            for loc in inst.global_state_accesses():
+                if loc.name in lowered.state:
+                    site_insts.setdefault(loc.name, []).append(inst)
+    # Register reads on mutually exclusive paths share a stage; table
+    # applications never do (Tofino applies a table at most once).
+    info = graph.reachability
+    sites: Dict[str, int] = {}
+    for name, insts in site_insts.items():
+        member = lowered.state.get(name)
+        if member is not None and member.kind != "scalar":
+            sites[name] = len(insts)
+            continue
+        conflict = 1
+        for i, first in enumerate(insts):
+            for second in insts[i + 1 :]:
+                if info.can_happen_after(first, second) or info.can_happen_after(
+                    second, first
+                ):
+                    conflict = max(conflict, 2)
+        sites[name] = conflict
+    return ConstraintReport(
+        memory_bytes=sum(p.memory_bytes for p in placements.values()),
+        pipeline_depth_pre=depth_pre,
+        pipeline_depth_post=depth_post,
+        metadata_bytes_pre=peak_live_bytes(pre.function),
+        metadata_bytes_post=peak_live_bytes(post.function),
+        transfer_bytes_to_server=to_server.byte_size(),
+        transfer_bytes_to_switch=to_switch.byte_size(),
+        state_access_sites=sites,
+    )

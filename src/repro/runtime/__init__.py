@@ -1,0 +1,25 @@
+"""Deployed middlebox runtimes.
+
+* :class:`~repro.runtime.server.ServerRuntime` — the non-offloaded C++/DPDK
+  program's stand-in: interprets the non-offloaded partition, journals
+  state mutations, and emits the return shim,
+* :class:`~repro.runtime.deployment.GalliumMiddlebox` — the switch+server
+  pair: fast path on the switch, punted packets through the server, state
+  synchronization with output commit (§4.3.3),
+* :class:`~repro.runtime.baseline.FastClickRuntime` — the unpartitioned
+  baseline the paper compares against.
+"""
+
+from repro.runtime.server import ServerRuntime, ServerResult
+from repro.runtime.deployment import GalliumMiddlebox, PacketJourney, compile_middlebox
+from repro.runtime.baseline import FastClickRuntime, BaselineResult
+
+__all__ = [
+    "ServerRuntime",
+    "ServerResult",
+    "GalliumMiddlebox",
+    "PacketJourney",
+    "compile_middlebox",
+    "FastClickRuntime",
+    "BaselineResult",
+]

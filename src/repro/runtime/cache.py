@@ -1,0 +1,251 @@
+"""Table caching: the paper's §7 "Reducing memory usage" extension.
+
+*"One optimization to reduce memory usage of programmable switches is to
+let the programmable switch store only a fraction of any table ... For any
+packet that the programmable switch does not know how to handle, the
+middlebox server handles it instead. ... We leave it to future work."*
+
+This module implements that future work for the reproduction:
+
+* each replicated table on the switch holds at most ``cache_entries``
+  entries, managed FIFO ("cache" in the paper's sense),
+* a packet whose lookup misses the cache is punted **as received** — the
+  switch clones the pristine packet before the pre pipeline runs
+  (bmv2/Tofino clone primitives make this realistic), so the server can
+  simply run the *complete* middlebox program on it,
+* the server's read log (which authoritative entries the full run
+  consulted) drives cache refill, and its write journal keeps the cache
+  coherent (updates/deletes of cached keys go through the normal atomic
+  write-back path).
+
+Correctness does not depend on the cache contents: a cache hit executes
+exactly the pre/post partitions (already proven equivalent), and a cache
+miss executes the original program on the original packet.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.externs import ExternHost
+from repro.ir.interp import Interpreter, PacketView, StateStore
+from repro.net.packet import RawPacket
+from repro.partition.plan import PartitionPlan, PlacementKind
+from repro.runtime.deployment import GalliumMiddlebox, PacketJourney
+from repro.switchsim.control_plane import StateUpdate
+from repro.switchsim.program import SwitchProgram
+
+
+class CacheConfigurationError(ValueError):
+    """Raised when a middlebox cannot run in cache mode."""
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    refills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedGalliumMiddlebox(GalliumMiddlebox):
+    """A Gallium deployment whose switch tables are bounded caches.
+
+    ``cache_entries`` bounds every *replicated* table on the switch (plain
+    switch tables installed at configure time keep their full size: the
+    paper's cache idea targets the connection-style tables that grow with
+    traffic).
+    """
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        program: SwitchProgram,
+        cache_entries: int = 1024,
+        **kwargs,
+    ):
+        super().__init__(plan, program, **kwargs)
+        self.cache_entries = cache_entries
+        self.cached_tables = [
+            name
+            for name, placement in plan.placements.items()
+            if placement.kind is PlacementKind.REPLICATED_TABLE
+        ]
+        if not self.cached_tables:
+            raise CacheConfigurationError(
+                f"{plan.middlebox.name}: no replicated tables to cache"
+            )
+        # Cache mode reruns the full program on punted packets, so the pre
+        # pipeline must not mutate cross-packet state (a register RMW would
+        # execute twice).
+        from repro.ir import instructions as irin
+
+        for inst in plan.pre.instructions():
+            if isinstance(inst, irin.RegisterRMW):
+                raise CacheConfigurationError(
+                    f"{plan.middlebox.name}: pre partition mutates register"
+                    f" {inst.state!r}; cache mode requires a read-only pre"
+                    " pipeline"
+                )
+        #: FIFO insertion order per cached table (the eviction policy).
+        self._fifo: Dict[str, OrderedDict] = {
+            name: OrderedDict() for name in self.cached_tables
+        }
+        self.stats = CacheStats()
+        self.state.track_reads = True
+
+    # -- deployment ---------------------------------------------------------
+
+    def sync_all_state(self) -> None:
+        """Bulk install, honouring the cache bound on replicated tables."""
+        super().sync_all_state()
+        for name in self.cached_tables:
+            entries = list(self.state.maps[name].items())[-self.cache_entries:]
+            table = self.switch.tables[name]
+            # Rebuild the bounded view.
+            table._main.clear()
+            self._fifo[name].clear()
+            for keys, value in entries:
+                table._main[keys] = value
+                self._fifo[name][keys] = True
+
+    # -- the packet path ------------------------------------------------------
+
+    def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
+        self.packets_processed += 1
+        pristine = packet.copy()  # the switch's clone, taken at ingress
+        first = self.switch.receive(packet, ingress_port)
+        if not first.punted:
+            self.stats.hits += 1
+            return PacketJourney(
+                verdict="drop" if first.dropped else "send",
+                emitted=first.emitted,
+                fast_path=True,
+                pre_instructions=first.pipeline_instructions,
+            )
+        self.stats.misses += 1
+        # Cache miss (or genuine slow path): the server runs the complete
+        # middlebox program on the pristine clone.
+        self.state.drain_journal()
+        self.state.read_log.clear()
+        pristine.ingress_port = ingress_port
+        view = PacketView(pristine)
+        result = Interpreter(
+            self.plan.middlebox.process, self.state, self.externs
+        ).run(view)
+        updates = self._updates_and_refills()
+        sync_wait = 0.0
+        sync_tables = 0
+        if updates:
+            batch = self.switch.control_plane.apply_batch(updates)
+            sync_wait = batch.visibility_latency_us
+            sync_tables = batch.tables_touched
+        self._enforce_cache_bounds()
+        verdict = result.verdict or "drop"
+        # The caller's packet handle reflects the full run's rewrites.
+        packet.adopt(pristine)
+        emitted: List[Tuple[int, RawPacket]] = []
+        if verdict == "send":
+            port = result.egress_port or self.switch.port_pairs.get(
+                ingress_port, ingress_port
+            )
+            emitted = [(port, packet)]
+        return PacketJourney(
+            verdict=verdict,
+            emitted=emitted,
+            fast_path=False,
+            punted=True,
+            pre_instructions=first.pipeline_instructions,
+            server_instructions=result.instructions_executed,
+            sync_wait_us=sync_wait,
+            sync_tables=sync_tables,
+        )
+
+    # -- cache maintenance -------------------------------------------------------
+
+    def _updates_and_refills(self) -> List[StateUpdate]:
+        """Writes replicate as usual; successful reads refill the cache."""
+        updates: List[StateUpdate] = []
+        erased: set = set()
+        for op, member, keys, value in self.state.drain_journal():
+            if member not in self.plan.placements:
+                continue
+            placement = self.plan.placements[member]
+            if not placement.replicated:
+                continue
+            if placement.member.kind == "scalar":
+                updates.append(StateUpdate("register", member, (), value))
+            elif op == "insert":
+                updates.append(StateUpdate("insert", member, keys, value))
+                self._note_insert(member, keys)
+                erased.discard((member, keys))
+            elif op == "erase":
+                updates.append(StateUpdate("delete", member, keys, None))
+                self._fifo.get(member, OrderedDict()).pop(keys, None)
+                erased.add((member, keys))
+        for name, keys, found, value in self.state.read_log:
+            if not found or name not in self._fifo:
+                continue
+            if (name, keys) in erased:
+                # The run read the entry and then deleted it (e.g. a FIN
+                # steering lookup before teardown): refilling would leave a
+                # stale cache entry with no authoritative backing.
+                continue
+            if keys not in self._fifo[name]:
+                updates.append(StateUpdate("insert", name, keys, value))
+                self._note_insert(name, keys)
+                self.stats.refills += 1
+        self.state.read_log.clear()
+        return updates
+
+    def _note_insert(self, table: str, keys: tuple) -> None:
+        fifo = self._fifo[table]
+        fifo.pop(keys, None)
+        fifo[keys] = True
+
+    def _enforce_cache_bounds(self) -> None:
+        """Evict oldest entries beyond the cache size (control plane)."""
+        for name in self.cached_tables:
+            fifo = self._fifo[name]
+            evictions: List[StateUpdate] = []
+            while len(fifo) > self.cache_entries:
+                keys, _ = fifo.popitem(last=False)
+                evictions.append(StateUpdate("delete", name, keys, None))
+                self.stats.evictions += 1
+            if evictions:
+                # Evictions are cache management, not packet-path state: no
+                # output-commit wait is charged.
+                self.switch.control_plane.apply_batch(evictions)
+
+    def switch_cache_occupancy(self) -> Dict[str, int]:
+        return {
+            name: self.switch.tables[name].entry_count
+            for name in self.cached_tables
+        }
+
+
+def build_cached(
+    name: str,
+    cache_entries: int,
+    seed: int = 0,
+    clock=None,
+) -> CachedGalliumMiddlebox:
+    """Compile + deploy one middlebox in table-cache mode."""
+    from repro.middleboxes import load
+    from repro.runtime.deployment import compile_middlebox
+
+    bundle = load(name)
+    plan, program = compile_middlebox(bundle.lowered)
+    middlebox = CachedGalliumMiddlebox(
+        plan, program, cache_entries=cache_entries,
+        config=bundle.config, seed=seed, clock=clock,
+    )
+    middlebox.install()
+    return middlebox

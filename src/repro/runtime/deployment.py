@@ -1,0 +1,190 @@
+"""The deployed Gallium middlebox: programmable switch + middlebox server.
+
+``compile_middlebox`` runs the full compiler pipeline (parse → lower →
+partition → synthesize shims → build the switch program), and
+:class:`GalliumMiddlebox` executes it:
+
+1. packet arrives at the switch, runs the pre-processing pipeline,
+2. fast path: verdict on the switch, the server is never involved,
+3. slow path: shim-encapsulated punt to the server, the non-offloaded
+   partition runs, state updates replicate back through the control plane
+   (atomic write-back protocol), and — output commit — the packet is held
+   until the updates are visible on the switch,
+4. the packet returns to the switch, which applies the server's verdict or
+   runs the post-processing pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.headers import synthesize_shim_layouts
+from repro.ir.externs import ExternHost
+from repro.ir.interp import Interpreter, StateStore
+from repro.ir.lowering import LoweredMiddlebox, lower_program
+from repro.lang.parser import parse_program
+from repro.net.packet import RawPacket
+from repro.partition.constraints import SwitchResources
+from repro.partition.partitioner import partition_middlebox
+from repro.partition.plan import PartitionPlan, PlacementKind
+from repro.runtime.server import ServerRuntime
+from repro.switchsim.program import SwitchProgram
+from repro.switchsim.switch_model import SwitchModel, SwitchOutput
+
+
+@dataclass
+class PacketJourney:
+    """Full trace of one packet through the deployed middlebox."""
+
+    verdict: str  # "send" | "drop"
+    emitted: List[Tuple[int, RawPacket]] = field(default_factory=list)
+    fast_path: bool = False
+    punted: bool = False
+    pre_instructions: int = 0
+    server_instructions: int = 0
+    post_instructions: int = 0
+    #: output-commit wait before the packet could be released (µs)
+    sync_wait_us: float = 0.0
+    #: number of switch tables touched by the state sync (0 = no sync)
+    sync_tables: int = 0
+
+    @property
+    def server_involved(self) -> bool:
+        return self.punted
+
+
+def compile_middlebox(
+    source_or_lowered,
+    limits: Optional[SwitchResources] = None,
+    filename: str = "<middlebox>",
+):
+    """Compile middlebox source (or an already-lowered program).
+
+    Returns ``(plan, switch_program)``.
+    """
+    if isinstance(source_or_lowered, LoweredMiddlebox):
+        lowered = source_or_lowered
+    else:
+        lowered = lower_program(parse_program(source_or_lowered, filename))
+    plan = partition_middlebox(lowered, limits)
+    shim_to_server, shim_to_switch = synthesize_shim_layouts(
+        plan.to_server, plan.to_switch
+    )
+    program = SwitchProgram.from_plan(plan, shim_to_server, shim_to_switch)
+    return plan, program
+
+
+class GalliumMiddlebox:
+    """A running switch+server middlebox pair."""
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        program: SwitchProgram,
+        server_port: int = 3,
+        port_pairs: Optional[Dict[int, int]] = None,
+        config: Optional[Dict[int, list]] = None,
+        clock=None,
+        seed: int = 0,
+    ):
+        self.plan = plan
+        self.program = program
+        self.switch = SwitchModel(
+            program, server_port=server_port, port_pairs=port_pairs, seed=seed
+        )
+        self.state = StateStore(plan.middlebox.state)
+        self.externs = ExternHost(config=config, clock=clock)
+        self.server = ServerRuntime(
+            plan,
+            self.state,
+            program.shim_to_server,
+            program.shim_to_switch,
+            self.externs,
+        )
+        self.server_port = server_port
+        self.packets_processed = 0
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        limits: Optional[SwitchResources] = None,
+        **kwargs,
+    ) -> "GalliumMiddlebox":
+        plan, program = compile_middlebox(source, limits)
+        return cls(plan, program, **kwargs)
+
+    # -- deployment ------------------------------------------------------------
+
+    def install(self) -> None:
+        """Run ``configure()`` on the server and push state to the switch."""
+        configure = self.plan.middlebox.configure
+        if configure is not None:
+            Interpreter(configure, self.state, self.externs).run()
+        self.state.drain_journal()
+        self.sync_all_state()
+
+    def sync_all_state(self) -> None:
+        """Bulk-install every switch-resident state member (deploy time)."""
+        for name, placement in self.plan.placements.items():
+            if not placement.on_switch:
+                continue
+            member = placement.member
+            if member.kind == "map":
+                self.switch.control_plane.install_entries(
+                    name, dict(self.state.maps[name])
+                )
+            elif member.kind == "vector":
+                entries = {
+                    (index,): value
+                    for index, value in enumerate(self.state.vectors[name])
+                }
+                self.switch.control_plane.install_entries(name, entries)
+            else:
+                self.switch.control_plane.write_register(
+                    name, self.state.scalars[name]
+                )
+
+    # -- the packet path ----------------------------------------------------------
+
+    def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
+        self.packets_processed += 1
+        first = self.switch.receive(packet, ingress_port)
+        if not first.punted:
+            return PacketJourney(
+                verdict="drop" if first.dropped else "send",
+                emitted=first.emitted,
+                fast_path=True,
+                pre_instructions=first.pipeline_instructions,
+            )
+        # Slow path: server handles the punted packet.
+        assert first.emitted and first.emitted[0][0] == self.server_port
+        punted_packet = first.emitted[0][1]
+        server_result = self.server.handle(punted_packet)
+        sync_wait = 0.0
+        sync_tables = 0
+        if server_result.updates:
+            batch = self.switch.control_plane.apply_batch(server_result.updates)
+            # Output commit: the packet is held until visibility.
+            sync_wait = batch.visibility_latency_us
+            sync_tables = batch.tables_touched
+        second = self.switch.receive(server_result.packet, self.server_port)
+        return PacketJourney(
+            verdict="drop" if second.dropped else "send",
+            emitted=second.emitted,
+            fast_path=False,
+            punted=True,
+            pre_instructions=first.pipeline_instructions,
+            server_instructions=server_result.instructions,
+            post_instructions=second.pipeline_instructions,
+            sync_wait_us=sync_wait,
+            sync_tables=sync_tables,
+        )
+
+    # -- stats ----------------------------------------------------------------------
+
+    def fast_path_fraction(self) -> float:
+        counters = self.switch.counters()
+        total = counters["fast_path"] + counters["punted"]
+        return counters["fast_path"] / total if total else 0.0

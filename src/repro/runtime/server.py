@@ -1,0 +1,134 @@
+"""The middlebox server's runtime for the non-offloaded partition.
+
+Receives punted packets (with their to-server shim), seeds the interpreter
+environment from the shim, executes the non-offloaded CFG against the
+server's authoritative state, and produces:
+
+* the packet's return shim (verdict + post-partition inputs),
+* the batch of state updates that must be replicated to the switch before
+  the packet may be released (output commit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.headers import (
+    FLAG_VERDICT_DROP,
+    FLAG_VERDICT_NONE,
+    FLAG_VERDICT_SEND,
+    ShimLayout,
+)
+from repro.ir.externs import ExternHost
+from repro.ir.function import Function
+from repro.ir.interp import Interpreter, PacketView, StateStore
+from repro.net.packet import RawPacket
+from repro.partition.plan import PartitionPlan, PlacementKind
+from repro.switchsim.control_plane import StateUpdate
+from repro.switchsim.switch_model import SHIM_DIR_KEY, SHIM_KEY
+
+
+@dataclass
+class ServerResult:
+    """Outcome of processing one punted packet on the server."""
+
+    packet: RawPacket
+    verdict: Optional[str]  # verdict decided on the server, if any
+    egress_port: Optional[int]
+    updates: List[StateUpdate]
+    instructions: int
+
+
+class ServerRuntime:
+    """Executes the non-offloaded partition on the middlebox server."""
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        state: StateStore,
+        shim_to_server: ShimLayout,
+        shim_to_switch: ShimLayout,
+        externs: Optional[ExternHost] = None,
+    ):
+        self.plan = plan
+        self.state = state
+        self.shim_to_server = shim_to_server
+        self.shim_to_switch = shim_to_switch
+        self.externs = externs or ExternHost()
+        self._replicated = {
+            name
+            for name, placement in plan.placements.items()
+            if placement.replicated or placement.kind is PlacementKind.SWITCH_TABLE
+        }
+        self.packets_handled = 0
+        self.instructions_total = 0
+
+    def handle(self, packet: RawPacket) -> ServerResult:
+        """Run the non-offloaded partition for one punted packet."""
+        shim_bytes = packet.metadata.pop(SHIM_KEY, b"")
+        packet.metadata.pop(SHIM_DIR_KEY, None)
+        values = self.shim_to_server.decode(shim_bytes)
+        ingress = values.pop("__ingress_port", 1)
+        # Restore the packet's original ingress annotation: the partition
+        # may re-read it (Click semantics), and it must not observe the
+        # switch→server hop.
+        packet.ingress_port = ingress
+        env = {k: v for k, v in values.items() if not k.startswith("__")}
+        self.state.drain_journal()  # discard any stale entries
+        view = PacketView(packet)
+        interpreter = Interpreter(
+            self.plan.non_offloaded, self.state, self.externs
+        )
+        result = interpreter.run(view, initial_env=env)
+        self.packets_handled += 1
+        self.instructions_total += result.instructions_executed
+
+        updates = self._updates_from_journal(self.state.drain_journal())
+        out_values: Dict[str, int] = {
+            "__verdict": _verdict_flag(result.verdict),
+            "__egress_port": result.egress_port or 0,
+            "__ingress_port": ingress,
+        }
+        for shim_field in self.shim_to_switch.fields:
+            if shim_field.name.startswith("__"):
+                continue
+            out_values[shim_field.name] = result.env.get(shim_field.name, 0)
+        packet.metadata[SHIM_KEY] = self.shim_to_switch.encode(out_values)
+        packet.metadata[SHIM_DIR_KEY] = "to_switch"
+        return ServerResult(
+            packet=packet,
+            verdict=result.verdict,
+            egress_port=result.egress_port,
+            updates=updates,
+            instructions=result.instructions_executed,
+        )
+
+    def _updates_from_journal(self, journal) -> List[StateUpdate]:
+        """Convert journal entries on replicated state to switch updates."""
+        updates: List[StateUpdate] = []
+        for op, member, keys, value in journal:
+            if member not in self._replicated:
+                continue
+            placement = self.plan.placements[member]
+            if placement.member.kind == "scalar":
+                updates.append(
+                    StateUpdate("register", member, (), value)
+                )
+            elif op == "insert":
+                updates.append(StateUpdate("insert", member, keys, value))
+            elif op == "erase":
+                updates.append(StateUpdate("delete", member, keys, None))
+            elif op == "push":
+                updates.append(StateUpdate("insert", member, keys, value))
+            elif op == "store":
+                updates.append(StateUpdate("register", member, (), value))
+        return updates
+
+
+def _verdict_flag(verdict: Optional[str]) -> int:
+    if verdict == "send":
+        return FLAG_VERDICT_SEND
+    if verdict == "drop":
+        return FLAG_VERDICT_DROP
+    return FLAG_VERDICT_NONE

@@ -1,0 +1,35 @@
+"""Traffic generation for the evaluation.
+
+* :mod:`repro.workloads.packets` — packet builders and flow descriptors,
+* :mod:`repro.workloads.iperf` — the TCP microbenchmark traffic (10
+  parallel flows, §6.3) and per-middlebox packet streams,
+* :mod:`repro.workloads.conga` — the CONGA enterprise and data-mining
+  flow-size distributions and samplers (§6.3's "realistic workloads").
+"""
+
+from repro.workloads.packets import (
+    FlowSpec,
+    make_tcp_packet,
+    make_udp_packet,
+    flow_packets,
+)
+from repro.workloads.iperf import IperfWorkload, middlebox_stream
+from repro.workloads.conga import (
+    CongaDistribution,
+    ENTERPRISE,
+    DATA_MINING,
+    sample_flow_sizes,
+)
+
+__all__ = [
+    "FlowSpec",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "flow_packets",
+    "IperfWorkload",
+    "middlebox_stream",
+    "CongaDistribution",
+    "ENTERPRISE",
+    "DATA_MINING",
+    "sample_flow_sizes",
+]

@@ -1,0 +1,132 @@
+"""Tests for liveness, transfer sets, and dependency distances."""
+
+from repro.analysis.depgraph import build_dependency_graph
+from repro.analysis.distance import dependency_distances
+from repro.analysis.liveness import (
+    compute_liveness,
+    live_ranges,
+    peak_live_bytes,
+    transfer_variables,
+)
+from repro.ir import lower_program
+from repro.ir import instructions as irin
+from repro.lang import parse_program
+
+
+def lower(statements: str, members: str = ""):
+    source = (
+        f"class T {{ {members} void process(Packet *pkt) {{ {statements} }} }};"
+    )
+    return lower_program(parse_program(source))
+
+
+class TestLiveness:
+    def test_straight_line_live_in_empty_at_entry(self):
+        lowered = lower("uint32_t a = 1; uint32_t b = a; pkt->send();")
+        info = compute_liveness(lowered.process)
+        assert info.live_at_entry(lowered.process.entry) == set()
+
+    def test_branch_condition_live_into_blocks(self):
+        lowered = lower(
+            "uint32_t a = 1;"
+            " if (a) { uint32_t b = a + 1; pkt->send(); } else { pkt->drop(); }"
+        )
+        info = compute_liveness(lowered.process)
+        function = lowered.process
+        then_blocks = [
+            name for name in function.blocks if name.startswith("then")
+        ]
+        # `a` is used inside the then block, so it is live into it.
+        assert any(
+            any(n.startswith("a.") for n in info.live_in[name])
+            for name in then_blocks
+        )
+
+    def test_live_ranges_cover_first_to_last_use(self):
+        lowered = lower(
+            "uint32_t a = 1; uint32_t b = 2; uint32_t c = a + b; pkt->send();"
+        )
+        ranges = live_ranges(lowered.process)
+        a_name = next(n for n in ranges if n.startswith("a."))
+        first, last = ranges[a_name]
+        assert first < last
+
+    def test_peak_live_bytes_positive(self):
+        lowered = lower("uint32_t a = 1; uint32_t b = a; pkt->send();")
+        assert peak_live_bytes(lowered.process) >= 4
+
+
+class TestTransferVariables:
+    def test_defs_intersect_uses(self):
+        lowered = lower(
+            "uint32_t a = 1; uint32_t b = a + 2; uint32_t c = b + 3;"
+            " pkt->send();"
+        )
+        insts = list(lowered.process.instructions())
+        first_half = insts[: len(insts) // 2]
+        second_half = insts[len(insts) // 2 :]
+        regs = transfer_variables(first_half, second_half)
+        produced = set()
+        for inst in first_half:
+            if inst.result() is not None:
+                produced.add(inst.result().name)
+        assert all(reg.name in produced for reg in regs)
+
+    def test_empty_when_no_overlap(self):
+        lowered = lower("uint32_t a = 1; pkt->send();")
+        insts = list(lowered.process.instructions())
+        assert transfer_variables(insts, []) == []
+
+
+class TestDependencyDistance:
+    def test_chain_lengths_monotone(self):
+        lowered = lower(
+            "uint32_t a = 1; uint32_t b = a + 1; uint32_t c = b + 1;"
+            " pkt->send();"
+        )
+        graph = build_dependency_graph(lowered.process)
+        from_entry, to_exit = dependency_distances(graph)
+        binops = [
+            i for i in graph.instructions
+            if isinstance(i, irin.BinOp)
+        ]
+        assert from_entry[binops[0].id] < from_entry[binops[1].id]
+        assert to_exit[binops[0].id] > to_exit[binops[1].id]
+
+    def test_copies_are_free(self):
+        """Assign/Cast cost no pipeline stage."""
+        lowered = lower(
+            "uint32_t a = 1; uint32_t b = a; uint32_t c = b; pkt->send();"
+        )
+        graph = build_dependency_graph(lowered.process)
+        from_entry, _ = dependency_distances(graph)
+        assigns = [
+            i for i in graph.instructions if isinstance(i, irin.Assign)
+        ]
+        # Pure copy chains do not grow the stage count.
+        assert max(from_entry[a.id] for a in assigns) <= 1
+
+    def test_loop_instructions_get_sentinel(self):
+        lowered = lower(
+            "uint32_t i = 0; while (i < 2) { i += 1; } pkt->send();"
+        )
+        graph = build_dependency_graph(lowered.process)
+        from_entry, _ = dependency_distances(graph)
+        cyclic = [
+            i for i in graph.instructions if graph.self_dependent(i)
+        ]
+        assert cyclic
+        assert all(from_entry[i.id] >= 10**9 for i in cyclic)
+
+    def test_table_lookup_costs_a_stage(self):
+        lowered = lower(
+            "uint16_t k = 1; uint32_t *v = t.find(&k);"
+            " if (v != NULL) { pkt->send(); } else { pkt->drop(); }",
+            members="HashMap<uint16_t, uint32_t> t;",
+        )
+        graph = build_dependency_graph(lowered.process)
+        from_entry, _ = dependency_distances(graph)
+        find = next(
+            i for i in graph.instructions if isinstance(i, irin.MapFind)
+        )
+        assert from_entry[find.id] >= 1

@@ -1,0 +1,97 @@
+"""Tests for shim header synthesis and encode/decode (Figure 5)."""
+
+from hypothesis import given, strategies as st
+
+from repro.codegen.headers import (
+    ShimField,
+    ShimLayout,
+    synthesize_shim_layouts,
+)
+from repro.lang.types import BOOL, UINT16, UINT32
+from repro.ir.values import Reg
+from repro.partition.plan import TransferSpec
+from tests.conftest import get_compiled
+
+
+class TestShimLayout:
+    def test_byte_size_rounds_up(self):
+        layout = ShimLayout("to_server", [ShimField("a", 1), ShimField("b", 16)])
+        assert layout.total_bits == 17
+        assert layout.byte_size == 3
+
+    def test_encode_decode_round_trip(self):
+        layout = ShimLayout(
+            "to_server",
+            [ShimField("flag", 1), ShimField("x", 16), ShimField("y", 32)],
+        )
+        values = {"flag": 1, "x": 0xABCD, "y": 0xDEADBEEF}
+        assert layout.decode(layout.encode(values)) == values
+
+    def test_missing_fields_encode_zero(self):
+        layout = ShimLayout("to_server", [ShimField("x", 8)])
+        assert layout.decode(layout.encode({})) == {"x": 0}
+
+    def test_values_masked_to_width(self):
+        layout = ShimLayout("to_server", [ShimField("x", 4)])
+        assert layout.decode(layout.encode({"x": 0xFF}))["x"] == 0xF
+
+    def test_empty_layout(self):
+        layout = ShimLayout("to_server", [])
+        assert layout.byte_size == 0
+        assert layout.encode({}) == b""
+
+    def test_short_buffer_rejected(self):
+        layout = ShimLayout("to_server", [ShimField("x", 32)])
+        try:
+            layout.decode(b"\x00")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 48),
+                st.integers(0, 2**48 - 1),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_round_trip_property(self, spec):
+        fields = [ShimField(f"f{i}", width) for i, (width, _) in enumerate(spec)]
+        layout = ShimLayout("to_server", fields)
+        values = {
+            f"f{i}": value & ((1 << width) - 1)
+            for i, (width, value) in enumerate(spec)
+        }
+        assert layout.decode(layout.encode(values)) == values
+
+
+class TestSynthesis:
+    def test_control_fields_present(self):
+        to_server, to_switch = synthesize_shim_layouts(
+            TransferSpec([]), TransferSpec([])
+        )
+        assert "__ingress_port" in to_server.field_names()
+        assert "__verdict" in to_switch.field_names()
+        assert "__egress_port" in to_switch.field_names()
+
+    def test_flags_packed_before_wide_fields(self):
+        to_server, _ = synthesize_shim_layouts(
+            TransferSpec([Reg("wide", UINT32), Reg("bit", BOOL)]),
+            TransferSpec([]),
+        )
+        names = to_server.field_names()
+        assert names.index("bit") < names.index("wide")
+
+    def test_deterministic_order(self):
+        spec = TransferSpec([Reg("b", UINT16), Reg("a", UINT16)])
+        first, _ = synthesize_shim_layouts(spec, TransferSpec([]))
+        second, _ = synthesize_shim_layouts(spec, TransferSpec([]))
+        assert first.field_names() == second.field_names()
+
+    def test_middlebox_shims_within_budget(self, middlebox_name, compiled):
+        # 20 bytes of payload plus the fixed control fields.
+        assert compiled.shim_to_server.byte_size <= 22
+        assert compiled.shim_to_switch.byte_size <= 23

@@ -1,0 +1,41 @@
+"""Shared fixtures: cached middlebox bundles and compilation results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompilationResult, compile_lowered
+from repro.middleboxes import MIDDLEBOX_NAMES, MiddleboxBundle, load
+
+_BUNDLES: dict = {}
+_COMPILED: dict = {}
+
+
+def get_bundle(name: str) -> MiddleboxBundle:
+    if name not in _BUNDLES:
+        _BUNDLES[name] = load(name)
+    return _BUNDLES[name]
+
+
+def get_compiled(name: str) -> CompilationResult:
+    if name not in _COMPILED:
+        _COMPILED[name] = compile_lowered(get_bundle(name).lowered)
+    return _COMPILED[name]
+
+
+@pytest.fixture(params=MIDDLEBOX_NAMES)
+def middlebox_name(request):
+    return request.param
+
+
+@pytest.fixture
+def bundle(middlebox_name):
+    return get_bundle(middlebox_name)
+
+
+@pytest.fixture
+def compiled(middlebox_name):
+    return get_compiled(middlebox_name)
+
+
+MINILB_SOURCE = get_bundle("minilb").source

@@ -1,0 +1,26 @@
+"""Tests for table rendering."""
+
+from repro.eval.reporting import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["A", "Long header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A ")
+        assert set(lines[1]) <= {"-", " "}
+        # Every row has the header's column offsets.
+        assert lines[2].index("2") == lines[0].index("Long header")
+
+    def test_handles_wide_cells(self):
+        text = render_table(["X"], [["wider-than-header"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("wider-than-header")
+
+    def test_empty_rows(self):
+        text = render_table(["A", "B"], [])
+        assert text.splitlines()[0] == "A  B"
+
+    def test_mixed_types_stringified(self):
+        text = render_table(["n", "f"], [[1, 2.5], ["x", None]])
+        assert "2.5" in text and "None" in text

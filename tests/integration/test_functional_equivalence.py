@@ -1,0 +1,193 @@
+"""Functional-equivalence tests (the paper's first goal, §3.1).
+
+Three implementations of every middlebox are driven with the same random
+packet streams:
+
+1. the **deployed Gallium pipeline** (switch model + server runtime),
+2. the **unpartitioned interpretation** (FastClick baseline),
+3. the **independent Python reference** written from the prose description.
+
+All three must agree on verdicts and header rewrites for every packet, and
+(1) and (2) must agree on final state.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.click.packet import Packet
+from repro.eval.profiles import build_baseline, build_gallium
+from repro.middleboxes import MIDDLEBOX_NAMES
+from repro.net.addresses import ip
+from repro.net.headers import TcpFlags
+from repro.workloads.packets import make_tcp_packet, make_udp_packet
+from tests.conftest import get_bundle
+
+
+def random_stream(name: str, rng: random.Random, count: int):
+    packets = []
+    for _ in range(count):
+        saddr = f"192.168.1.{rng.randint(1, 20)}"
+        if name == "mazunat":
+            if rng.random() < 0.7:
+                packets.append(
+                    (make_tcp_packet(saddr, "8.8.4.4",
+                                     rng.randint(1000, 1010), 80,
+                                     ingress_port=1), 1)
+                )
+            else:
+                packets.append(
+                    (make_tcp_packet("8.8.4.4", "100.64.0.1", 80,
+                                     rng.randint(2048, 2080),
+                                     ingress_port=2), 2)
+                )
+        elif name == "firewall":
+            index = rng.randint(0, 70)
+            host = (index % 250) + 1
+            port = 2 if rng.random() < 0.3 else 1
+            src = f"192.168.1.{host}" if port == 1 else f"10.0.0.{host}"
+            dst = f"10.0.0.{host}" if port == 1 else f"192.168.1.{host}"
+            sport = 1000 + index if port == 1 else 80
+            dport = 80 if port == 1 else 1000 + index
+            packets.append(
+                (make_tcp_packet(src, dst, sport, dport, ingress_port=port),
+                 port)
+            )
+        elif name == "trojan":
+            flags = rng.choice(
+                [TcpFlags.SYN, TcpFlags.ACK, TcpFlags.ACK,
+                 TcpFlags.FIN | TcpFlags.ACK]
+            )
+            dport = rng.choice([22, 80, 6667, 5001, 21])
+            payload = rng.choice(
+                [b"", b"GET /index.html HTTP/1.1", b"RETR file.zip",
+                 b"plain data"]
+            )
+            packets.append(
+                (make_tcp_packet(saddr, "10.0.0.5", rng.randint(1000, 1004),
+                                 dport, flags=flags, payload=payload,
+                                 ingress_port=1), 1)
+            )
+        elif name == "proxy":
+            dport = rng.choice([80, 8080, 443, 22])
+            if rng.random() < 0.2:
+                packets.append(
+                    (make_udp_packet(saddr, "10.0.0.9", 999, dport,
+                                     ingress_port=1), 1)
+                )
+            else:
+                packets.append(
+                    (make_tcp_packet(saddr, "10.0.0.9", 999, dport,
+                                     ingress_port=1), 1)
+                )
+        else:  # minilb, lb
+            flags = rng.choice(
+                [TcpFlags.SYN, TcpFlags.ACK, TcpFlags.ACK,
+                 TcpFlags.FIN | TcpFlags.ACK, TcpFlags.RST]
+            )
+            if name == "lb" and rng.random() < 0.25:
+                packets.append(
+                    (make_udp_packet(saddr, "10.0.0.100",
+                                     rng.randint(5000, 5008), 53,
+                                     ingress_port=1), 1)
+                )
+            else:
+                packets.append(
+                    (make_tcp_packet(saddr, "10.0.0.100",
+                                     rng.randint(5000, 5008), 80,
+                                     flags=flags, ingress_port=1), 1)
+                )
+    return packets
+
+
+def seed_minilb(gallium=None, baseline=None, reference=None):
+    backends = [int(ip("10.0.1.1")), int(ip("10.0.1.2"))]
+    if gallium is not None:
+        gallium.state.vectors["backends"] = list(backends)
+        gallium.sync_all_state()
+    if baseline is not None:
+        baseline.state.vectors["backends"] = list(backends)
+    return backends
+
+
+def observable(packet, verdict):
+    if verdict != "send":
+        return (verdict,)
+    l4 = packet.l4
+    return (
+        verdict,
+        str(packet.ip.saddr),
+        str(packet.ip.daddr),
+        l4.sport if l4 else 0,
+        l4.dport if l4 else 0,
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("name", MIDDLEBOX_NAMES)
+def test_gallium_equals_baseline(name, seed):
+    """Deployed pipeline ≡ unpartitioned program: verdicts, rewrites, state."""
+    rng = random.Random(seed)
+    gallium = build_gallium(name)
+    baseline = build_baseline(name)
+    if name == "minilb":
+        seed_minilb(gallium, baseline)
+    for packet, ingress in random_stream(name, rng, 150):
+        clone = packet.copy()
+        base_result = baseline.process_packet(clone, ingress)
+        journey = gallium.process_packet(packet, ingress)
+        assert observable(clone, base_result.verdict) == observable(
+            packet, journey.verdict
+        ), f"{name}: divergence on {packet!r}"
+    gallium_state = gallium.state.snapshot()
+    baseline_state = baseline.state.snapshot()
+    # Switch-resident registers are authoritative on the switch.
+    for register_name, register in gallium.switch.registers.items():
+        placement = gallium.plan.placements[register_name]
+        if placement.kind.value == "switch_register":
+            gallium_state["scalars"][register_name] = register.value
+    assert gallium_state["maps"] == baseline_state["maps"]
+    assert gallium_state["scalars"] == baseline_state["scalars"]
+
+
+@pytest.mark.parametrize("name", MIDDLEBOX_NAMES)
+def test_baseline_equals_reference(name):
+    """Compiled-from-source semantics ≡ independent Python reference."""
+    rng = random.Random(7)
+    bundle = get_bundle(name)
+    baseline = build_baseline(name)
+    reference = bundle.make_reference()
+    if name == "minilb":
+        from repro.click.vector import Vector
+
+        backends = seed_minilb(baseline=baseline)
+        reference.backends = Vector(backends)
+    for packet, ingress in random_stream(name, rng, 150):
+        ref_packet = Packet(packet.copy())
+        ref_packet.raw.ingress_port = ingress
+        reference.push(ref_packet)
+        base_result = baseline.process_packet(packet, ingress)
+        ref_verdict = (
+            "send" if ref_packet.action.value == "send" else "drop"
+        )
+        assert observable(ref_packet.raw, ref_verdict) == observable(
+            packet, base_result.verdict
+        ), f"{name}: reference divergence"
+
+
+@pytest.mark.parametrize("name", MIDDLEBOX_NAMES)
+def test_replicated_tables_converge(name):
+    """After any stream, switch table copies equal the server's maps."""
+    rng = random.Random(11)
+    gallium = build_gallium(name)
+    if name == "minilb":
+        seed_minilb(gallium)
+    for packet, ingress in random_stream(name, rng, 120):
+        gallium.process_packet(packet, ingress)
+    for state_name, placement in gallium.plan.placements.items():
+        if placement.kind.value == "replicated_table":
+            assert (
+                gallium.switch.tables[state_name].snapshot()
+                == gallium.state.maps[state_name]
+            ), f"{name}: {state_name} diverged"

@@ -1,0 +1,113 @@
+"""Run-to-completion semantics tests (paper §3.1 / §4.3.3).
+
+The correctness criteria: a causally dependent later packet observes *all*
+state updates of its antecedent; any other packet observes all or none.
+The mechanism under test is atomic update (write-back + visibility bit)
+plus output commit (the update-triggering packet is held until the updates
+are visible on the switch).
+"""
+
+import pytest
+
+from repro.eval.profiles import build_gallium
+from repro.net.addresses import ip
+from repro.net.headers import TcpFlags
+from repro.switchsim.control_plane import StateUpdate
+from repro.switchsim.tables import ExactMatchTable
+from repro.workloads.packets import make_tcp_packet
+
+
+class TestOutputCommit:
+    def test_update_triggering_packet_waits_for_visibility(self):
+        """The SYN that installs NAT state is held for the sync latency."""
+        middlebox = build_gallium("mazunat")
+        syn = make_tcp_packet("192.168.1.1", "8.8.4.4", 1000, 80,
+                              flags=TcpFlags.SYN)
+        journey = middlebox.process_packet(syn, 1)
+        assert journey.punted
+        assert journey.sync_tables == 3  # nat_out, rev_addr, rev_port
+        assert journey.sync_wait_us > 200  # multi-table batch
+
+    def test_fast_path_packet_never_waits(self):
+        middlebox = build_gallium("mazunat")
+        syn = make_tcp_packet("192.168.1.1", "8.8.4.4", 1000, 80,
+                              flags=TcpFlags.SYN)
+        middlebox.process_packet(syn, 1)
+        follow_up = make_tcp_packet("192.168.1.1", "8.8.4.4", 1000, 80)
+        journey = middlebox.process_packet(follow_up, 1)
+        assert journey.fast_path
+        assert journey.sync_wait_us == 0
+
+    def test_causally_dependent_packet_sees_state(self):
+        """The reply to a NAT'd packet (causally after its release) hits the
+        already-synchronized reverse mapping on the switch fast path."""
+        middlebox = build_gallium("mazunat")
+        outbound = make_tcp_packet("192.168.1.9", "8.8.4.4", 4000, 80,
+                                   flags=TcpFlags.SYN)
+        middlebox.process_packet(outbound, 1)
+        reply = make_tcp_packet("8.8.4.4", "100.64.0.1", 80,
+                                outbound.tcp.sport, ingress_port=2)
+        journey = middlebox.process_packet(reply, 2)
+        assert journey.fast_path  # state already on the switch
+        assert str(reply.ip.daddr) == "192.168.1.9"
+
+    def test_read_only_slow_path_does_not_sync(self):
+        """Punted packets that mutate nothing pay no control-plane latency."""
+        middlebox = build_gallium("trojan")
+        # Establish an HTTP flow from a tracked host so data packets punt
+        # for DPI but the DPI finds nothing to update.
+        middlebox.process_packet(
+            make_tcp_packet("192.168.1.1", "10.0.0.5", 900, 22,
+                            flags=TcpFlags.SYN), 1,
+        )
+        middlebox.process_packet(
+            make_tcp_packet("192.168.1.1", "10.0.0.5", 901, 80,
+                            flags=TcpFlags.SYN), 1,
+        )
+        data = make_tcp_packet("192.168.1.1", "10.0.0.5", 901, 80,
+                               payload=b"GET /nothing.txt")
+        journey = middlebox.process_packet(data, 1)
+        assert journey.punted
+        assert journey.sync_tables == 0
+        assert journey.sync_wait_us == 0
+
+
+class TestAtomicVisibility:
+    """All-or-nothing visibility of a multi-entry batch."""
+
+    def test_batch_invisible_before_flip_visible_after(self):
+        table_a = ExactMatchTable("a", [32], 32, 16)
+        table_b = ExactMatchTable("b", [32], 32, 16)
+        # Stage on both tables (step 1): nothing visible.
+        table_a.stage((1,), 10)
+        table_b.stage((1,), 20)
+        assert table_a.lookup((1,)) == (False, 0)
+        assert table_b.lookup((1,)) == (False, 0)
+        # Flip (step 2): everything visible at once.
+        table_a.set_visibility(True)
+        table_b.set_visibility(True)
+        assert table_a.lookup((1,)) == (True, 10)
+        assert table_b.lookup((1,)) == (True, 20)
+
+    def test_no_partial_state_during_fold(self):
+        """Folding keeps entries visible throughout."""
+        table = ExactMatchTable("t", [32], 32, 16)
+        table.stage((1,), 5)
+        table.set_visibility(True)
+        assert table.lookup((1,)) == (True, 5)
+        table.fold_writeback()
+        # Entry now in main table; bit can clear with no visibility gap.
+        table.set_visibility(False)
+        assert table.lookup((1,)) == (True, 5)
+
+    def test_later_packet_sees_all_nat_entries_or_none(self):
+        """A reply arriving between a SYN's punt and its sync completion
+        would see none of the three NAT entries; after the batch it sees
+        all three.  Here we check the 'all' side end to end and the 'none'
+        side at the table layer."""
+        middlebox = build_gallium("mazunat")
+        syn = make_tcp_packet("192.168.1.2", "8.8.4.4", 1000, 80,
+                              flags=TcpFlags.SYN)
+        middlebox.process_packet(syn, 1)
+        for table_name in ("nat_out", "rev_addr", "rev_port"):
+            assert middlebox.switch.tables[table_name].entry_count == 1

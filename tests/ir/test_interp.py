@@ -1,0 +1,254 @@
+"""Tests for the IR interpreter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import lower_program
+from repro.ir.interp import (
+    Interpreter,
+    InterpreterError,
+    PacketView,
+    StateStore,
+    _apply_binop,
+)
+from repro.ir.instructions import BinOpKind
+from repro.ir.externs import ExternHost
+from repro.lang import parse_program
+from repro.net.addresses import ip
+from repro.net.headers import EthernetHeader, Ipv4Header, TcpHeader, UdpHeader
+from repro.net.packet import RawPacket
+
+
+def lower(statements: str, members: str = "", extra_methods: str = ""):
+    source = (
+        f"class T {{ {members} {extra_methods}"
+        f" void process(Packet *pkt) {{ {statements} }} }};"
+    )
+    return lower_program(parse_program(source))
+
+
+def run(statements: str, members: str = "", packet=None, state=None,
+        externs=None):
+    lowered = lower(statements, members)
+    state = state or StateStore(lowered.state)
+    packet = packet or RawPacket.make_tcp(
+        EthernetHeader(),
+        Ipv4Header(saddr=ip("10.0.0.1"), daddr=ip("10.0.0.2")),
+        TcpHeader(sport=1000, dport=80),
+        b"payload",
+    )
+    view = PacketView(packet)
+    result = Interpreter(lowered.process, state, externs).run(view)
+    return result, packet, state
+
+
+class TestArithmetic:
+    def test_wrapping_at_width(self):
+        result, packet, _ = run(
+            "iphdr *ip = pkt->network_header();"
+            " ip->ttl = ip->ttl + 255 + 2; pkt->send();"
+        )
+        assert packet.ip.ttl == (64 + 255 + 2) & 0xFF
+
+    def test_division_by_zero_yields_zero(self):
+        result, packet, _ = run(
+            "uint32_t z = 0; uint32_t x = 7 / z;"
+            " iphdr *ip = pkt->network_header(); ip->ttl = (uint8_t)x;"
+            " pkt->send();"
+        )
+        assert packet.ip.ttl == 0
+
+    @given(
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 0xFFFFFFFF),
+        st.sampled_from(
+            [BinOpKind.ADD, BinOpKind.SUB, BinOpKind.AND, BinOpKind.OR,
+             BinOpKind.XOR]
+        ),
+    )
+    def test_apply_binop_matches_python(self, a, b, op):
+        expected = {
+            BinOpKind.ADD: a + b,
+            BinOpKind.SUB: a - b,
+            BinOpKind.AND: a & b,
+            BinOpKind.OR: a | b,
+            BinOpKind.XOR: a ^ b,
+        }[op]
+        assert _apply_binop(op, a, b) == expected
+
+    def test_comparisons_produce_01(self):
+        assert _apply_binop(BinOpKind.LT, 1, 2) == 1
+        assert _apply_binop(BinOpKind.GE, 1, 2) == 0
+
+
+class TestPacketAccess:
+    def test_udp_port_aliasing_through_tcp_region(self):
+        """Click's transport_header() reads ports of UDP packets too."""
+        packet = RawPacket.make_udp(
+            EthernetHeader(),
+            Ipv4Header(saddr=ip("1.1.1.1"), daddr=ip("2.2.2.2")),
+            UdpHeader(sport=7777, dport=53),
+        )
+        result, packet, _ = run(
+            "tcphdr *t = pkt->transport_header();"
+            " iphdr *ip = pkt->network_header();"
+            " if (t->dport == 53) { pkt->drop(); } else { pkt->send(); }",
+            packet=packet,
+        )
+        assert result.verdict == "drop"
+
+    def test_absent_header_reads_zero(self):
+        packet = RawPacket.make_udp(
+            EthernetHeader(), Ipv4Header(), UdpHeader()
+        )
+        result, _, _ = run(
+            "tcphdr *t = pkt->transport_header();"
+            " if (t->seq == 0) { pkt->drop(); } else { pkt->send(); }",
+            packet=packet,
+        )
+        assert result.verdict == "drop"
+
+    def test_daddr_rewrite_visible_on_packet(self):
+        result, packet, _ = run(
+            "iphdr *ip = pkt->network_header();"
+            " ip->daddr = 167837697; pkt->send();"  # 10.1.0.1
+        )
+        assert str(packet.ip.daddr) == "10.1.0.1"
+
+    def test_ingress_port(self):
+        packet = RawPacket.make_tcp(
+            EthernetHeader(), Ipv4Header(), TcpHeader()
+        )
+        packet.ingress_port = 2
+        result, _, _ = run(
+            "if (pkt->ingress_port() == 2) { pkt->drop(); }"
+            " else { pkt->send(); }",
+            packet=packet,
+        )
+        assert result.verdict == "drop"
+
+
+class TestStateOps:
+    def test_map_insert_then_find(self):
+        result, _, state = run(
+            "uint16_t k = 5; uint32_t v = 99; t.insert(&k, &v);"
+            " uint32_t *got = t.find(&k);"
+            " iphdr *ip = pkt->network_header();"
+            " if (got != NULL) { ip->daddr = *got; } pkt->send();",
+            members="HashMap<uint16_t, uint32_t> t;",
+        )
+        assert state.maps["t"] == {(5,): 99}
+
+    def test_journal_records_mutations(self):
+        _, _, state = run(
+            "uint16_t k = 1; uint32_t v = 2; t.insert(&k, &v);"
+            " t.erase(&k); pkt->send();",
+            members="HashMap<uint16_t, uint32_t> t;",
+        )
+        journal = state.drain_journal()
+        assert [entry[0] for entry in journal] == ["insert", "erase"]
+
+    def test_map_capacity_drop_recorded(self):
+        lowered = lower(
+            "uint16_t k = 9; uint32_t v = 1; t.insert(&k, &v); pkt->send();",
+            members="// @gallium: max_entries=1\nHashMap<uint16_t, uint32_t> t;",
+        )
+        state = StateStore(lowered.state)
+        state.maps["t"][(1,)] = 1
+        packet = RawPacket.make_tcp(EthernetHeader(), Ipv4Header(), TcpHeader())
+        Interpreter(lowered.process, state).run(PacketView(packet))
+        assert (9,) not in state.maps["t"]
+        assert any(e[0] == "insert_failed" for e in state.drain_journal())
+
+    def test_vector_out_of_range_reads_zero(self):
+        result, packet, _ = run(
+            "uint32_t x = v[7]; iphdr *ip = pkt->network_header();"
+            " ip->ttl = (uint8_t)(x & 0xFF); pkt->send();",
+            members="Vector<uint32_t> v;",
+        )
+        assert packet.ip.ttl == 0
+
+
+class TestControlFlow:
+    def test_loop_execution(self):
+        result, packet, _ = run(
+            "uint32_t acc = 0;"
+            " for (uint32_t i = 0; i < 5; i += 1) { acc += i; }"
+            " iphdr *ip = pkt->network_header(); ip->ttl = (uint8_t)acc;"
+            " pkt->send();"
+        )
+        assert packet.ip.ttl == 10
+
+    def test_break_exits_loop(self):
+        result, packet, _ = run(
+            "uint32_t i = 0;"
+            " while (1) { i += 1; if (i == 3) { break; } }"
+            " iphdr *ip = pkt->network_header(); ip->ttl = (uint8_t)i;"
+            " pkt->send();"
+        )
+        assert packet.ip.ttl == 3
+
+    def test_step_limit_catches_runaway(self):
+        lowered = lower("while (1) { } pkt->send();")
+        state = StateStore(lowered.state)
+        packet = RawPacket.make_tcp(EthernetHeader(), Ipv4Header(), TcpHeader())
+        with pytest.raises(InterpreterError):
+            Interpreter(lowered.process, state).run(PacketView(packet))
+
+    def test_undefined_register_read_raises(self):
+        from repro.ir.builder import FunctionBuilder
+        from repro.ir import instructions as irin
+        from repro.ir.values import Reg
+        from repro.lang.types import UINT32
+        from repro.ir.lowering import StateMember
+
+        builder = FunctionBuilder("broken")
+        ghost = Reg("ghost", UINT32)
+        dst = builder.fresh_temp(UINT32)
+        builder.emit(irin.Assign(dst, ghost))
+        builder.emit(irin.Return())
+        interp = Interpreter(builder.function, StateStore({}))
+        with pytest.raises(InterpreterError):
+            interp.run()
+
+
+class TestExterns:
+    def test_payload_functions(self):
+        packet = RawPacket.make_tcp(
+            EthernetHeader(), Ipv4Header(), TcpHeader(), b"ABC"
+        )
+        result, packet, _ = run(
+            "uint32_t n = payload_len(pkt); uint8_t b = payload_byte(pkt, 0);"
+            " iphdr *ip = pkt->network_header();"
+            " ip->ttl = (uint8_t)(n + b); pkt->send();",
+            packet=packet,
+        )
+        assert packet.ip.ttl == (3 + ord("A")) & 0xFF
+
+    def test_config_reads(self):
+        externs = ExternHost(config={2: [7, 8, 9]})
+        result, packet, _ = run(
+            "uint32_t n = config_len(2); uint32_t v = config_u32(2, 1);"
+            " iphdr *ip = pkt->network_header();"
+            " ip->ttl = (uint8_t)(n * 10 + v); pkt->send();",
+            externs=externs,
+        )
+        assert packet.ip.ttl == 38
+
+    def test_clock(self):
+        externs = ExternHost(clock=lambda: 1234)
+        result, packet, _ = run(
+            "uint32_t t = now_sec(); iphdr *ip = pkt->network_header();"
+            " ip->id = (uint16_t)(t & 0xFFFF); pkt->send();",
+            externs=externs,
+        )
+        assert packet.ip.identification == 1234
+
+    def test_log_event(self):
+        externs = ExternHost()
+        run("log_event(42); pkt->send();", externs=externs)
+        assert externs.log == [42]
+
+    def test_unknown_extern_raises(self):
+        with pytest.raises(KeyError):
+            ExternHost().call("mystery", [])

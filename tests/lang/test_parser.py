@@ -1,0 +1,236 @@
+"""Tests for the C++-subset parser."""
+
+import pytest
+
+from repro.lang import ast, parse_program
+from repro.lang.diagnostics import ParseError
+from repro.lang.types import (
+    BOOL,
+    HashMapType,
+    PointerType,
+    TupleType,
+    UINT16,
+    UINT32,
+    VectorType,
+)
+
+
+def parse_body(statements: str):
+    """Parse statements inside a minimal middlebox and return the body."""
+    source = f"class T {{ void process(Packet *pkt) {{ {statements} }} }};"
+    return parse_program(source).middlebox.methods[0].body
+
+
+class TestClassStructure:
+    def test_members_and_methods(self):
+        program = parse_program(
+            """
+            class Box {
+              HashMap<uint16_t, uint32_t> table;
+              Vector<uint32_t> list;
+              uint32_t counter;
+              void process(Packet *pkt) { pkt->send(); }
+              uint32_t helper(uint32_t x) { return x; }
+            };
+            """
+        )
+        cls = program.middlebox
+        assert cls.name == "Box"
+        assert [m.name for m in cls.members] == ["table", "list", "counter"]
+        assert isinstance(cls.member("table").member_type, HashMapType)
+        assert isinstance(cls.member("list").member_type, VectorType)
+        assert cls.method("helper") is not None
+        assert cls.method("nope") is None
+
+    def test_annotations_attach_to_member(self):
+        program = parse_program(
+            """
+            class Box {
+              // @gallium: max_entries=128
+              HashMap<uint16_t, uint32_t> table;
+              void process(Packet *pkt) { pkt->drop(); }
+            };
+            """
+        )
+        assert program.middlebox.member("table").annotations == {
+            "max_entries": 128
+        }
+
+    def test_tuple_key_type(self):
+        program = parse_program(
+            """
+            class Box {
+              HashMap<Tuple<uint32_t, uint16_t>, uint32_t> table;
+              void process(Packet *pkt) { pkt->drop(); }
+            };
+            """
+        )
+        key = program.middlebox.member("table").member_type.key
+        assert isinstance(key, TupleType)
+        assert key.elements == (UINT32, UINT16)
+
+    def test_nested_template_close(self):
+        # "HashMap<uint16_t, Vector<uint32_t>>" has the >> collision.
+        source = """
+        class Box {
+          HashMap<uint16_t, Vector<uint32_t>> weird;
+          void process(Packet *pkt) { pkt->drop(); }
+        };
+        """
+        program = parse_program(source)
+        assert isinstance(
+            program.middlebox.member("weird").member_type.value, VectorType
+        )
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("class A { void process(Packet *p) { p->drop(); } }; junk")
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() {}")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        body = parse_body("uint32_t x = 1 + 2;")
+        assert isinstance(body[0], ast.DeclStmt)
+        assert body[0].name == "x"
+
+    def test_pointer_declaration(self):
+        body = parse_body("iphdr *ip = pkt->network_header(); pkt->drop();")
+        assert isinstance(body[0].decl_type, PointerType)
+
+    def test_if_else(self):
+        body = parse_body("if (1) { pkt->send(); } else { pkt->drop(); }")
+        stmt = body[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_else_if_chain(self):
+        body = parse_body(
+            "if (1) { pkt->send(); } else if (2) { pkt->drop(); }"
+            " else { pkt->drop(); }"
+        )
+        stmt = body[0]
+        inner = stmt.else_body[0]
+        assert isinstance(inner, ast.IfStmt)
+        assert inner.else_body
+
+    def test_while_loop(self):
+        body = parse_body("uint32_t i = 0; while (i < 3) { i += 1; } pkt->drop();")
+        assert isinstance(body[1], ast.WhileStmt)
+
+    def test_for_loop(self):
+        body = parse_body(
+            "for (uint32_t i = 0; i < 4; i += 1) { } pkt->drop();"
+        )
+        loop = body[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init, ast.DeclStmt)
+        assert loop.cond is not None
+        assert loop.step is not None
+
+    def test_increment_statement(self):
+        body = parse_body("uint32_t i = 0; i++; pkt->drop();")
+        assert isinstance(body[1], ast.AssignStmt)
+        assert body[1].op == "+="
+
+    def test_compound_assignment(self):
+        body = parse_body("uint32_t i = 0; i <<= 2; pkt->drop();")
+        assert body[1].op == "<<="
+
+    def test_break_continue(self):
+        body = parse_body(
+            "while (1) { if (2) { break; } continue; } pkt->drop();"
+        )
+        loop = body[0]
+        assert isinstance(loop.body[0].then_body[0], ast.BreakStmt)
+        assert isinstance(loop.body[1], ast.ContinueStmt)
+
+    def test_statement_ids_unique(self):
+        program = parse_program(
+            """
+            class Box {
+              void process(Packet *pkt) {
+                uint32_t a = 1;
+                uint32_t b = 2;
+                if (a < b) { pkt->send(); } else { pkt->drop(); }
+              }
+            };
+            """
+        )
+        ids = [
+            s.stmt_id
+            for s in ast.walk_statements(program.middlebox.methods[0].body)
+        ]
+        assert len(ids) == len(set(ids))
+
+
+class TestExpressions:
+    def test_precedence(self):
+        body = parse_body("uint32_t x = 1 + 2 * 3; pkt->drop();")
+        init = body[0].init
+        assert isinstance(init, ast.BinaryOp) and init.op == "+"
+        assert isinstance(init.rhs, ast.BinaryOp) and init.rhs.op == "*"
+
+    def test_cast_expression(self):
+        body = parse_body("uint16_t x = (uint16_t)(1 & 0xFFFF); pkt->drop();")
+        assert isinstance(body[0].init, ast.CastExpr)
+
+    def test_parenthesized_not_cast(self):
+        body = parse_body("uint32_t y = 1; uint32_t x = (y) + 2; pkt->drop();")
+        assert isinstance(body[1].init, ast.BinaryOp)
+
+    def test_null_comparison(self):
+        body = parse_body(
+            "uint32_t z = 0; if (pkt != NULL) { pkt->drop(); } else { pkt->drop(); }"
+        )
+        cond = body[1].cond
+        assert isinstance(cond, ast.BinaryOp)
+        assert isinstance(cond.rhs, ast.NullLiteral)
+
+    def test_method_call_with_address_of(self):
+        body = parse_body("uint16_t k = 1; pkt->send();")
+        # call args parsing exercised via full middlebox sources elsewhere
+        assert isinstance(body[0], ast.DeclStmt)
+
+    def test_ternary(self):
+        body = parse_body("uint32_t a = 1; uint32_t x = a ? 2 : 3; pkt->drop();")
+        assert isinstance(body[1].init, ast.ConditionalExpr)
+
+    def test_unary_operators(self):
+        body = parse_body("uint32_t a = 1; uint32_t x = ~a; uint32_t y = -a; pkt->drop();")
+        assert isinstance(body[1].init, ast.UnaryOp)
+        assert body[1].init.op == "~"
+
+    def test_index_expression(self):
+        source = """
+        class Box {
+          Vector<uint32_t> v;
+          void process(Packet *pkt) {
+            uint32_t x = v[0];
+            pkt->drop();
+          }
+        };
+        """
+        body = parse_program(source).middlebox.methods[0].body
+        assert isinstance(body[0].init, ast.IndexExpr)
+
+    def test_logical_operators(self):
+        body = parse_body("uint32_t a = 1; if (a && (a || 0)) { pkt->send(); } else { pkt->drop(); }")
+        assert isinstance(body[1].cond, ast.BinaryOp)
+        assert body[1].cond.op == "&&"
+
+
+class TestSourceLineCount:
+    def test_counts_nonblank_noncomment(self, middlebox_name, bundle):
+        count = bundle.lowered.program.source_line_count()
+        assert count > 10
+
+    def test_minilb_loc(self):
+        from tests.conftest import MINILB_SOURCE
+
+        program = parse_program(MINILB_SOURCE)
+        assert program.source_line_count() == 20

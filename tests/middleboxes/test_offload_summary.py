@@ -1,0 +1,170 @@
+"""Per-middlebox offload results must match the paper's §6.2 narrative."""
+
+import pytest
+
+from repro.ir import instructions as irin
+from repro.partition.labels import Partition
+from repro.partition.plan import PlacementKind
+from tests.conftest import get_bundle, get_compiled
+
+
+class TestMazuNAT:
+    """§6.2: 'MazuNAT's address translation tables ... are offloaded to the
+    programmable switch. Besides that, the counter used for port allocation
+    is also offloaded to the switch as a P4 register.'"""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return get_compiled("mazunat").plan
+
+    def test_translation_tables_on_switch(self, plan):
+        for table in ("nat_out", "rev_addr", "rev_port"):
+            assert plan.placements[table].kind is PlacementKind.REPLICATED_TABLE
+
+    def test_counter_is_register(self, plan):
+        assert (
+            plan.placements["port_counter"].kind
+            is PlacementKind.SWITCH_REGISTER
+        )
+
+    def test_counter_value_travels_in_shim(self, plan):
+        """'the pre-processing code will pack the current counter value into
+        the packet header and send it to the middlebox server'."""
+        names = plan.to_server.names()
+        assert any(
+            name.startswith(("new_port", "ticket", "t"))
+            for name in names
+        )
+        # The RMW runs on the switch...
+        rmw = next(
+            i for i in plan.middlebox.process.instructions()
+            if isinstance(i, irin.RegisterRMW)
+        )
+        assert plan.assignment[rmw.id] is Partition.PRE
+        # ...and the inserts on the server.
+        for insert in plan.middlebox.process.instructions():
+            if isinstance(insert, irin.MapInsert):
+                assert plan.assignment[insert.id] is Partition.NON_OFF
+
+    def test_annotation_bounds_table(self, plan):
+        assert plan.placements["nat_out"].entries == 65536
+
+
+class TestLoadBalancer:
+    """§6.2: 'the connection consistency map is stored in the switch. New
+    incoming connections and packets with TCP control flags (RST and FIN)
+    will be forwarded to the middlebox server.'"""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return get_compiled("lb").plan
+
+    def test_conn_map_on_switch(self, plan):
+        assert plan.placements["conn_map"].kind is PlacementKind.REPLICATED_TABLE
+
+    def test_timestamps_stay_on_server(self, plan):
+        assert plan.placements["conn_ts"].kind is PlacementKind.SERVER_ONLY
+
+    def test_backend_list_on_server(self, plan):
+        # backends.size() has no switch implementation, and new-connection
+        # assignment runs on the server anyway.
+        assert plan.placements["backends"].kind is PlacementKind.SERVER_ONLY
+
+    def test_exactly_one_offloaded_conn_map_lookup(self, plan):
+        finds = [
+            i for i in plan.middlebox.process.instructions()
+            if isinstance(i, irin.MapFind) and i.state == "conn_map"
+        ]
+        offloaded = [
+            f for f in finds if plan.assignment[f.id] is not Partition.NON_OFF
+        ]
+        assert len(finds) == 2  # data path + teardown path
+        assert len(offloaded) == 1
+
+
+class TestFirewall:
+    """§6.2: two match-action tables filter both directions; the
+    non-offloaded code is only rule construction."""
+
+    def test_both_whitelists_plain_switch_tables(self):
+        plan = get_compiled("firewall").plan
+        assert plan.placements["wl_out"].kind is PlacementKind.SWITCH_TABLE
+        assert plan.placements["wl_in"].kind is PlacementKind.SWITCH_TABLE
+
+    def test_packet_path_fully_offloaded(self):
+        plan = get_compiled("firewall").plan
+        assert plan.counts()["non_off"] == 0
+
+    def test_rule_construction_in_configure(self):
+        bundle = get_bundle("firewall")
+        assert bundle.lowered.configure is not None
+        inserts = [
+            i for i in bundle.lowered.configure.instructions()
+            if isinstance(i, irin.MapInsert)
+        ]
+        assert len(inserts) == 2  # one per direction table
+
+
+class TestProxy:
+    """§6.2: one match-action table checks the TCP destination port and a
+    rewrite action redirects to the web proxy."""
+
+    def test_port_table_and_registers(self):
+        plan = get_compiled("proxy").plan
+        assert plan.placements["proxy_ports"].kind is PlacementKind.SWITCH_TABLE
+        assert (
+            plan.placements["proxy_addr"].kind is PlacementKind.SWITCH_REGISTER
+        )
+
+    def test_fully_offloaded(self):
+        plan = get_compiled("proxy").plan
+        assert plan.counts()["non_off"] == 0
+        assert plan.offloaded_fraction() == 1.0
+
+
+class TestTrojanDetector:
+    """§6.2: the TCP flow state table lives on the switch; control packets
+    and DPI-requiring requests go to the server."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return get_compiled("trojan").plan
+
+    def test_flow_table_on_switch(self, plan):
+        assert plan.placements["flows"].kind is PlacementKind.REPLICATED_TABLE
+
+    def test_host_state_readable_on_switch(self, plan):
+        assert plan.placements["host_state"].on_switch
+
+    def test_dpi_loop_on_server(self, plan):
+        """The byte-scanning loop has no P4 counterpart (rule 5)."""
+        extern_calls = [
+            i for i in plan.middlebox.process.instructions()
+            if isinstance(i, irin.ExternCall)
+            and i.name in ("payload_len", "payload_byte")
+        ]
+        assert extern_calls
+        assert all(
+            plan.assignment[c.id] is Partition.NON_OFF for c in extern_calls
+        )
+
+    def test_flow_inserts_on_server(self, plan):
+        for inst in plan.middlebox.process.instructions():
+            if isinstance(inst, (irin.MapInsert, irin.MapErase)):
+                assert plan.assignment[inst.id] is Partition.NON_OFF
+
+
+class TestCompilationStability:
+    def test_deterministic_partitioning(self, middlebox_name):
+        """Compiling twice yields identical partition counts and shims."""
+        from repro.compiler import compile_lowered
+        from repro.middleboxes import load
+
+        first = compile_lowered(load(middlebox_name).lowered)
+        second = compile_lowered(load(middlebox_name).lowered)
+        assert first.plan.counts() == second.plan.counts()
+        assert first.plan.to_server.names() == second.plan.to_server.names()
+        assert (
+            first.shim_to_server.field_names()
+            == second.shim_to_server.field_names()
+        )

@@ -1,0 +1,126 @@
+"""Tests for the table-cache extension (paper §7 future work)."""
+
+import pytest
+
+from repro.net.addresses import ip
+from repro.runtime.cache import (
+    CacheConfigurationError,
+    CachedGalliumMiddlebox,
+    build_cached,
+)
+from repro.eval.profiles import build_baseline
+from repro.workloads.packets import make_tcp_packet
+
+
+def seed_backends(middlebox):
+    middlebox.state.vectors["backends"] = [
+        int(ip("10.0.1.1")), int(ip("10.0.1.2")),
+    ]
+    middlebox.sync_all_state()
+
+
+class TestCacheBasics:
+    def test_hot_flow_hits_cache(self):
+        middlebox = build_cached("minilb", cache_entries=8)
+        seed_backends(middlebox)
+        first = middlebox.process_packet(
+            make_tcp_packet("1.1.1.1", "10.0.0.100", 5, 80), 1
+        )
+        assert not first.fast_path
+        for _ in range(3):
+            journey = middlebox.process_packet(
+                make_tcp_packet("1.1.1.1", "10.0.0.100", 5, 80), 1
+            )
+            assert journey.fast_path
+        assert middlebox.stats.hit_rate > 0.5
+
+    def test_cache_bound_enforced(self):
+        middlebox = build_cached("minilb", cache_entries=4)
+        seed_backends(middlebox)
+        for client in range(20):
+            middlebox.process_packet(
+                make_tcp_packet(f"10.9.0.{client + 1}", "10.0.0.100", 5, 80), 1
+            )
+        occupancy = middlebox.switch_cache_occupancy()["map"]
+        assert occupancy <= 4
+        assert middlebox.stats.evictions > 0
+        # The authoritative server map still holds everything.
+        assert len(middlebox.state.maps["map"]) > 4
+
+    def test_evicted_flow_still_correct(self):
+        """An evicted connection misses the cache but keeps its backend:
+        the server's authoritative map wins."""
+        middlebox = build_cached("minilb", cache_entries=2)
+        seed_backends(middlebox)
+        victim = make_tcp_packet("10.8.0.1", "10.0.0.100", 5, 80)
+        middlebox.process_packet(victim, 1)
+        original_backend = str(victim.ip.daddr)
+        # Blow the cache with other flows.
+        for client in range(10):
+            middlebox.process_packet(
+                make_tcp_packet(f"10.8.1.{client + 1}", "10.0.0.100", 5, 80), 1
+            )
+        replay = make_tcp_packet("10.8.0.1", "10.0.0.100", 5, 80)
+        journey = middlebox.process_packet(replay, 1)
+        assert str(replay.ip.daddr) == original_backend
+        assert journey.punted  # cache miss, served by the full program
+
+    def test_refill_after_miss(self):
+        middlebox = build_cached("minilb", cache_entries=2)
+        seed_backends(middlebox)
+        middlebox.process_packet(
+            make_tcp_packet("10.7.0.1", "10.0.0.100", 5, 80), 1
+        )
+        for client in range(5):
+            middlebox.process_packet(
+                make_tcp_packet(f"10.7.1.{client + 1}", "10.0.0.100", 5, 80), 1
+            )
+        # Miss refills the entry; the next packet hits again.
+        middlebox.process_packet(
+            make_tcp_packet("10.7.0.1", "10.0.0.100", 5, 80), 1
+        )
+        journey = middlebox.process_packet(
+            make_tcp_packet("10.7.0.1", "10.0.0.100", 5, 80), 1
+        )
+        assert journey.fast_path
+        assert middlebox.stats.refills > 0
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("cache_entries", [1, 4, 64])
+    def test_verdicts_match_baseline_any_cache_size(self, cache_entries):
+        import random
+
+        rng = random.Random(3)
+        middlebox = build_cached("lb", cache_entries=cache_entries)
+        baseline = build_baseline("lb")
+        from repro.net.headers import TcpFlags
+
+        for _ in range(120):
+            flags = rng.choice(
+                [TcpFlags.SYN, TcpFlags.ACK, TcpFlags.ACK,
+                 TcpFlags.FIN | TcpFlags.ACK]
+            )
+            packet = make_tcp_packet(
+                f"192.168.1.{rng.randint(1, 6)}", "10.0.0.100",
+                rng.randint(5000, 5004), 80, flags=flags,
+            )
+            clone = packet.copy()
+            base = baseline.process_packet(clone, 1)
+            journey = middlebox.process_packet(packet, 1)
+            assert base.verdict == journey.verdict
+            if base.verdict == "send":
+                assert str(clone.ip.daddr) == str(packet.ip.daddr)
+        assert middlebox.state.maps["conn_map"] == baseline.state.maps["conn_map"]
+
+
+class TestCacheRestrictions:
+    def test_register_mutating_pre_rejected(self):
+        """MazuNAT's pre pipeline bumps the port counter: cache mode's
+        full-program rerun would double-increment, so it is rejected."""
+        with pytest.raises(CacheConfigurationError):
+            build_cached("mazunat", cache_entries=16)
+
+    def test_no_replicated_tables_rejected(self):
+        with pytest.raises(CacheConfigurationError):
+            build_cached("firewall", cache_entries=16)

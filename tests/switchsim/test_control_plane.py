@@ -1,0 +1,111 @@
+"""Tests for control-plane updates and the Table 3 latency model."""
+
+import statistics
+
+import pytest
+
+from repro.switchsim.control_plane import (
+    BASE_PER_TABLE_US,
+    ControlPlane,
+    StateUpdate,
+    _batch_latency_us,
+)
+from repro.switchsim.registers import Register
+from repro.switchsim.tables import ExactMatchTable
+
+
+def make_control(tables=2):
+    table_map = {
+        f"t{i}": ExactMatchTable(f"t{i}", [32], 32, 128) for i in range(tables)
+    }
+    registers = {"r": Register("r")}
+    return ControlPlane(table_map, registers, seed=1), table_map, registers
+
+
+class TestApplyBatch:
+    def test_insert_visible_after_batch(self):
+        control, tables, _ = make_control()
+        result = control.apply_batch(
+            [StateUpdate("insert", "t0", (5,), 99)]
+        )
+        assert tables["t0"].lookup((5,)) == (True, 99)
+        assert result.tables_touched == 1
+        assert result.visibility_latency_us > 0
+
+    def test_delete(self):
+        control, tables, _ = make_control()
+        control.apply_batch([StateUpdate("insert", "t0", (5,), 99)])
+        control.apply_batch([StateUpdate("delete", "t0", (5,), None)])
+        assert tables["t0"].lookup((5,)) == (False, 0)
+
+    def test_register_update(self):
+        control, _, registers = make_control()
+        control.apply_batch([StateUpdate("register", "r", (), 77)])
+        assert registers["r"].read() == 77
+
+    def test_multi_table_batch_atomic(self):
+        control, tables, _ = make_control()
+        control.apply_batch(
+            [
+                StateUpdate("insert", "t0", (1,), 10),
+                StateUpdate("insert", "t1", (1,), 11),
+            ]
+        )
+        assert tables["t0"].lookup((1,)) == (True, 10)
+        assert tables["t1"].lookup((1,)) == (True, 11)
+
+    def test_visibility_bit_cleared_after_batch(self):
+        control, tables, _ = make_control()
+        control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        assert not tables["t0"]._writeback_visible
+        assert not tables["t0"]._writeback
+
+    def test_counters(self):
+        control, _, _ = make_control()
+        control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        control.apply_batch([StateUpdate("insert", "t0", (2,), 2)])
+        assert control.batches_applied == 2
+        assert control.updates_applied == 2
+
+    def test_install_entries_bulk(self):
+        control, tables, _ = make_control()
+        control.install_entries("t0", {(i,): i * 2 for i in range(10)})
+        assert tables["t0"].entry_count == 10
+
+
+class TestLatencyModel:
+    """The latency model must land near the paper's Table 3."""
+
+    def _mean(self, n_tables, op, trials=300):
+        import random
+
+        rng = random.Random(0)
+        return statistics.mean(
+            _batch_latency_us(n_tables, op, rng) for _ in range(trials)
+        )
+
+    def test_one_table_insert_near_135us(self):
+        assert 120 <= self._mean(1, "insert") <= 150
+
+    def test_two_tables_doubles(self):
+        assert 245 <= self._mean(2, "insert") <= 295
+
+    def test_four_tables_sublinear(self):
+        """Paper: 4 tables costs ~371 µs, not 540 (RPC pipelining)."""
+        four = self._mean(4, "insert")
+        assert 340 <= four <= 405
+        assert four < 2 * self._mean(2, "insert")
+
+    def test_modify_cheaper_than_insert(self):
+        assert BASE_PER_TABLE_US["modify"] < BASE_PER_TABLE_US["insert"]
+
+    def test_zero_tables_free(self):
+        import random
+
+        assert _batch_latency_us(0, "insert", random.Random(0)) == 0.0
+
+    def test_update_is_5x_packet_latency(self):
+        """Paper: 'A single table update is about 5x the end-to-end latency
+        of a packet sent through a software middlebox' (~22.5 µs)."""
+        ratio = self._mean(1, "insert") / 22.5
+        assert 4.5 <= ratio <= 7.5

@@ -1,0 +1,119 @@
+"""Tests for switch tables, write-back atomic updates, and registers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.instructions import BinOpKind
+from repro.switchsim.registers import Register
+from repro.switchsim.tables import ExactMatchTable, TableEntryLimit
+
+
+class TestExactMatchTable:
+    def test_miss_returns_false(self):
+        table = ExactMatchTable("t", [32], 32, 10)
+        assert table.lookup((1,)) == (False, 0)
+
+    def test_staged_entry_invisible_until_bit(self):
+        table = ExactMatchTable("t", [32], 32, 10)
+        table.stage((1,), 42)
+        assert table.lookup((1,)) == (False, 0)
+        table.set_visibility(True)
+        assert table.lookup((1,)) == (True, 42)
+
+    def test_three_step_protocol(self):
+        """Stage → flip → fold leaves entries in the main table."""
+        table = ExactMatchTable("t", [32], 32, 10)
+        table.stage((1,), 7)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        assert table.lookup((1,)) == (True, 7)
+        assert table.entry_count == 1
+
+    def test_tombstone_deletes(self):
+        table = ExactMatchTable("t", [32], 32, 10)
+        table.stage((1,), 7)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        # Stage a deletion: visible as a miss once the bit flips.
+        table.stage((1,), None)
+        table.set_visibility(True)
+        assert table.lookup((1,)) == (False, 0)
+        table.fold_writeback()
+        table.set_visibility(False)
+        assert table.lookup((1,)) == (False, 0)
+        assert table.entry_count == 0
+
+    def test_capacity_enforced_across_stage(self):
+        table = ExactMatchTable("t", [32], 32, 1)
+        table.stage((1,), 1)
+        with pytest.raises(TableEntryLimit):
+            table.stage((2,), 2)
+
+    def test_overwrite_existing_never_rejected(self):
+        table = ExactMatchTable("t", [32], 32, 1)
+        table.stage((1,), 1)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        table.stage((1,), 2)  # same key: fine at capacity
+
+    def test_counters(self):
+        table = ExactMatchTable("t", [32], 32, 4)
+        table.stage((1,), 1)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        table.lookup((1,))
+        table.lookup((2,))
+        assert table.lookup_count == 2
+        assert table.hit_count == 1
+
+    def test_snapshot_respects_visibility(self):
+        table = ExactMatchTable("t", [32], 32, 4)
+        table.stage((1,), 5)
+        assert table.snapshot() == {}
+        table.set_visibility(True)
+        assert table.snapshot() == {(1,): 5}
+
+    @given(st.dictionaries(st.integers(0, 1000), st.integers(0, 2**32 - 1),
+                           max_size=30))
+    def test_install_matches_model(self, entries):
+        """After a full stage/flip/fold cycle, the table equals the dict."""
+        table = ExactMatchTable("t", [32], 32, 64)
+        for key, value in entries.items():
+            table.stage((key,), value)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        for key, value in entries.items():
+            assert table.lookup((key,)) == (True, value)
+
+
+class TestRegister:
+    def test_read_initial(self):
+        assert Register("r").read() == 0
+
+    def test_rmw_returns_old_value(self):
+        register = Register("r", 32, initial=10)
+        assert register.rmw(BinOpKind.ADD, 5) == 10
+        assert register.read() == 15
+
+    def test_width_wraps(self):
+        register = Register("r", 16, initial=0xFFFF)
+        register.rmw(BinOpKind.ADD, 1)
+        assert register.value == 0
+
+    def test_control_write(self):
+        register = Register("r", 8)
+        register.control_write(0x1FF)
+        assert register.value == 0xFF
+
+    def test_counters(self):
+        register = Register("r")
+        register.read()
+        register.rmw(BinOpKind.ADD, 1)
+        register.control_write(0)
+        assert register.read_count == 2
+        assert register.write_count == 2

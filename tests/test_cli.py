@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mazunat" in out and "MazuNAT" in out
+
+    def test_compile_bundled(self, tmp_path, capsys):
+        assert main(["compile", "minilb", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "pre=" in out
+        assert (tmp_path / "minilb.p4").exists()
+        assert (tmp_path / "minilb_server.cc").exists()
+
+    def test_compile_file(self, tmp_path, capsys):
+        source_path = tmp_path / "custom.cc"
+        source_path.write_text(
+            "class Custom { void process(Packet *pkt) {"
+            " iphdr *ip = pkt->network_header();"
+            " ip->ttl = ip->ttl - 1; pkt->send(); } };"
+        )
+        assert main(["compile", str(source_path), "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "custom.p4").exists()
+
+    def test_compile_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "does-not-exist"])
+
+    def test_partition_output(self, capsys):
+        assert main(["partition", "minilb"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-processing (switch)" in out
+        assert "map_find state.map" in out
+        assert "shim to server" in out
+
+    def test_experiments_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "MazuNAT" in out
+
+    def test_experiments_table3(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Insert" in out
