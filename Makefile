@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test difftest difftest-smoke benchmarks
+
+test:
+	$(PYTHON) -m pytest -q tests/
+
+# The full gauntlet: 1000 programs, shrink failures to minimal reproducers.
+difftest:
+	$(PYTHON) -m repro difftest --runs 1000 --seed 0 --shrink
+
+# Fixed-seed smoke slice bounded to ~60 seconds of wall clock.
+difftest-smoke:
+	$(PYTHON) -m repro difftest --runs 100000 --seed 0 --time-budget 60
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -11,6 +11,9 @@ Commands
     Regenerate the paper's tables/figures.
 ``list``
     List the bundled middleboxes.
+``difftest --runs N --seed S [--shrink]``
+    Differential-testing gauntlet: generate random middleboxes and compare
+    the FastClick baseline against the Gallium (and cached) deployments.
 """
 
 from __future__ import annotations
@@ -114,6 +117,23 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def cmd_difftest(args) -> int:
+    from repro.difftest import run_gauntlet
+
+    stats, failures = run_gauntlet(
+        runs=args.runs,
+        seed=args.seed,
+        packets=args.packets,
+        shrink_failures=args.shrink,
+        max_failures=args.max_failures,
+        time_budget_s=args.time_budget,
+        seed_override=args.seed_override,
+        log=print,  # streams progress and each failure report as found
+    )
+    print(stats.summary())
+    return 1 if stats.failures else 0
+
+
 def cmd_list(args) -> int:
     from repro.middleboxes import load
 
@@ -155,6 +175,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments_parser.add_argument("--flows", type=int, default=1000)
     experiments_parser.set_defaults(func=cmd_experiments)
+
+    difftest_parser = sub.add_parser(
+        "difftest", help="run the differential-testing gauntlet"
+    )
+    difftest_parser.add_argument("--runs", type=int, default=200,
+                                 help="number of generated programs")
+    difftest_parser.add_argument("--seed", type=int, default=0,
+                                 help="master seed (one seed per gauntlet)")
+    difftest_parser.add_argument("--packets", type=int, default=25,
+                                 help="packets per stream")
+    difftest_parser.add_argument("--shrink", action="store_true",
+                                 help="delta-debug each failure to a minimal"
+                                 " reproducer")
+    difftest_parser.add_argument("--max-failures", type=int, default=10,
+                                 help="stop after this many failures")
+    difftest_parser.add_argument("--seed-override", type=int, default=None,
+                                 help="pin the program seed of run 0"
+                                 " (reproduce a reported failure)")
+    difftest_parser.add_argument("--time-budget", type=float, default=None,
+                                 help="stop early after this many seconds")
+    difftest_parser.set_defaults(func=cmd_difftest)
 
     list_parser = sub.add_parser("list", help="list bundled middleboxes")
     list_parser.set_defaults(func=cmd_list)

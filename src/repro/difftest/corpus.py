@@ -1,0 +1,80 @@
+"""Reproducer corpus: minimized divergences serialized for regression.
+
+Every compiler bug the gauntlet finds is committed as one JSON file under
+``tests/difftest_corpus/``; the corpus regression test replays each entry
+through the oracle and asserts the recorded expectation (``agree`` once
+the bug is fixed).  Entries carry the generator seed they came from so
+the full pre-shrink case can always be regenerated.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from repro.difftest.oracle import Outcome, OracleResult, StreamSpec, run_oracle
+
+#: Default corpus location (checked into the repository).
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "difftest_corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One minimized reproducer plus its provenance."""
+
+    name: str
+    source: str
+    stream: StreamSpec
+    expect: str = Outcome.AGREE.value
+    description: str = ""
+    found_by_seed: Optional[int] = None
+    check_cached: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "found_by_seed": self.found_by_seed,
+            "expect": self.expect,
+            "check_cached": self.check_cached,
+            "stream": self.stream.to_dict(),
+            "source": self.source.splitlines(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusEntry":
+        source = data["source"]
+        if isinstance(source, list):
+            source = "\n".join(source) + "\n"
+        return cls(
+            name=data["name"],
+            source=source,
+            stream=StreamSpec.from_dict(data["stream"]),
+            expect=data.get("expect", Outcome.AGREE.value),
+            description=data.get("description", ""),
+            found_by_seed=data.get("found_by_seed"),
+            check_cached=data.get("check_cached", True),
+        )
+
+
+def save_entry(entry: CorpusEntry, directory: Path = CORPUS_DIR) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_corpus(directory: Path = CORPUS_DIR) -> List[CorpusEntry]:
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        entries.append(CorpusEntry.from_dict(json.loads(path.read_text())))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> OracleResult:
+    """Run one corpus entry through the oracle."""
+    return run_oracle(entry.source, entry.stream, check_cached=entry.check_cached)

@@ -1,0 +1,332 @@
+"""Three-way differential oracle: baseline vs. Gallium vs. cached Gallium.
+
+Each generated program runs over the same seeded packet stream on
+
+1. ``FastClickRuntime`` — the unpartitioned program (ground truth),
+2. ``GalliumMiddlebox`` — the deployed switch+server pair,
+3. ``CachedGalliumMiddlebox`` — the bounded-table cache deployment
+   (with a deliberately tiny cache so eviction/refill paths execute).
+
+For every packet the oracle compares the verdict, the resolved egress
+port, and every mapped header field of the emitted packet; after the
+stream it compares final middlebox state (maps and scalars, with
+switch-resident registers read from the switch, as in the equivalence
+test-suite) and checks replicated-table convergence.
+
+Outcomes are classified so the gauntlet can tell signal from noise:
+
+* ``AGREE`` — all runtimes equivalent (the expected result),
+* ``DIVERGE`` — observable behaviour differed (a compiler bug),
+* ``PARTITION_REJECTED`` — the compiler legitimately refused the program
+  (e.g. ``PartitionError`` under tiny resources),
+* ``CRASH`` — an unhandled exception anywhere in the pipeline.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.difftest.generator import FIELD_WIDTHS
+from repro.ir.interp import PacketView
+from repro.net.packet import RawPacket
+from repro.partition.constraints import SwitchResources
+from repro.partition.partitioner import PartitionError
+from repro.runtime.baseline import FastClickRuntime
+from repro.runtime.cache import CacheConfigurationError, CachedGalliumMiddlebox
+from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+from repro.workloads.packets import make_tcp_packet, make_udp_packet
+
+DEFAULT_PORT_PAIRS = {1: 2, 2: 1}
+
+#: Fields compared on every emitted packet.  ``PacketView`` reads absent
+#: headers as 0 identically in every runtime, so the full list is safe for
+#: both TCP and UDP packets.
+OBSERVED_FIELDS: List[Tuple[str, str]] = sorted(FIELD_WIDTHS)
+
+
+class Outcome(str, Enum):
+    AGREE = "agree"
+    DIVERGE = "diverge"
+    PARTITION_REJECTED = "partition_rejected"
+    CRASH = "crash"
+
+
+@dataclass
+class Divergence:
+    runtime: str  # "gallium" | "cached"
+    kind: str  # "verdict" | "egress" | "field" | "state" | "switch_state"
+    packet_index: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        where = (
+            f"packet #{self.packet_index}" if self.packet_index is not None
+            else "final state"
+        )
+        return f"[{self.runtime}/{self.kind}] {where}: {self.detail}"
+
+
+@dataclass
+class OracleResult:
+    outcome: Outcome
+    divergence: Optional[Divergence] = None
+    error: Optional[str] = None
+    cached_checked: bool = False
+    packets_run: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        return self.outcome is Outcome.DIVERGE
+
+
+@dataclass
+class StreamSpec:
+    """A deterministic packet stream, serializable for the corpus.
+
+    Addresses and ports draw from small pools so generated map keys
+    collide across the stream (lookups hit, inserts overwrite, caches
+    evict); ingress alternates over the two switch-facing ports.
+    """
+
+    seed: int
+    count: int = 25
+    udp_ratio: float = 0.35
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "count": self.count, "udp_ratio": self.udp_ratio}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSpec":
+        return cls(
+            seed=int(data["seed"]),
+            count=int(data.get("count", 25)),
+            udp_ratio=float(data.get("udp_ratio", 0.35)),
+        )
+
+    def build(self) -> List[Tuple[RawPacket, int]]:
+        import random
+
+        rng = random.Random(self.seed)
+        packets: List[Tuple[RawPacket, int]] = []
+        for _ in range(self.count):
+            saddr = f"10.0.{rng.randrange(0, 3)}.{rng.randrange(1, 7)}"
+            daddr = f"10.9.{rng.randrange(0, 2)}.{rng.randrange(1, 5)}"
+            sport = rng.choice([1, 2, 3, 7, 80, 443, 8080])
+            dport = rng.choice([1, 2, 53, 80, 65535])
+            ingress = 1 if rng.random() < 0.7 else 2
+            if rng.random() < self.udp_ratio:
+                packet = make_udp_packet(
+                    saddr, daddr, sport, dport,
+                    payload=b"\x00" * rng.choice([0, 3, 10]),
+                    ingress_port=ingress,
+                )
+            else:
+                packet = make_tcp_packet(
+                    saddr, daddr, sport, dport,
+                    flags=rng.choice([0x02, 0x10, 0x10, 0x18, 0x11]),
+                    payload=b"\x00" * rng.choice([0, 3, 10]),
+                    seq=rng.randrange(0, 1 << 16),
+                    ingress_port=ingress,
+                )
+            # Exercise the narrow-width fields programs read.
+            packet.ip.ttl = rng.choice([1, 2, 63, 64, 255])
+            packet.ip.tos = rng.choice([0, 1, 0x10, 0xFF])
+            packet.ip.identification = rng.randrange(0, 1 << 16)
+            packets.append((packet, ingress))
+        return packets
+
+
+def _resolve_port(explicit: Optional[int], ingress: int, port_pairs: Dict[int, int]) -> int:
+    """The switch's egress rule (``SwitchModel._resolve_egress``)."""
+    return explicit if explicit else port_pairs.get(ingress, ingress)
+
+
+def _observe_fields(packet: RawPacket) -> Dict[str, int]:
+    view = PacketView(packet)
+    return {
+        f"{region}->{name}": view.get_field(region, name)
+        for region, name in OBSERVED_FIELDS
+    }
+
+
+def _journey_observation(journey) -> Tuple[str, Optional[int], Optional[Dict[str, int]]]:
+    if journey.verdict != "send":
+        return ("drop", None, None)
+    if not journey.emitted:
+        return ("send", None, None)
+    port, packet = journey.emitted[0]
+    return ("send", port, _observe_fields(packet))
+
+
+def _compare_packet(
+    runtime: str,
+    index: int,
+    base_obs: Tuple[str, Optional[int], Optional[Dict[str, int]]],
+    dut_obs: Tuple[str, Optional[int], Optional[Dict[str, int]]],
+) -> Optional[Divergence]:
+    base_verdict, base_port, base_fields = base_obs
+    dut_verdict, dut_port, dut_fields = dut_obs
+    if base_verdict != dut_verdict:
+        return Divergence(
+            runtime, "verdict", index,
+            f"baseline={base_verdict!r} {runtime}={dut_verdict!r}",
+        )
+    if base_verdict != "send":
+        return None
+    if base_port != dut_port:
+        return Divergence(
+            runtime, "egress", index,
+            f"baseline port={base_port} {runtime} port={dut_port}",
+        )
+    if base_fields != dut_fields:
+        diffs = [
+            f"{key}: baseline={base_fields[key]:#x} {runtime}={dut_fields[key]:#x}"
+            for key in base_fields
+            if base_fields[key] != dut_fields.get(key)
+        ]
+        return Divergence(runtime, "field", index, "; ".join(diffs) or "field sets differ")
+    return None
+
+
+def _compare_state(runtime: str, baseline: FastClickRuntime, dut: GalliumMiddlebox) -> Optional[Divergence]:
+    base_state = baseline.state.snapshot()
+    dut_state = dut.state.snapshot()
+    # Switch-resident registers are authoritative on the switch.
+    for name, register in dut.switch.registers.items():
+        placement = dut.plan.placements.get(name)
+        if placement is not None and placement.kind.value == "switch_register":
+            dut_state["scalars"][name] = register.value
+    if dut_state["maps"] != base_state["maps"]:
+        return Divergence(
+            runtime, "state", None,
+            f"maps: baseline={base_state['maps']!r} {runtime}={dut_state['maps']!r}",
+        )
+    if dut_state["scalars"] != base_state["scalars"]:
+        return Divergence(
+            runtime, "state", None,
+            f"scalars: baseline={base_state['scalars']!r} {runtime}={dut_state['scalars']!r}",
+        )
+    return None
+
+
+def _check_replication(dut: GalliumMiddlebox) -> Optional[Divergence]:
+    for name, placement in dut.plan.placements.items():
+        if placement.kind.value != "replicated_table":
+            continue
+        if dut.switch.tables[name].snapshot() != dut.state.maps[name]:
+            return Divergence(
+                "gallium", "switch_state", None,
+                f"replicated table {name!r}: switch copy"
+                f" {dut.switch.tables[name].snapshot()!r} !="
+                f" server {dut.state.maps[name]!r}",
+            )
+    return None
+
+
+def run_oracle(
+    source: str,
+    stream: StreamSpec,
+    limits: Optional[SwitchResources] = None,
+    check_cached: bool = True,
+    cache_entries: int = 2,
+) -> OracleResult:
+    """Compile ``source`` once and drive all runtimes over ``stream``."""
+    try:
+        plan, program = compile_middlebox(source, limits)
+    except PartitionError as exc:
+        return OracleResult(Outcome.PARTITION_REJECTED, error=str(exc))
+    except Exception:
+        return OracleResult(
+            Outcome.CRASH, error=f"compile:\n{traceback.format_exc()}"
+        )
+
+    try:
+        baseline = FastClickRuntime(plan.middlebox)
+        baseline.install()
+        gallium = GalliumMiddlebox(plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS))
+        gallium.install()
+        cached: Optional[CachedGalliumMiddlebox] = None
+        if check_cached:
+            try:
+                cached = CachedGalliumMiddlebox(
+                    plan, program, cache_entries=cache_entries,
+                    port_pairs=dict(DEFAULT_PORT_PAIRS),
+                )
+                cached.install()
+            except CacheConfigurationError:
+                cached = None
+    except Exception:
+        return OracleResult(
+            Outcome.CRASH, error=f"deploy:\n{traceback.format_exc()}"
+        )
+
+    packets = stream.build()
+    for index, (packet, ingress) in enumerate(packets):
+        base_packet = packet.copy()
+        gallium_packet = packet.copy()
+        try:
+            base_result = baseline.process_packet(base_packet, ingress)
+        except Exception:
+            return OracleResult(
+                Outcome.CRASH, packets_run=index,
+                error=f"baseline packet #{index}:\n{traceback.format_exc()}",
+            )
+        base_obs: Tuple[str, Optional[int], Optional[Dict[str, int]]]
+        if base_result.verdict != "send":
+            base_obs = ("drop", None, None)
+        else:
+            base_obs = (
+                "send",
+                _resolve_port(base_result.egress_port, ingress, DEFAULT_PORT_PAIRS),
+                _observe_fields(base_packet),
+            )
+        try:
+            journey = gallium.process_packet(gallium_packet, ingress)
+        except Exception:
+            return OracleResult(
+                Outcome.CRASH, packets_run=index,
+                error=f"gallium packet #{index}:\n{traceback.format_exc()}",
+            )
+        divergence = _compare_packet(
+            "gallium", index, base_obs, _journey_observation(journey)
+        )
+        if divergence:
+            return OracleResult(
+                Outcome.DIVERGE, divergence, packets_run=index + 1,
+                cached_checked=cached is not None,
+            )
+        if cached is not None:
+            cached_packet = packet.copy()
+            try:
+                cached_journey = cached.process_packet(cached_packet, ingress)
+            except Exception:
+                return OracleResult(
+                    Outcome.CRASH, packets_run=index,
+                    error=f"cached packet #{index}:\n{traceback.format_exc()}",
+                )
+            divergence = _compare_packet(
+                "cached", index, base_obs,
+                _journey_observation(cached_journey),
+            )
+            if divergence:
+                return OracleResult(
+                    Outcome.DIVERGE, divergence, packets_run=index + 1,
+                    cached_checked=True,
+                )
+
+    divergence = (
+        _compare_state("gallium", baseline, gallium)
+        or _check_replication(gallium)
+        or (_compare_state("cached", baseline, cached) if cached is not None else None)
+    )
+    if divergence:
+        return OracleResult(
+            Outcome.DIVERGE, divergence, packets_run=len(packets),
+            cached_checked=cached is not None,
+        )
+    return OracleResult(
+        Outcome.AGREE, packets_run=len(packets), cached_checked=cached is not None,
+    )

@@ -1,0 +1,176 @@
+"""Delta-debugging minimizer for diverging (program, stream) pairs.
+
+Classic ddmin-style reduction specialized to the generator's statement
+tree: the shrinker repeatedly applies structural mutations — truncate the
+packet stream, drop statements, unwrap a conditional into one of its
+arms, drop unused class members, shrink numeric literals, simplify
+expressions — and keeps a mutation only while the caller's *divergence
+predicate* still holds.  Invalid mutants (e.g. a deleted ``Let`` whose
+name is still referenced) simply fail to compile, which makes the
+predicate return False, so validity never needs special-casing.
+
+The predicate contract: ``predicate(program, stream) -> bool``, True iff
+the interesting behaviour (usually "the oracle still reports the same
+divergence class") persists.  ``shrink_case`` guarantees the returned
+pair satisfies the predicate — it never returns a non-diverging
+candidate.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from typing import Callable, List, Tuple
+
+from repro.difftest.generator import GenProgram, MapLookup, If, Stmt
+from repro.difftest.oracle import StreamSpec
+
+Predicate = Callable[[GenProgram, StreamSpec], bool]
+
+_INT_RE = re.compile(r"\b(0[xX][0-9a-fA-F]+|\d+)\b")
+
+
+def _try(predicate: Predicate, program: GenProgram, stream: StreamSpec) -> bool:
+    try:
+        return bool(predicate(program, stream))
+    except Exception:
+        return False
+
+
+def _shrink_stream(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> StreamSpec:
+    """Truncate the packet stream as far as the divergence allows."""
+    while stream.count > 1:
+        for count in (1, stream.count // 2, stream.count - 1):
+            if count < 1 or count >= stream.count:
+                continue
+            candidate = StreamSpec(stream.seed, count, stream.udp_ratio)
+            if _try(predicate, program, candidate):
+                stream = candidate
+                break
+        else:
+            break
+    return stream
+
+
+def _drop_one_statement(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
+    for block_index, block in enumerate(program.all_blocks()):
+        for stmt_index in range(len(block)):
+            candidate = copy.deepcopy(program)
+            del candidate.all_blocks()[block_index][stmt_index]
+            if _try(predicate, candidate, stream):
+                del block[stmt_index]
+                return True
+    return False
+
+
+def _unwrap_one_branch(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
+    """Replace an If/MapLookup with the contents of one of its arms."""
+    for block_index, block in enumerate(program.all_blocks()):
+        for stmt_index, stmt in enumerate(block):
+            if not isinstance(stmt, (If, MapLookup)):
+                continue
+            for arm_index, arm in enumerate(stmt.blocks()):
+                candidate = copy.deepcopy(program)
+                cand_block = candidate.all_blocks()[block_index]
+                cand_arm = cand_block[stmt_index].blocks()[arm_index]
+                cand_block[stmt_index:stmt_index + 1] = cand_arm
+                if _try(predicate, candidate, stream):
+                    block[stmt_index:stmt_index + 1] = stmt.blocks()[arm_index]
+                    return True
+    return False
+
+
+def _drop_unused_members(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
+    changed = False
+    body_text = "\n".join(line for stmt in program.body for line in stmt.lines(0))
+    for spec in list(program.maps):
+        if re.search(rf"\b{re.escape(spec.name)}\b", body_text):
+            continue
+        candidate = copy.deepcopy(program)
+        candidate.maps = [m for m in candidate.maps if m.name != spec.name]
+        if _try(predicate, candidate, stream):
+            program.maps = [m for m in program.maps if m.name != spec.name]
+            changed = True
+    for scalar in list(program.scalars):
+        if re.search(rf"\b{re.escape(scalar)}\b", body_text):
+            continue
+        candidate = copy.deepcopy(program)
+        candidate.scalars = [s for s in candidate.scalars if s != scalar]
+        if _try(predicate, candidate, stream):
+            program.scalars = [s for s in program.scalars if s != scalar]
+            changed = True
+    return changed
+
+
+def _all_stmts(program: GenProgram) -> List[Stmt]:
+    return [stmt for block in program.all_blocks() for stmt in block]
+
+
+def _literal_candidates(value: int) -> List[int]:
+    out = []
+    for repl in (0, 1, value // 2):
+        if repl < value and repl not in out:
+            out.append(repl)
+    return out
+
+
+def _shrink_one_literal(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
+    for stmt_index, stmt in enumerate(_all_stmts(program)):
+        for attr in stmt.EXPR_ATTRS:
+            expr = getattr(stmt, attr)
+            for match in _INT_RE.finditer(expr):
+                value = int(match.group(0), 0)
+                for repl in _literal_candidates(value):
+                    new_expr = expr[: match.start()] + str(repl) + expr[match.end():]
+                    candidate = copy.deepcopy(program)
+                    setattr(_all_stmts(candidate)[stmt_index], attr, new_expr)
+                    if _try(predicate, candidate, stream):
+                        setattr(stmt, attr, new_expr)
+                        return True
+    return False
+
+
+def _simplify_one_expr(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
+    """Try replacing whole expression slots with the constant 0."""
+    for stmt_index, stmt in enumerate(_all_stmts(program)):
+        for attr in stmt.EXPR_ATTRS:
+            expr = getattr(stmt, attr)
+            if expr.strip() == "0" or attr == "cond":
+                continue
+            candidate = copy.deepcopy(program)
+            setattr(_all_stmts(candidate)[stmt_index], attr, "0")
+            if _try(predicate, candidate, stream):
+                setattr(stmt, attr, "0")
+                return True
+    return False
+
+
+def shrink_case(
+    program: GenProgram,
+    stream: StreamSpec,
+    predicate: Predicate,
+    max_rounds: int = 500,
+) -> Tuple[GenProgram, StreamSpec]:
+    """Reduce ``(program, stream)`` while ``predicate`` keeps holding.
+
+    Raises ``ValueError`` if the initial pair does not satisfy the
+    predicate (nothing to shrink).
+    """
+    program = copy.deepcopy(program)
+    if not _try(predicate, program, stream):
+        raise ValueError("shrink_case: initial case does not satisfy the predicate")
+    stream = _shrink_stream(program, stream, predicate)
+    for _ in range(max_rounds):
+        if _drop_one_statement(program, stream, predicate):
+            continue
+        if _unwrap_one_branch(program, stream, predicate):
+            continue
+        if _drop_unused_members(program, stream, predicate):
+            continue
+        if _simplify_one_expr(program, stream, predicate):
+            continue
+        if _shrink_one_literal(program, stream, predicate):
+            continue
+        break
+    stream = _shrink_stream(program, stream, predicate)
+    return program, stream

@@ -40,7 +40,8 @@ _MAX_STEPS = 1_000_000
 # Packet adapter
 # ---------------------------------------------------------------------------
 
-# (region, field) -> (attribute path, converter to int, converter from int)
+# (region, field) -> (RawPacket header attribute, field attribute name,
+#                      is-address flag: convert via Ipv4Address on get/set)
 _FIELD_MAP = {
     ("ip", "saddr"): ("ip", "saddr", True),
     ("ip", "daddr"): ("ip", "daddr", True),

@@ -40,7 +40,7 @@ class Location:
 
     @classmethod
     def packet(cls, region: str) -> "Location":
-        return cls(LocKind.PACKET, region)
+        return cls(LocKind.PACKET, aliased_packet_region(region))
 
     @property
     def is_global(self) -> bool:
@@ -58,6 +58,20 @@ class Location:
 #: All header packet regions a switch can touch (payload excluded: §2.2,
 #: switches only read the start of the packet).
 HEADER_REGIONS = ("eth", "ip", "tcp", "udp")
+
+
+def aliased_packet_region(region: str) -> str:
+    """Collapse aliasing packet regions to one dependency location.
+
+    Click's ``transport_header()`` exposes a single L4 view: TCP and UDP
+    share byte offsets for the port fields, and the interpreter honours
+    that aliasing (``tcp->sport`` on a UDP packet reads the UDP source
+    port).  A ``udp`` store therefore conflicts with a ``tcp`` load and
+    vice versa — tracking them as separate locations would let the
+    partitioner reorder across the alias (hoisting a port load above a
+    store to the other protocol's view of the same bytes).
+    """
+    return "l4" if region in ("tcp", "udp") else region
 ALL_PACKET_REGIONS = HEADER_REGIONS + ("payload", "meta")
 
 

@@ -29,13 +29,9 @@ def internet_checksum(data: bytes, initial: int = 0) -> int:
 
 
 def verify_checksum(data: bytes) -> bool:
-    """Return True if ``data`` (including its checksum field) sums to zero."""
-    total = 0
-    length = len(data)
-    for i in range(0, length - 1, 2):
-        total += (data[i] << 8) | data[i + 1]
-    if length % 2:
-        total += data[-1] << 8
-    while total > 0xFFFF:
-        total = (total & 0xFFFF) + (total >> 16)
-    return total == 0xFFFF
+    """Return True if ``data`` (including its checksum field) sums to zero.
+
+    Valid data ones-complement-sums to 0xFFFF, so its computed checksum
+    (the complement of that sum) is exactly zero.
+    """
+    return internet_checksum(data) == 0

@@ -85,10 +85,22 @@ def partition_middlebox(
     # -- constraint 3: one offloaded access site per global state -----------
     assignment = _enforce_single_access(lowered, graph, removed, assignment)
 
+    # -- one-directional replication: state written on the switch must not
+    # also be accessed on the server (write-back only flows server->switch,
+    # so a server access would observe a stale copy) -------------------------
+    assignment = _enforce_write_locality(lowered, graph, removed, assignment)
+
     # -- constraints 4 & 5: metadata + shim budgets -------------------------
-    assignment, projections, transfers = _enforce_budgets(
-        lowered, graph, removed, assignment, limits, from_entry, to_exit
-    )
+    # Budget refinement can move a state access to the server, which may
+    # strand an offloaded write of the same state; re-check write locality
+    # until both are stable (each pin strictly shrinks the offloaded set).
+    while True:
+        assignment, projections, transfers = _enforce_budgets(
+            lowered, graph, removed, assignment, limits, from_entry, to_exit
+        )
+        if not _pin_stranded_offloaded_writers(lowered, graph, removed, assignment):
+            break
+        assignment = run_label_removal(graph, removed)
 
     pre_projection, non_off_projection, post_projection = projections
     to_server, to_switch = transfers
@@ -258,6 +270,64 @@ def _enforce_single_access(
             if site.id != best_choice.id:
                 removed.setdefault(site.id, set()).update(_OFFLOAD_LABELS)
         assignment = run_label_removal(graph, removed)
+
+
+def _pin_stranded_offloaded_writers(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    removed: Dict[int, Set[Label]],
+    assignment: LabelAssignment,
+) -> bool:
+    """Pin offloaded writes of server-accessed state to the server.
+
+    State replication is one-directional: the server's write journal is
+    folded into switch tables/registers, but a switch-side write (a
+    ``RegisterRMW`` in an offloaded partition) never flows back into the
+    server's ``StateStore``.  If the server also reads or writes that
+    state, it would observe a stale copy — so any state member with both
+    an offloaded write site and a non-offloaded access site must have its
+    offloaded write sites moved to the server.  Returns True if anything
+    was pinned (caller re-runs label removal).
+    """
+    offloaded_writers: Dict[str, List[irin.Instruction]] = {}
+    server_accessed: Set[str] = set()
+    for inst in graph.instructions:
+        partition = assignment.partition_of(inst)
+        for loc in inst.writes():
+            if loc.is_global and loc.name in lowered.state:
+                if partition is Partition.NON_OFF:
+                    server_accessed.add(loc.name)
+                else:
+                    offloaded_writers.setdefault(loc.name, []).append(inst)
+        if partition is Partition.NON_OFF:
+            for loc in inst.reads():
+                if loc.is_global and loc.name in lowered.state:
+                    server_accessed.add(loc.name)
+    pinned = False
+    for name, writers in offloaded_writers.items():
+        if name not in server_accessed:
+            continue
+        for inst in writers:
+            removed.setdefault(inst.id, set()).update(_OFFLOAD_LABELS)
+            pinned = True
+    return pinned
+
+
+def _enforce_write_locality(
+    lowered: LoweredMiddlebox,
+    graph: DependencyGraph,
+    removed: Dict[int, Set[Label]],
+    assignment: LabelAssignment,
+) -> LabelAssignment:
+    """Fixpoint of :func:`_pin_stranded_offloaded_writers`.
+
+    Pinning a write site turns it into a server access site, which can in
+    turn strand another offloaded writer of the same state, so iterate;
+    the offloaded set shrinks monotonically, guaranteeing termination.
+    """
+    while _pin_stranded_offloaded_writers(lowered, graph, removed, assignment):
+        assignment = run_label_removal(graph, removed)
+    return assignment
 
 
 def _placement_score(graph: DependencyGraph, trial: LabelAssignment) -> int:

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List, Optional, Set
 from repro.lang.types import BOOL
 from repro.ir import instructions as irin
 from repro.ir.function import BasicBlock, Function
-from repro.ir.values import Const, Reg
+from repro.ir.values import Const, Reg, aliased_packet_region
 from repro.partition.labels import Partition
 
 NEEDS_SERVER = "__needs_server"
@@ -153,7 +153,7 @@ def project_partition(
     _prune_unreachable(projected)
     _simplify_empty_blocks(projected)
     if partition is not Partition.PRE:
-        _rematerialize_pure_slices(function, projected)
+        _rematerialize_pure_slices(function, projected, partition)
     return ProjectionResult(
         function=projected,
         partition=partition,
@@ -161,7 +161,9 @@ def project_partition(
     )
 
 
-def _rematerialize_pure_slices(original: Function, projected: Function) -> None:
+def _rematerialize_pure_slices(
+    original: Function, projected: Function, partition: Partition
+) -> None:
     """Recompute pure values locally instead of shipping them in the shim.
 
     A value the projection needs from an earlier partition can be
@@ -175,11 +177,17 @@ def _rematerialize_pure_slices(original: Function, projected: Function) -> None:
     Table lookups, register reads, externs, and multiply-assigned locals
     stay in the shim: recomputing a lookup would double the table access
     (constraint 3) and multiply-assigned values are path-dependent.
+
+    When the destination partition is a switch pipeline (POST), the slice
+    must additionally be P4-expressible — rematerializing a multiply or
+    division there would synthesize an instruction the switch cannot run
+    (caught by ``SwitchProgram.validate``); such values ride the shim
+    instead.
     """
     from repro.ir.validate import unsatisfied_uses
 
     written_regions = {
-        inst.region
+        aliased_packet_region(inst.region)
         for inst in original.instructions()
         if isinstance(inst, irin.StorePacketField)
     }
@@ -219,8 +227,10 @@ def _rematerialize_pure_slices(original: Function, projected: Function) -> None:
         if def_count.get(name, 0) != 1:
             return False
         inst = def_inst[name]
-        if isinstance(inst, irin.LoadPacketField):
-            ok = inst.region not in written_regions or (
+        if partition is Partition.POST and not inst.p4_supported():
+            ok = False
+        elif isinstance(inst, irin.LoadPacketField):
+            ok = aliased_packet_region(inst.region) not in written_regions or (
                 inst.region == "meta" and inst.field == "ingress_port"
             )
         elif isinstance(inst, (irin.Assign, irin.Cast, irin.BinOp, irin.UnOp)):
@@ -279,7 +289,7 @@ def _rematerializable_loads(
     if partition is Partition.PRE:
         return []
     written_regions = {
-        inst.region
+        aliased_packet_region(inst.region)
         for inst in function.instructions()
         if isinstance(inst, irin.StorePacketField)
     }
@@ -296,7 +306,7 @@ def _rematerializable_loads(
             continue
         if assignment.get(inst.id, Partition.NON_OFF).value >= partition.value:
             continue
-        if inst.region in written_regions:
+        if aliased_packet_region(inst.region) in written_regions:
             continue
         if inst.dst.name in used_names and inst.dst.name not in seen:
             seen.add(inst.dst.name)

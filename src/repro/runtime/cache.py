@@ -82,18 +82,21 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
             raise CacheConfigurationError(
                 f"{plan.middlebox.name}: no replicated tables to cache"
             )
-        # Cache mode reruns the full program on punted packets, so the pre
-        # pipeline must not mutate cross-packet state (a register RMW would
-        # execute twice).
+        # Cache mode reruns the full program on punted packets, so neither
+        # switch pipeline may mutate cross-packet state: a register RMW in
+        # pre would execute twice on a punt (switch, then server rerun),
+        # and one in post would execute zero times (the punt path emits
+        # from the server and never traverses post).
         from repro.ir import instructions as irin
 
-        for inst in plan.pre.instructions():
-            if isinstance(inst, irin.RegisterRMW):
-                raise CacheConfigurationError(
-                    f"{plan.middlebox.name}: pre partition mutates register"
-                    f" {inst.state!r}; cache mode requires a read-only pre"
-                    " pipeline"
-                )
+        for partition_name, function in (("pre", plan.pre), ("post", plan.post)):
+            for inst in function.instructions():
+                if isinstance(inst, irin.RegisterRMW):
+                    raise CacheConfigurationError(
+                        f"{plan.middlebox.name}: {partition_name} partition"
+                        f" mutates register {inst.state!r}; cache mode"
+                        " requires read-only switch pipelines"
+                    )
         #: FIFO insertion order per cached table (the eviction policy).
         self._fifo: Dict[str, OrderedDict] = {
             name: OrderedDict() for name in self.cached_tables

@@ -59,16 +59,32 @@ class ExactMatchTable:
     # -- control plane (called by ControlPlane only) -----------------------------
 
     def stage(self, key: Key, value: Optional[int]) -> None:
-        """Stage an insert/modify (value) or delete (None)."""
-        if value is not None and key not in self._main:
+        """Stage an insert/modify (value) or delete (None).
+
+        Capacity is checked against the *post-fold* occupancy: staged
+        deletes free their slot within the same batch, so an atomic
+        erase+insert round-trip through a full table succeeds (matching
+        the authoritative ``StateStore``, which applied the same journal
+        sequentially).
+        """
+        if value is not None:
             occupancy = len(self._main) + sum(
-                1 for v in self._writeback.values() if v is not _TOMBSTONE
+                self._staged_delta(staged_key, staged)
+                for staged_key, staged in self._writeback.items()
+                if staged_key != key
             )
-            if occupancy >= self.size:
+            occupancy += self._staged_delta(key, value)
+            if occupancy > self.size:
                 raise TableEntryLimit(
                     f"table {self.name!r} full ({self.size} entries)"
                 )
         self._writeback[key] = _TOMBSTONE if value is None else value
+
+    def _staged_delta(self, key: Key, staged: object) -> int:
+        """Occupancy change a staged entry causes once folded."""
+        if staged is _TOMBSTONE:
+            return -1 if key in self._main else 0
+        return 0 if key in self._main else 1
 
     def set_visibility(self, visible: bool) -> None:
         self._writeback_visible = visible

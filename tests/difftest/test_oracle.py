@@ -1,0 +1,65 @@
+"""Oracle classification and stream determinism."""
+
+from repro.difftest.oracle import Outcome, StreamSpec, run_oracle
+from repro.partition.constraints import SwitchResources
+
+AGREEING = """\
+class Box {
+  uint32_t total;
+
+  void process(Packet *pkt) {
+    iphdr *ip = pkt->network_header();
+    total += ip->tot_len;
+    ip->ttl = 9;
+    pkt->send();
+  }
+};
+"""
+
+
+def test_agree():
+    result = run_oracle(AGREEING, StreamSpec(seed=3, count=10))
+    assert result.outcome is Outcome.AGREE
+    assert result.packets_run == 10
+    assert result.divergence is None
+
+
+def test_crash_classification():
+    """Unparseable source is a crash with the phase in the error."""
+    result = run_oracle("class Box { not c++ }", StreamSpec(seed=0, count=1))
+    assert result.outcome is Outcome.CRASH
+    assert result.error and result.error.startswith("compile:")
+
+
+def test_partition_rejected():
+    """Impossible resource limits are a legitimate refusal, not a bug."""
+    limits = SwitchResources(
+        memory_bytes=0, pipeline_depth=1, metadata_bytes=0, transfer_bytes=0
+    )
+    result = run_oracle(AGREEING, StreamSpec(seed=0, count=1), limits=limits)
+    assert result.outcome in (Outcome.PARTITION_REJECTED, Outcome.AGREE)
+
+
+def test_stream_deterministic():
+    spec = StreamSpec(seed=99, count=20)
+    first = [
+        (str(p.ip.saddr), str(p.ip.daddr), p.ip.ttl, ingress)
+        for p, ingress in spec.build()
+    ]
+    second = [
+        (str(p.ip.saddr), str(p.ip.daddr), p.ip.ttl, ingress)
+        for p, ingress in spec.build()
+    ]
+    assert first == second
+
+
+def test_stream_mixes_protocols_and_ports():
+    packets = StreamSpec(seed=5, count=40).build()
+    assert {ingress for _, ingress in packets} == {1, 2}
+    protos = {p.ip.protocol for p, _ in packets}
+    assert len(protos) == 2  # TCP and UDP
+
+
+def test_stream_roundtrip():
+    spec = StreamSpec(seed=7, count=3, udp_ratio=0.5)
+    assert StreamSpec.from_dict(spec.to_dict()) == spec

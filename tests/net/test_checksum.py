@@ -35,3 +35,29 @@ class TestInternetChecksum:
     def test_initial_chaining(self):
         whole = internet_checksum(b"\x12\x34\x56\x78")
         assert 0 <= whole <= 0xFFFF
+
+
+class TestVerifyChecksum:
+    def test_all_zero_data_does_not_verify(self):
+        """All-zero bytes sum to 0, not 0xFFFF — invalid, not vacuously OK."""
+        assert not verify_checksum(b"\x00" * 20)
+        assert not verify_checksum(b"")
+
+    def test_odd_length_verifies(self):
+        """Odd tails pad with a zero low byte, same as when computing."""
+        data = b"\x12\x34\x56"
+        csum = internet_checksum(data + b"\x00\x00")
+        # Place the checksum word-aligned after the odd byte + pad position:
+        # verifying data||csum must treat the odd byte identically.
+        patched = data + b"\x00" + csum.to_bytes(2, "big")
+        assert verify_checksum(patched)
+        assert not verify_checksum(data)
+
+    def test_matches_definition(self):
+        """verify == (computed checksum over the whole buffer is zero)."""
+        for data in (b"\x01\x02\x03\x04", b"\xff" * 7, b"\xab\xcd"):
+            csum = internet_checksum(data)
+            patched = data + csum.to_bytes(2, "big")
+            assert verify_checksum(patched) == (
+                internet_checksum(patched) == 0
+            )

@@ -181,6 +181,37 @@ class TestConstraints45Budgets:
 
 
 class TestPlacements:
+    def test_write_locality_pins_offloaded_writers(self):
+        """State written on the switch must not also be accessed on the
+        server: replication is one-directional (journal -> switch), so a
+        switch-side register write would leave the server's copy stale.
+
+        Regression (difftest corpus ``stranded_offloaded_register_write``):
+        with two RMWs on one scalar, single-access kept one on the switch
+        and the server then updated a stale value.
+        """
+        lowered = lower(
+            "ctr0 += 1; ctr0 -= 0; pkt->send();",
+            members="uint32_t ctr0;",
+        )
+        plan = partition_middlebox(lowered)
+        assert plan.placements["ctr0"].kind.value != "switch_register"
+        rmws = [
+            i for i in lowered.process.instructions()
+            if isinstance(i, irin.RegisterRMW)
+        ]
+        assert len(rmws) == 2
+        assert all(plan.assignment[r.id] is Partition.NON_OFF for r in rmws)
+
+    def test_sole_register_writer_still_offloads(self):
+        """The write-locality rule must not cost us the common case."""
+        lowered = lower(
+            "ctr0 += 1; pkt->send();",
+            members="uint32_t ctr0;",
+        )
+        plan = partition_middlebox(lowered)
+        assert plan.placements["ctr0"].kind.value == "switch_register"
+
     def test_minilb_placements(self):
         plan = get_compiled("minilb").plan
         assert plan.placements["map"].kind.value == "replicated_table"

@@ -53,6 +53,32 @@ class TestProjectionStructure:
                 )
 
 
+class TestRematerializationP4Gating:
+    def test_non_p4_slice_never_rematerialized_into_post(self):
+        """Rematerializing a pure slice into a switch partition must skip
+        non-P4-expressible ops (multiply/divide/modulo).
+
+        Regression (difftest corpus ``remat_nonp4_into_post``): the
+        shim-shrinking pass cloned a pure ``%`` computation into the post
+        pipeline and P4 code generation crashed.
+        """
+        from repro.ir import lower_program
+        from repro.lang import parse_program
+        from repro.runtime.deployment import compile_middlebox
+
+        source = (
+            "class T { void process(Packet *pkt) {"
+            " iphdr *ip = pkt->network_header();"
+            " udphdr *udp = pkt->udp_header();"
+            " uint8_t x = ((udp->dport + 0) % 0);"
+            " pkt->send_to(0); } };"
+        )
+        plan, _ = compile_middlebox(lower_program(parse_program(source)))
+        for function in (plan.pre, plan.post):
+            for inst in function.instructions():
+                assert inst.p4_supported(), f"{inst!r} in {function.name}"
+
+
 class TestMiniLBFigure4:
     """Projected CFGs match the paper's Figure 4 structure."""
 

@@ -124,3 +124,53 @@ class TestCacheRestrictions:
     def test_no_replicated_tables_rejected(self):
         with pytest.raises(CacheConfigurationError):
             build_cached("firewall", cache_entries=16)
+
+    def test_register_mutating_post_rejected(self):
+        """A register RMW in *post* is just as fatal as one in pre: the
+        punt path emits from the server and never traverses post, so the
+        switch register would silently miss updates.
+
+        Regression (difftest corpus ``cached_post_register_rmw``): a
+        conditional ``ctr -= 1`` placed in post lost every decrement on
+        the cached deployment.
+        """
+        from repro.ir import lower_program
+        from repro.lang import parse_program
+        from repro.partition.labels import Partition
+        from repro.runtime.cache import CachedGalliumMiddlebox
+        from repro.runtime.deployment import compile_middlebox
+
+        source = """
+        class T {
+          // @gallium: max_entries=64
+          HashMap<uint32_t, uint16_t> m0;
+          uint32_t ctr0;
+          void process(Packet *pkt) {
+            iphdr *ip = pkt->network_header();
+            tcphdr *tcp = pkt->tcp_header();
+            udphdr *udp = pkt->udp_header();
+            uint32_t k1 = 0;
+            uint16_t v1 = 0;
+            m0.insert(&k1, &v1);
+            if ((udp->len * ip->protocol) == (tcp->urg_ptr + 0)) {
+            } else {
+              uint32_t k2 = 0;
+              uint16_t *h2 = m0.find(&k2);
+              if (h2 != NULL) {
+              } else {
+              }
+              ctr0 -= 1;
+            }
+            pkt->drop();
+          }
+        };
+        """
+        plan, program = compile_middlebox(lower_program(parse_program(source)))
+        rmw_partitions = {
+            plan.assignment[i.id]
+            for i in plan.middlebox.process.instructions()
+            if type(i).__name__ == "RegisterRMW"
+        }
+        assert rmw_partitions == {Partition.POST}
+        with pytest.raises(CacheConfigurationError):
+            CachedGalliumMiddlebox(plan, program, cache_entries=2)

@@ -59,6 +59,43 @@ class TestExactMatchTable:
         table.set_visibility(False)
         table.stage((1,), 2)  # same key: fine at capacity
 
+    def test_atomic_erase_insert_through_full_table(self):
+        """A staged delete frees its slot within the same batch.
+
+        Regression (difftest corpus ``table_stage_erase_insert``): the
+        capacity check counted only staged inserts, so an erase+insert
+        journal batch through a full table spuriously raised while the
+        authoritative StateStore accepted the same sequence.
+        """
+        table = ExactMatchTable("t", [32], 32, 2)
+        for key in (1, 2):
+            table.stage((key,), key)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        # Full: erase one key, insert a different one — same batch.
+        table.stage((1,), None)
+        table.stage((3,), 30)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        assert table.snapshot() == {(2,): 2, (3,): 30}
+        # But a plain second insert past capacity still raises.
+        with pytest.raises(TableEntryLimit):
+            table.stage((4,), 40)
+
+    def test_insert_over_staged_tombstone_of_same_key(self):
+        """delete+reinsert of one key through a full table is a no-op net."""
+        table = ExactMatchTable("t", [32], 32, 1)
+        table.stage((1,), 1)
+        table.set_visibility(True)
+        table.fold_writeback()
+        table.set_visibility(False)
+        table.stage((1,), None)
+        table.stage((1,), 5)  # net occupancy unchanged
+        table.fold_writeback()
+        assert table.snapshot() == {(1,): 5}
+
     def test_counters(self):
         table = ExactMatchTable("t", [32], 32, 4)
         table.stage((1,), 1)
