@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test difftest difftest-smoke benchmarks
+.PHONY: test difftest difftest-smoke faults faults-smoke benchmarks
 
 test:
 	$(PYTHON) -m pytest -q tests/
@@ -13,6 +13,14 @@ difftest:
 # Fixed-seed smoke slice bounded to ~60 seconds of wall clock.
 difftest-smoke:
 	$(PYTHON) -m repro difftest --runs 100000 --seed 0 --time-budget 60
+
+# The full fault campaign: 500 random fault scenarios.
+faults:
+	$(PYTHON) -m repro faults --runs 500 --seed 0
+
+# Fixed-seed smoke slice bounded to ~60 seconds of wall clock.
+faults-smoke:
+	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

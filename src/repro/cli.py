@@ -14,6 +14,11 @@ Commands
 ``difftest --runs N --seed S [--shrink]``
     Differential-testing gauntlet: generate random middleboxes and compare
     the FastClick baseline against the Gallium (and cached) deployments.
+``faults --runs N --seed S``
+    Fault-injection campaign: replay generated middleboxes under random
+    fault schedules and verify, via the fault-aware oracle, that the
+    deployment converges back to equivalence or degrades exactly per its
+    declared policy — never diverging silently.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.compiler import compile_source
 from repro.eval import render_table
 from repro.eval.experiments import (
     EVAL_MIDDLEBOXES,
+    fault_recovery,
     figure7_throughput,
     figure8_workloads,
     figure9_fct,
@@ -114,6 +120,10 @@ def cmd_experiments(args) -> int:
             print(f"Figure 9 — {name} FCT by flow size (µs)")
             print(render_table(*figure9_fct(name, flows=args.flows)))
             print()
+    if which in ("recovery", "all"):
+        print("Fault recovery — punt-path outage timelines")
+        print(render_table(*fault_recovery()))
+        print()
     return 0
 
 
@@ -125,6 +135,22 @@ def cmd_difftest(args) -> int:
         seed=args.seed,
         packets=args.packets,
         shrink_failures=args.shrink,
+        max_failures=args.max_failures,
+        time_budget_s=args.time_budget,
+        seed_override=args.seed_override,
+        log=print,  # streams progress and each failure report as found
+    )
+    print(stats.summary())
+    return 1 if stats.failures else 0
+
+
+def cmd_faults(args) -> int:
+    from repro.faults import run_campaign
+
+    stats, failures = run_campaign(
+        runs=args.runs,
+        seed=args.seed,
+        packets=args.packets,
         max_failures=args.max_failures,
         time_budget_s=args.time_budget,
         seed_override=args.seed_override,
@@ -171,7 +197,8 @@ def build_parser() -> argparse.ArgumentParser:
         "which",
         nargs="?",
         default="all",
-        choices=["table1", "table2", "table3", "fig7", "fig8", "fig9", "all"],
+        choices=["table1", "table2", "table3", "fig7", "fig8", "fig9",
+                 "recovery", "all"],
     )
     experiments_parser.add_argument("--flows", type=int, default=1000)
     experiments_parser.set_defaults(func=cmd_experiments)
@@ -196,6 +223,24 @@ def build_parser() -> argparse.ArgumentParser:
     difftest_parser.add_argument("--time-budget", type=float, default=None,
                                  help="stop early after this many seconds")
     difftest_parser.set_defaults(func=cmd_difftest)
+
+    faults_parser = sub.add_parser(
+        "faults", help="run the fault-injection campaign"
+    )
+    faults_parser.add_argument("--runs", type=int, default=200,
+                               help="number of fault scenarios")
+    faults_parser.add_argument("--seed", type=int, default=0,
+                               help="master seed (one seed per campaign)")
+    faults_parser.add_argument("--packets", type=int, default=25,
+                               help="packets per stream")
+    faults_parser.add_argument("--max-failures", type=int, default=10,
+                               help="stop after this many failures")
+    faults_parser.add_argument("--seed-override", type=int, default=None,
+                               help="pin the program seed of run 0"
+                               " (reproduce a reported failure)")
+    faults_parser.add_argument("--time-budget", type=float, default=None,
+                               help="stop early after this many seconds")
+    faults_parser.set_defaults(func=cmd_faults)
 
     list_parser = sub.add_parser("list", help="list bundled middleboxes")
     list_parser.set_defaults(func=cmd_list)

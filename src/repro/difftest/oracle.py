@@ -37,6 +37,7 @@ from repro.partition.partitioner import PartitionError
 from repro.runtime.baseline import FastClickRuntime
 from repro.runtime.cache import CacheConfigurationError, CachedGalliumMiddlebox
 from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+from repro.switchsim.program import SwitchProgramError
 from repro.workloads.packets import make_tcp_packet, make_udp_packet
 
 DEFAULT_PORT_PAIRS = {1: 2, 2: 1}
@@ -232,11 +233,20 @@ def run_oracle(
     limits: Optional[SwitchResources] = None,
     check_cached: bool = True,
     cache_entries: int = 2,
+    deployment_seed: int = 0,
 ) -> OracleResult:
-    """Compile ``source`` once and drive all runtimes over ``stream``."""
+    """Compile ``source`` once and drive all runtimes over ``stream``.
+
+    ``deployment_seed`` threads into each deployment's control-plane
+    jitter RNG (via ``GalliumMiddlebox(seed=...)``), so latency numbers
+    reproduce without reaching into private fields.
+    """
     try:
         plan, program = compile_middlebox(source, limits)
-    except PartitionError as exc:
+    except (PartitionError, SwitchProgramError) as exc:
+        # Both are deliberate refusals: the partitioner could not satisfy
+        # the resource constraints, or the generated switch program blew
+        # an architectural budget (e.g. the Constraint-5 shim limit).
         return OracleResult(Outcome.PARTITION_REJECTED, error=str(exc))
     except Exception:
         return OracleResult(
@@ -246,7 +256,10 @@ def run_oracle(
     try:
         baseline = FastClickRuntime(plan.middlebox)
         baseline.install()
-        gallium = GalliumMiddlebox(plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS))
+        gallium = GalliumMiddlebox(
+            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
+            seed=deployment_seed,
+        )
         gallium.install()
         cached: Optional[CachedGalliumMiddlebox] = None
         if check_cached:
@@ -254,6 +267,7 @@ def run_oracle(
                 cached = CachedGalliumMiddlebox(
                     plan, program, cache_entries=cache_entries,
                     port_pairs=dict(DEFAULT_PORT_PAIRS),
+                    seed=deployment_seed,
                 )
                 cached.install()
             except CacheConfigurationError:

@@ -134,7 +134,10 @@ def run_gauntlet(
             program_seed, stream_seed = derive_seeds(seed, index)
         program = generate_program(program_seed)
         stream = StreamSpec(seed=stream_seed, count=packets)
-        result = run_oracle(program.source(), stream, limits=limits)
+        result = run_oracle(
+            program.source(), stream, limits=limits,
+            deployment_seed=program_seed,
+        )
         stats.record(result)
         if result.outcome in (Outcome.DIVERGE, Outcome.CRASH):
             failure = Failure(index, program_seed, stream, program, result)

@@ -342,3 +342,47 @@ def figure9_fct(
             row.append(round(value, 1) if value is not None else "-")
         rows.append(row)
     return header, rows
+
+
+# ---------------------------------------------------------------------------
+# Fault recovery — outage timelines on the punt path (beyond the paper)
+# ---------------------------------------------------------------------------
+
+
+def fault_recovery(
+    arrival_interval_us: float = 200.0,
+    punts: int = 2000,
+) -> Tuple[List[str], List[List]]:
+    """Recovery behaviour of the bounded punt queue across outage lengths.
+
+    The paper's testbed never kills the middlebox server; this table
+    quantifies what the graceful-degradation machinery (``repro.faults``)
+    costs when it does: punts dropped at the bounded queue, backlog
+    drain time after the server returns, and the p99 latency the outage
+    adds to punts that survive.
+    """
+    from repro.faults.timeline import OutageScenario, simulate_outage
+
+    header = [
+        "Scenario", "Served", "Dropped", "Max queue",
+        "Recovery (ms)", "Added p99 (ms)",
+    ]
+    rows = []
+    for outage_ms in (1.0, 10.0, 50.0):
+        for queue_depth in (8, 32, 128):
+            scenario = OutageScenario(
+                arrival_interval_us=arrival_interval_us,
+                outage_us=outage_ms * 1000.0,
+                queue_depth=queue_depth,
+                punts=punts,
+            )
+            timeline = simulate_outage(scenario)
+            rows.append([
+                scenario.describe(),
+                timeline.served,
+                timeline.dropped,
+                timeline.max_queue,
+                round(timeline.recovery_us / 1000.0, 2),
+                round(timeline.added_p99_us() / 1000.0, 2),
+            ])
+    return header, rows

@@ -1,0 +1,226 @@
+"""The fault campaign behind ``python -m repro faults``.
+
+Each run derives — from one master seed — a generated middlebox program
+(the difftest generator), a packet stream, a random fault schedule, a
+random degradation policy, and the injector/deployment seeds, then drives
+the deployment through the fault-aware oracle.  Everything is a pure
+function of the master seed, so every campaign scenario is its own
+reproducer: failures print a one-line ``--seed-override`` reproduce
+command exactly like the difftest gauntlet.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.difftest.generator import GenProgram, generate_program
+from repro.difftest.oracle import StreamSpec
+from repro.difftest.runner import _STREAM_SALT, derive_seeds
+from repro.faults.oracle import (
+    FaultOracleResult,
+    FaultOutcome,
+    run_fault_oracle,
+)
+from repro.faults.plan import ALL_FAULT_KINDS, FaultPlan, generate_plan
+from repro.partition.constraints import SwitchResources
+from repro.runtime.degradation import DegradationPolicy
+from repro.switchsim.control_plane import RetryPolicy
+
+#: XOR'd into the program seed to derive the fault-plan seed.
+_PLAN_SALT = 0xFA111
+#: XOR'd into the program seed to derive the injector seed.
+_INJECT_SALT = 0x1D_E7EC
+#: XOR'd into the program seed to derive the deployment (jitter) seed.
+_DEPLOY_SALT = 0xD1CE5
+
+
+def seeds_for_program(program_seed: int) -> tuple:
+    """(program_seed, stream_seed, plan_seed, injector_seed, deploy_seed)
+    — every per-scenario seed is a pure function of the program seed, so a
+    ``--seed-override`` reproduce regenerates the identical scenario."""
+    return (
+        program_seed,
+        program_seed ^ _STREAM_SALT,
+        program_seed ^ _PLAN_SALT,
+        program_seed ^ _INJECT_SALT,
+        program_seed ^ _DEPLOY_SALT,
+    )
+
+
+def derive_fault_seeds(master_seed: int, index: int) -> tuple:
+    """Scenario seeds for run ``index`` under ``master_seed``."""
+    program_seed, _ = derive_seeds(master_seed, index)
+    return seeds_for_program(program_seed)
+
+
+def random_policy(rng: random.Random) -> DegradationPolicy:
+    """Draw a random (but sane) degradation policy for one scenario."""
+    return DegradationPolicy(
+        fail_open=rng.random() < 0.5,
+        punt_queue_depth=rng.choice([2, 4, 8]),
+        retry=RetryPolicy(max_attempts=rng.choice([3, 4, 5])),
+    )
+
+
+@dataclass
+class FaultFailure:
+    """One campaign scenario that breached a guarantee."""
+
+    index: int
+    program_seed: int
+    stream: StreamSpec
+    program: GenProgram
+    fault_plan: FaultPlan
+    policy: DegradationPolicy
+    injector_seed: int
+    deployment_seed: int
+    result: FaultOracleResult
+
+    def report(self) -> str:
+        lines = [
+            f"=== fault-campaign failure (run #{self.index}) ===",
+            f"program seed : {self.program_seed}",
+            f"stream       : seed={self.stream.seed} count={self.stream.count}"
+            f" udp_ratio={self.stream.udp_ratio}",
+            f"fault plan   : {self.fault_plan.describe()}",
+            f"policy       : fail_open={self.policy.fail_open}"
+            f" queue={self.policy.punt_queue_depth}"
+            f" retries={self.policy.retry.max_attempts}",
+            f"outcome      : {self.result.outcome.value}",
+            "reproduce    : python -m repro faults --runs 1"
+            f" --seed-override {self.program_seed}",
+        ]
+        if self.result.violation is not None:
+            lines.append(f"violation    : {self.result.violation}")
+        if self.result.error:
+            lines.append(f"error        : {self.result.error.rstrip()}")
+        if self.result.injected:
+            injected = ", ".join(
+                f"{label}={count}"
+                for label, count in sorted(self.result.injected.items())
+            )
+            lines.append(f"injected     : {injected}")
+        lines.append("--- program source ---")
+        lines.append(self.program.source().rstrip())
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignStats:
+    runs: int = 0
+    clean: int = 0
+    degraded_ok: int = 0
+    violations: int = 0
+    crashes: int = 0
+    rejected: int = 0
+    #: scenarios per fault class that actually injected something
+    coverage: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in ALL_FAULT_KINDS}
+    )
+    #: total injected-fault events by label, campaign-wide
+    injected: Dict[str, int] = field(default_factory=dict)
+    degraded_packets: int = 0
+    delivered_packets: int = 0
+    elapsed_s: float = 0.0
+
+    def record(self, plan: FaultPlan, result: FaultOracleResult) -> None:
+        self.runs += 1
+        if result.outcome is FaultOutcome.CLEAN:
+            self.clean += 1
+        elif result.outcome is FaultOutcome.DEGRADED_OK:
+            self.degraded_ok += 1
+        elif result.outcome is FaultOutcome.VIOLATION:
+            self.violations += 1
+        elif result.outcome is FaultOutcome.CRASH:
+            self.crashes += 1
+        else:
+            self.rejected += 1
+        if result.outcome in (FaultOutcome.CLEAN, FaultOutcome.DEGRADED_OK):
+            self.degraded_packets += result.degraded
+            self.delivered_packets += result.delivered
+        if result.outcome is FaultOutcome.DEGRADED_OK:
+            for kind in plan.kinds():
+                self.coverage[kind] = self.coverage.get(kind, 0) + 1
+        for label, count in result.injected.items():
+            self.injected[label] = self.injected.get(label, 0) + count
+
+    @property
+    def failures(self) -> int:
+        return self.violations + self.crashes
+
+    def summary(self) -> str:
+        covered = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.coverage.items())
+        )
+        return (
+            f"{self.runs} scenarios: {self.degraded_ok} degraded-ok,"
+            f" {self.clean} clean, {self.violations} violations,"
+            f" {self.crashes} crashes, {self.rejected} rejected"
+            f" in {self.elapsed_s:.1f}s\n"
+            f"packets: {self.delivered_packets} delivered with full"
+            f" semantics, {self.degraded_packets} degraded (all declared)\n"
+            f"coverage: {covered}"
+        )
+
+
+def run_campaign(
+    runs: int,
+    seed: int,
+    packets: int = 25,
+    limits: Optional[SwitchResources] = None,
+    max_failures: int = 10,
+    time_budget_s: Optional[float] = None,
+    seed_override: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[CampaignStats, List[FaultFailure]]:
+    """Run the fault campaign; returns ``(stats, failures)``."""
+    stats = CampaignStats()
+    failures: List[FaultFailure] = []
+    started = time.monotonic()
+    for index in range(runs):
+        if (
+            time_budget_s is not None
+            and time.monotonic() - started > time_budget_s
+        ):
+            break
+        if seed_override is not None:
+            scenario_seeds = seeds_for_program(seed_override + index)
+        else:
+            scenario_seeds = derive_fault_seeds(seed, index)
+        (
+            program_seed, stream_seed, plan_seed, injector_seed, deploy_seed,
+        ) = scenario_seeds
+        program = generate_program(program_seed)
+        stream = StreamSpec(seed=stream_seed, count=packets)
+        scenario_rng = random.Random(plan_seed)
+        fault_plan = generate_plan(scenario_rng, packets)
+        policy = random_policy(scenario_rng)
+        result = run_fault_oracle(
+            program.source(),
+            stream,
+            fault_plan,
+            policy=policy,
+            injector_seed=injector_seed,
+            deployment_seed=deploy_seed,
+            limits=limits,
+        )
+        stats.record(fault_plan, result)
+        if result.outcome in (FaultOutcome.VIOLATION, FaultOutcome.CRASH):
+            failure = FaultFailure(
+                index, program_seed, stream, program, fault_plan, policy,
+                injector_seed, deploy_seed, result,
+            )
+            failures.append(failure)
+            if log is not None:
+                log(failure.report())
+            if len(failures) >= max_failures:
+                if log is not None:
+                    log(f"stopping after {max_failures} failures")
+                break
+        elif log is not None and (index + 1) % 100 == 0:
+            log(f"... {index + 1}/{runs}")
+    stats.elapsed_s = time.monotonic() - started
+    return stats, failures

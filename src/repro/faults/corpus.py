@@ -1,0 +1,104 @@
+"""Fault-scenario reproducer corpus.
+
+Mirrors the difftest corpus: every runtime bug the fault campaign finds is
+committed as one JSON file under ``tests/faults_corpus/`` capturing the
+full scenario — program source, packet stream, fault plan, degradation
+policy, and the injector/deployment seeds — plus the expected outcome
+once fixed.  The corpus regression test replays each entry through the
+fault oracle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional
+
+from repro.difftest.oracle import StreamSpec
+from repro.faults.oracle import (
+    FaultOracleResult,
+    FaultOutcome,
+    run_fault_oracle,
+)
+from repro.faults.plan import FaultPlan
+from repro.runtime.degradation import DegradationPolicy
+
+#: Default corpus location (checked into the repository).
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "faults_corpus"
+
+
+@dataclass
+class FaultCorpusEntry:
+    """One fault-scenario reproducer plus its provenance."""
+
+    name: str
+    source: str
+    stream: StreamSpec
+    fault_plan: FaultPlan
+    policy: DegradationPolicy
+    injector_seed: int = 0
+    deployment_seed: int = 0
+    expect: str = FaultOutcome.DEGRADED_OK.value
+    description: str = ""
+    found_by_seed: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "found_by_seed": self.found_by_seed,
+            "expect": self.expect,
+            "stream": self.stream.to_dict(),
+            "fault_plan": self.fault_plan.to_dict(),
+            "policy": self.policy.to_dict(),
+            "injector_seed": self.injector_seed,
+            "deployment_seed": self.deployment_seed,
+            "source": self.source.splitlines(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultCorpusEntry":
+        source = data["source"]
+        if isinstance(source, list):
+            source = "\n".join(source) + "\n"
+        return cls(
+            name=data["name"],
+            source=source,
+            stream=StreamSpec.from_dict(data["stream"]),
+            fault_plan=FaultPlan.from_dict(data["fault_plan"]),
+            policy=DegradationPolicy.from_dict(data.get("policy", {})),
+            injector_seed=int(data.get("injector_seed", 0)),
+            deployment_seed=int(data.get("deployment_seed", 0)),
+            expect=data.get("expect", FaultOutcome.DEGRADED_OK.value),
+            description=data.get("description", ""),
+            found_by_seed=data.get("found_by_seed"),
+        )
+
+
+def save_entry(entry: FaultCorpusEntry, directory: Path = CORPUS_DIR) -> Path:
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{entry.name}.json"
+    path.write_text(json.dumps(entry.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_corpus(directory: Path = CORPUS_DIR) -> List[FaultCorpusEntry]:
+    if not directory.is_dir():
+        return []
+    return [
+        FaultCorpusEntry.from_dict(json.loads(path.read_text()))
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def replay_entry(entry: FaultCorpusEntry) -> FaultOracleResult:
+    """Run one corpus entry through the fault oracle."""
+    return run_fault_oracle(
+        entry.source,
+        entry.stream,
+        entry.fault_plan,
+        policy=entry.policy,
+        injector_seed=entry.injector_seed,
+        deployment_seed=entry.deployment_seed,
+    )

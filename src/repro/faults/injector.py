@@ -1,0 +1,176 @@
+"""Deterministic, seed-driven execution of a :class:`FaultPlan`.
+
+The injector is the only source of randomness in a fault run: given the
+same plan, seed, and packet sequence it makes the identical decisions, so
+every campaign scenario is a reproducer.  The deployment queries it at
+well-defined points (punt emission, batch attempts, window checks) and the
+injector answers from one seeded RNG, counting everything it injects.
+
+Transient batch faults are bounded so they compose soundly with the retry
+machinery: a "timeout" is never injected on a batch's final permitted
+attempt (an exhausted timeout would leave the switch updated and the
+server rolled back — exactly the silent divergence this harness exists to
+rule out; the runtime's reconciliation path for that case is exercised
+directly by unit tests instead).  "Doomed" batches — which exhaust every
+retry — always use the veto-style "fail" so the abort is clean.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.faults.plan import (
+    BatchFault,
+    FaultPlan,
+    LinkFault,
+    PuntReorder,
+    ServerCrash,
+    StaleReplication,
+    SwitchReprogram,
+    WritebackOverflow,
+)
+
+
+class FaultInjector:
+    """Executes one fault plan deterministically under a seed."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 0, max_attempts: int = 4):
+        self.plan = plan
+        self.seed = seed
+        self.max_attempts = max_attempts
+        self._rng = random.Random(seed)
+        self._index = 0
+        self._cleared = False
+        self._batch_doomed = False
+        self._restart_loses_state = False
+        #: injected-fault counters by label (for campaign coverage stats)
+        self.injected: Dict[str, int] = {}
+
+    def _count(self, label: str) -> None:
+        self.injected[label] = self.injected.get(label, 0) + 1
+
+    # -- per-packet bookkeeping ------------------------------------------------
+
+    def begin_packet(self, index: int) -> None:
+        self._index = index
+        self._batch_doomed = False
+
+    def clear(self) -> None:
+        """All faults off (recovery phase): every query is benign."""
+        self._cleared = True
+
+    # -- outage windows ----------------------------------------------------------
+
+    def server_down(self, index: int) -> bool:
+        if self._cleared:
+            return False
+        for spec in self.plan.by_kind("crash"):
+            if spec.active(index):
+                if spec.lose_state:
+                    self._restart_loses_state = True
+                return True
+        return False
+
+    def take_restart_state_loss(self) -> bool:
+        """Whether the restart that just happened lost server state
+        (consumed: the next crash window re-arms it)."""
+        lost = self._restart_loses_state
+        self._restart_loses_state = False
+        return lost
+
+    def switch_down(self, index: int) -> bool:
+        if self._cleared:
+            return False
+        return any(
+            spec.active(index) for spec in self.plan.by_kind("reprogram")
+        )
+
+    # -- punt-path link faults ---------------------------------------------------
+
+    def punt_frame_fate(self) -> Optional[str]:
+        """Fate of the switch→server frame for the current packet."""
+        return self._frame_fate("to_server", "punt")
+
+    def return_frame_fate(self) -> Optional[str]:
+        """Fate of the server→switch frame for the current packet."""
+        return self._frame_fate("to_switch", "return")
+
+    def _frame_fate(self, direction: str, label: str) -> Optional[str]:
+        if self._cleared:
+            return None
+        for spec in self.plan.by_kind("link"):
+            if spec.direction != direction or not spec.active(self._index):
+                continue
+            if self._rng.random() < spec.probability:
+                fate = (
+                    f"{label}_lost" if spec.mode == "loss"
+                    else f"{label}_corrupted"
+                )
+                self._count(fate)
+                return fate
+        return None
+
+    # -- control-plane batch faults ---------------------------------------------
+
+    def batch_fault(self, attempt: int) -> Optional[str]:
+        """Fault decision for one batch attempt (the control-plane hook).
+
+        ``attempt`` is 1-based.  Attempt 1 additionally decides whether
+        the whole batch is doomed (fails every retry) or overflows.
+        """
+        if self._cleared:
+            return None
+        if attempt == 1:
+            self._batch_doomed = False
+            for spec in self.plan.by_kind("overflow"):
+                if spec.active(self._index) and (
+                    self._rng.random() < spec.probability
+                ):
+                    self._count("writeback_overflow")
+                    return "overflow"
+            for spec in self.plan.by_kind("batch"):
+                if spec.active(self._index) and spec.doom_probability and (
+                    self._rng.random() < spec.doom_probability
+                ):
+                    self._batch_doomed = True
+        if self._batch_doomed:
+            self._count("batch_doomed_attempt")
+            return "fail"
+        for spec in self.plan.by_kind("batch"):
+            if not spec.active(self._index):
+                continue
+            if self._rng.random() < spec.probability:
+                if spec.mode == "timeout" and attempt >= self.max_attempts:
+                    continue  # see module docstring
+                self._count(f"batch_{spec.mode}")
+                return spec.mode
+        return None
+
+    # -- replication lag ----------------------------------------------------------
+
+    def stale_extra_us(self) -> float:
+        if self._cleared:
+            return 0.0
+        total = 0.0
+        for spec in self.plan.by_kind("stale"):
+            if spec.active(self._index) and (
+                self._rng.random() < spec.probability
+            ):
+                self._count("stale_replication")
+                total += spec.extra_us
+        return total
+
+    # -- queue drain order --------------------------------------------------------
+
+    def drain_order(self, count: int) -> List[int]:
+        # Deliberately NOT gated on clear(): reordering is a property of
+        # frames already sitting in the queue when recovery starts, so the
+        # final drain shuffles even when it happens in the recovery phase.
+        order = list(range(count))
+        if count < 2:
+            return order
+        if self.plan.by_kind("reorder"):
+            self._rng.shuffle(order)
+            self._count("drain_reordered")
+        return order

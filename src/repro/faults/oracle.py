@@ -1,0 +1,528 @@
+"""Fault-aware oracle: degradation must be declared, never silent.
+
+The plain difftest oracle proves the deployment equivalent to the
+unpartitioned baseline under ideal conditions.  Under injected faults
+strict equivalence is impossible — packets legitimately vanish, fail open,
+or queue — so this oracle checks the strongest property that *is*
+guaranteed:
+
+1. **Effect-log equivalence.**  The faulty deployment records an ordered
+   ``fault_log`` of every semantic effect (pre-pipeline ingress, punt
+   completion, punt discard, fallback run, crash resync).  The oracle
+   replays that log against a *clean* reference deployment of the same
+   compiled program (whose equivalence to the baseline is difftest's
+   theorem) and requires every delivered packet's observable — verdict,
+   egress port, all header fields — to match, and the final switch+server
+   state of both deployments to agree exactly.
+2. **Policy conformance.**  Every non-delivered packet must be accounted
+   with a reason, and its observable must be exactly what the declared
+   :class:`DegradationPolicy` dictates (fail-closed drop, or fail-open
+   forwarding of the pristine packet on the bypass pair).
+3. **Post-recovery convergence.**  After faults clear and recovery runs,
+   replicated switch tables must equal the server's authoritative copy,
+   and a fresh verification stream must behave identically on the
+   recovered deployment and the reference — the system returned to full
+   functional equivalence.
+
+Any breach is a :class:`FaultViolation` — by construction a real bug in
+the runtime's fault handling (or a latent compiler bug), never noise.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.difftest.oracle import (
+    DEFAULT_PORT_PAIRS,
+    StreamSpec,
+    _observe_fields,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.net.packet import RawPacket
+from repro.partition.constraints import SwitchResources
+from repro.partition.partitioner import PartitionError
+from repro.partition.plan import PlacementKind
+from repro.runtime.degradation import (
+    DegradationPolicy,
+    UNSALVAGEABLE_REASONS,
+)
+from repro.runtime.deployment import (
+    GalliumMiddlebox,
+    PacketJourney,
+    PuntCompletion,
+    compile_middlebox,
+)
+from repro.switchsim.program import SwitchProgramError
+from repro.switchsim.switch_model import SwitchOutput
+
+#: XOR'd into the stream seed to derive the post-recovery verification
+#: stream (must differ from the fault-phase stream).
+VERIFY_SALT = 0xFA17
+
+Observation = Tuple[str, Optional[int], Optional[Dict[str, int]]]
+
+
+class FaultOutcome(str, Enum):
+    #: no fault fired (plan windows missed the traffic); full equivalence
+    CLEAN = "clean"
+    #: faults fired; every degradation declared and policy-conformant,
+    #: state converged, post-recovery equivalence verified
+    DEGRADED_OK = "degraded_ok"
+    #: compiler legitimately refused the program
+    REJECTED = "rejected"
+    #: a guarantee was breached (silent loss, divergence, bad accounting)
+    VIOLATION = "violation"
+    #: unhandled exception anywhere in the pipeline
+    CRASH = "crash"
+
+
+@dataclass
+class FaultViolation:
+    kind: str  # "observable" | "path" | "policy" | "state" | "accounting" | "convergence" | "post_recovery"
+    packet_index: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        where = (
+            f"packet #{self.packet_index}"
+            if self.packet_index is not None else "final state"
+        )
+        return f"[{self.kind}] {where}: {self.detail}"
+
+
+@dataclass
+class PacketRecord:
+    """What the faulty deployment did with one packet."""
+
+    index: int
+    kind: str  # "delivered" | "lost" | "degraded_drop" | "failed_open" | "queued"
+    observation: Observation
+    punted: bool = False
+    fallback: bool = False
+    queued: bool = False
+    reason: Optional[str] = None
+
+
+@dataclass
+class FaultOracleResult:
+    outcome: FaultOutcome
+    violation: Optional[FaultViolation] = None
+    error: Optional[str] = None
+    packets_run: int = 0
+    delivered: int = 0
+    degraded: int = 0
+    accounting: Dict = field(default_factory=dict)
+    injected: Dict[str, int] = field(default_factory=dict)
+    fault_kinds: Tuple[str, ...] = ()
+
+
+def _journey_observation(journey: PacketJourney) -> Observation:
+    if journey.verdict != "send":
+        return ("drop", None, None)
+    if not journey.emitted:
+        return ("send", None, None)
+    port, packet = journey.emitted[0]
+    return ("send", port, _observe_fields(packet))
+
+
+def _switch_observation(out: SwitchOutput) -> Observation:
+    if out.dropped or not out.emitted:
+        return ("drop", None, None)
+    port, packet = out.emitted[0]
+    return ("send", port, _observe_fields(packet))
+
+
+def _completion_observation(comp: PuntCompletion) -> Observation:
+    if comp.verdict != "send" or not comp.emitted:
+        return ("drop", None, None)
+    port, packet = comp.emitted[0]
+    return ("send", port, _observe_fields(packet))
+
+
+def _record(journey: PacketJourney) -> PacketRecord:
+    index = journey.packet_index
+    assert index is not None
+    if journey.queued and journey.verdict == "queued":
+        return PacketRecord(index, "queued", ("drop", None, None),
+                            punted=True, queued=True)
+    observation = _journey_observation(journey)
+    if journey.degraded:
+        if journey.degraded_reason in UNSALVAGEABLE_REASONS:
+            kind = "lost"
+        elif journey.verdict == "send":
+            kind = "failed_open"
+        else:
+            kind = "degraded_drop"
+        return PacketRecord(
+            index, kind, observation, punted=journey.punted,
+            queued=journey.queued, reason=journey.degraded_reason,
+        )
+    return PacketRecord(
+        index, "delivered", observation, punted=journey.punted,
+        fallback=journey.fallback, queued=journey.queued,
+    )
+
+
+def run_fault_oracle(
+    source_or_lowered,
+    stream: StreamSpec,
+    fault_plan: FaultPlan,
+    policy: Optional[DegradationPolicy] = None,
+    injector_seed: int = 0,
+    deployment_seed: int = 0,
+    limits: Optional[SwitchResources] = None,
+    config: Optional[Dict[int, list]] = None,
+    verify_packets: int = 12,
+) -> FaultOracleResult:
+    """Drive one program through one fault schedule and verify it."""
+    policy = policy or DegradationPolicy()
+    try:
+        plan, program = compile_middlebox(source_or_lowered, limits)
+    except (PartitionError, SwitchProgramError) as exc:
+        # Both are deliberate refusals: the partitioner could not satisfy
+        # the resource constraints, or the generated switch program blew
+        # an architectural budget (e.g. the Constraint-5 shim limit).
+        return FaultOracleResult(FaultOutcome.REJECTED, error=str(exc))
+    except Exception:
+        return FaultOracleResult(
+            FaultOutcome.CRASH, error=f"compile:\n{traceback.format_exc()}"
+        )
+
+    injector = FaultInjector(
+        fault_plan, seed=injector_seed,
+        max_attempts=policy.retry.max_attempts,
+    )
+    try:
+        dut = GalliumMiddlebox(
+            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
+            config=config, seed=deployment_seed,
+            policy=policy, injector=injector,
+        )
+        dut.install()
+        reference = GalliumMiddlebox(
+            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
+            config=config, seed=deployment_seed,
+        )
+        reference.install()
+    except Exception:
+        return FaultOracleResult(
+            FaultOutcome.CRASH, error=f"deploy:\n{traceback.format_exc()}"
+        )
+
+    packets = stream.build()
+    records: Dict[int, PacketRecord] = {}
+    try:
+        for index, (packet, ingress) in enumerate(packets):
+            journey = dut.process_packet(packet.copy(), ingress)
+            records[journey.packet_index] = _record(journey)
+            for deferred in dut.drain_deferred():
+                records[deferred.packet_index] = _record(deferred)
+        dut.recover()
+        for deferred in dut.drain_deferred():
+            records[deferred.packet_index] = _record(deferred)
+    except Exception:
+        return FaultOracleResult(
+            FaultOutcome.CRASH, packets_run=len(records),
+            error=f"fault run:\n{traceback.format_exc()}",
+        )
+
+    def finish(violation: Optional[FaultViolation]) -> FaultOracleResult:
+        degraded = sum(
+            1 for record in records.values() if record.kind != "delivered"
+        )
+        faulted = bool(injector.injected) or degraded or (
+            dut.accounting.server_restarts
+            or dut.accounting.fallback_packets
+            or dut.accounting.queued
+        )
+        if violation is not None:
+            outcome = FaultOutcome.VIOLATION
+        elif faulted:
+            outcome = FaultOutcome.DEGRADED_OK
+        else:
+            outcome = FaultOutcome.CLEAN
+        return FaultOracleResult(
+            outcome=outcome,
+            violation=violation,
+            packets_run=len(packets),
+            delivered=len(records) - degraded,
+            degraded=degraded,
+            accounting=dut.accounting.as_dict(),
+            injected=dict(injector.injected),
+            fault_kinds=fault_plan.kinds(),
+        )
+
+    violation = _check_accounting(dut, records, len(packets))
+    if violation is None:
+        try:
+            violation = _replay_reference(
+                reference, dut, records, packets, policy
+            )
+        except Exception:
+            return FaultOracleResult(
+                FaultOutcome.CRASH, packets_run=len(packets),
+                error=f"reference replay:\n{traceback.format_exc()}",
+            )
+    if violation is None:
+        violation = _check_convergence(dut) or _check_final_state(
+            dut, reference
+        )
+    if violation is None:
+        try:
+            violation = _verify_recovered(
+                dut, reference, stream, verify_packets
+            )
+        except Exception:
+            return FaultOracleResult(
+                FaultOutcome.CRASH, packets_run=len(packets),
+                error=f"post-recovery verify:\n{traceback.format_exc()}",
+            )
+    return finish(violation)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def _check_accounting(
+    dut: GalliumMiddlebox, records: Dict[int, PacketRecord], total: int
+) -> Optional[FaultViolation]:
+    """Every packet classified, no punts stranded in the queue, and the
+    drop ledger agrees with the per-packet records."""
+    missing = [index for index in range(total) if index not in records]
+    if missing:
+        return FaultViolation(
+            "accounting", missing[0],
+            f"{len(missing)} packets have no journey at all: {missing[:5]}",
+        )
+    stuck = [r.index for r in records.values() if r.kind == "queued"]
+    if stuck:
+        return FaultViolation(
+            "accounting", stuck[0],
+            f"punts still queued after recovery: {stuck[:5]}",
+        )
+    recorded_degraded = sum(
+        1 for record in records.values() if record.kind != "delivered"
+    )
+    if recorded_degraded != dut.accounting.degraded_total:
+        return FaultViolation(
+            "accounting", None,
+            f"drop ledger says {dut.accounting.degraded_total} degraded,"
+            f" journeys say {recorded_degraded}",
+        )
+    return None
+
+
+def _replay_reference(
+    reference: GalliumMiddlebox,
+    dut: GalliumMiddlebox,
+    records: Dict[int, PacketRecord],
+    packets: List[Tuple[RawPacket, int]],
+    policy: DegradationPolicy,
+) -> Optional[FaultViolation]:
+    """Replay the DUT's effect log on the clean reference deployment and
+    compare every delivered observable (plus policy conformance of every
+    degraded packet)."""
+    held: Dict[int, RawPacket] = {}
+    expected: Dict[int, Observation] = {}
+    # Which packets the DUT's pre-pipeline punted, derived from the log
+    # itself: every punt ends in exactly one "serve" or "drop_punt".
+    dut_punts = {
+        event[1]
+        for event in dut.fault_log
+        if event[0] in ("serve", "drop_punt")
+    }
+    for event in dut.fault_log:
+        tag = event[0]
+        if tag == "ingress":
+            _, index, ingress = event
+            out = reference.switch.receive(packets[index][0].copy(), ingress)
+            dut_punted = index in dut_punts
+            if out.punted != dut_punted:
+                return FaultViolation(
+                    "path", index,
+                    f"reference {'punted' if out.punted else 'fast-pathed'}"
+                    f" but deployment {'punted' if dut_punted else 'fast-pathed'}"
+                    " — switch state diverged before this packet",
+                )
+            if out.punted:
+                held[index] = out.emitted[0][1]
+            else:
+                expected[index] = _switch_observation(out)
+        elif tag == "serve":
+            index = event[1]
+            if index not in held:
+                return FaultViolation(
+                    "path", index,
+                    "deployment served a punt the reference never emitted",
+                )
+            completion = reference.complete_punt(held.pop(index))
+            expected[index] = _completion_observation(completion)
+        elif tag == "drop_punt":
+            held.pop(event[1], None)
+        elif tag == "fallback":
+            _, index, ingress = event
+            journey = reference.process_packet(
+                packets[index][0].copy(), ingress
+            )
+            expected[index] = _journey_observation(journey)
+        elif tag == "crash":
+            reference.crash_resync()
+        elif tag == "resync":
+            pass
+        else:  # pragma: no cover - log tags are closed
+            raise AssertionError(f"unknown fault-log tag {tag!r}")
+    if held:
+        index = sorted(held)[0]
+        return FaultViolation(
+            "path", index,
+            f"reference still holds {len(held)} punts the deployment"
+            " neither served nor discarded",
+        )
+
+    for index, record in sorted(records.items()):
+        if record.kind == "delivered":
+            want = expected.get(index)
+            if want is None:
+                return FaultViolation(
+                    "observable", index,
+                    "delivered packet has no corresponding effect-log entry",
+                )
+            if record.observation != want:
+                return FaultViolation(
+                    "observable", index,
+                    f"deployment={record.observation!r}"
+                    f" reference={want!r}",
+                )
+        elif record.kind == "lost":
+            if record.observation[0] != "drop":
+                return FaultViolation(
+                    "policy", index,
+                    f"lost packet ({record.reason}) must observe as a drop,"
+                    f" got {record.observation!r}",
+                )
+        elif record.kind == "degraded_drop":
+            if policy.fail_open:
+                return FaultViolation(
+                    "policy", index,
+                    f"fail-open policy but packet dropped ({record.reason})",
+                )
+            if record.observation[0] != "drop":
+                return FaultViolation(
+                    "policy", index,
+                    f"fail-closed degradation must drop,"
+                    f" got {record.observation!r}",
+                )
+        elif record.kind == "failed_open":
+            if not policy.fail_open:
+                return FaultViolation(
+                    "policy", index,
+                    f"fail-closed policy but packet forwarded"
+                    f" ({record.reason})",
+                )
+            packet, ingress = packets[index]
+            want_port = DEFAULT_PORT_PAIRS.get(ingress, ingress)
+            want = ("send", want_port, _observe_fields(packet))
+            if record.observation != want:
+                return FaultViolation(
+                    "policy", index,
+                    "fail-open must forward the pristine packet on the"
+                    f" bypass pair: got {record.observation!r},"
+                    f" want {want!r}",
+                )
+    return None
+
+
+def _check_convergence(dut: GalliumMiddlebox) -> Optional[FaultViolation]:
+    """Post-recovery: the switch's replicated copies must equal the
+    server's authoritative state — the no-silent-divergence guarantee."""
+    for name, placement in dut.plan.placements.items():
+        if placement.kind is not PlacementKind.REPLICATED_TABLE:
+            continue
+        snapshot = dut.switch.tables[name].snapshot()
+        if placement.member.kind == "map":
+            switch_copy = dict(snapshot)
+            server_copy = dict(dut.state.maps[name])
+        else:
+            # Vectors replicate as index-keyed entries; zero-valued slots
+            # may or may not be materialized on the switch, so compare the
+            # non-zero support.
+            switch_copy = {k: v for k, v in snapshot.items() if v}
+            server_copy = {
+                (index,): value
+                for index, value in enumerate(dut.state.vectors[name])
+                if value
+            }
+        if switch_copy != server_copy:
+            return FaultViolation(
+                "convergence", None,
+                f"replicated table {name!r} diverged:"
+                f" switch={switch_copy!r} server={server_copy!r}",
+            )
+    return None
+
+
+def _normalized_state(deployment: GalliumMiddlebox) -> dict:
+    state = deployment.state.snapshot()
+    for name, placement in deployment.plan.placements.items():
+        if placement.kind in (
+            PlacementKind.SWITCH_REGISTER,
+            PlacementKind.REPLICATED_REGISTER,
+        ):
+            # The switch copy is the one the data plane reads.
+            state["scalars"][name] = deployment.switch.registers[name].value
+    return state
+
+
+def _check_final_state(
+    dut: GalliumMiddlebox, reference: GalliumMiddlebox
+) -> Optional[FaultViolation]:
+    dut_state = _normalized_state(dut)
+    ref_state = _normalized_state(reference)
+    for section in ("maps", "scalars", "vectors"):
+        if dut_state[section] != ref_state[section]:
+            return FaultViolation(
+                "state", None,
+                f"{section}: deployment={dut_state[section]!r}"
+                f" reference={ref_state[section]!r}",
+            )
+    return None
+
+
+def _verify_recovered(
+    dut: GalliumMiddlebox,
+    reference: GalliumMiddlebox,
+    stream: StreamSpec,
+    verify_packets: int,
+) -> Optional[FaultViolation]:
+    """Faults are cleared: the recovered deployment must be functionally
+    equivalent to the reference again on fresh traffic."""
+    if verify_packets <= 0:
+        return None
+    verify_stream = StreamSpec(
+        seed=stream.seed ^ VERIFY_SALT, count=verify_packets,
+        udp_ratio=stream.udp_ratio,
+    )
+    for offset, (packet, ingress) in enumerate(verify_stream.build()):
+        dut_journey = dut.process_packet(packet.copy(), ingress)
+        ref_journey = reference.process_packet(packet.copy(), ingress)
+        dut_obs = _journey_observation(dut_journey)
+        ref_obs = _journey_observation(ref_journey)
+        if dut_obs != ref_obs:
+            return FaultViolation(
+                "post_recovery", offset,
+                f"verification packet diverged: recovered={dut_obs!r}"
+                f" reference={ref_obs!r}",
+            )
+        if dut_journey.degraded or dut_journey.queued:
+            return FaultViolation(
+                "post_recovery", offset,
+                "recovered deployment still degrading after faults cleared:"
+                f" {dut_journey.degraded_reason}",
+            )
+    return _check_final_state(dut, reference)

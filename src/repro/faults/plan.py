@@ -1,0 +1,296 @@
+"""The fault-plan DSL: declarative, serializable fault schedules.
+
+A :class:`FaultPlan` is a tuple of fault specs, each a frozen dataclass
+describing one injectable fault class and when it is active.  Plans are
+pure data: the deterministic randomness lives in the
+:class:`~repro.faults.injector.FaultInjector` that executes a plan under a
+seed.  Plans serialize to JSON (``to_dict``/``from_dict``) so every
+campaign failure can be committed as a reproducer, exactly like the
+difftest corpus.
+
+Fault classes
+-------------
+:class:`LinkFault`
+    Per-frame loss or corruption on the switch↔server punt path, in one
+    direction, with a probability, over a packet-index window.  A
+    corrupted frame fails the receiver's FCS check and is discarded, so
+    corruption degrades like loss but is accounted separately.
+:class:`BatchFault`
+    Control-plane RPC trouble: per-attempt transient failures
+    (``"fail"`` = vetoed before the switch mutates, ``"timeout"`` = the
+    batch lands but the confirmation is lost) plus a per-batch
+    ``doom_probability`` for batches that fail every retry.
+:class:`WritebackOverflow`
+    Per-batch probability that the write-back stage reports capacity
+    exhaustion — a permanent, non-retryable failure.
+:class:`ServerCrash`
+    The server dies at a packet index and stays down for a window; with
+    ``lose_state`` the restart resynchronizes from the authoritative
+    switch copy.
+:class:`SwitchReprogram`
+    The switch pipelines are unavailable for a window; the deployment
+    runs server-only fallback and bulk-resyncs afterwards.
+:class:`StaleReplication`
+    Batches in the window take extra microseconds to become visible
+    (replication lag); output commit stretches, semantics must not.
+:class:`PuntReorder`
+    Punts buffered during an outage drain in a shuffled order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Optional, Tuple, Type
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    kind = "link"
+    direction: str = "to_server"  # "to_server" | "to_switch"
+    mode: str = "loss"  # "loss" | "corrupt"
+    probability: float = 0.1
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class BatchFault:
+    kind = "batch"
+    mode: str = "fail"  # "fail" | "timeout"
+    probability: float = 0.2
+    doom_probability: float = 0.0
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class WritebackOverflow:
+    kind = "overflow"
+    probability: float = 0.1
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ServerCrash:
+    kind = "crash"
+    at_packet: int = 5
+    outage: int = 5
+    lose_state: bool = True
+
+    def active(self, index: int) -> bool:
+        return self.at_packet <= index < self.at_packet + self.outage
+
+
+@dataclass(frozen=True)
+class SwitchReprogram:
+    kind = "reprogram"
+    at_packet: int = 5
+    duration: int = 5
+
+    def active(self, index: int) -> bool:
+        return self.at_packet <= index < self.at_packet + self.duration
+
+
+@dataclass(frozen=True)
+class StaleReplication:
+    kind = "stale"
+    extra_us: float = 2_000.0
+    probability: float = 0.5
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class PuntReorder:
+    kind = "reorder"
+
+    def active(self, index: int) -> bool:  # applies at drain time
+        return True
+
+
+def _in_window(index: int, start: int, stop: Optional[int]) -> bool:
+    return index >= start and (stop is None or index < stop)
+
+
+#: kind tag -> spec class, for (de)serialization.
+FAULT_KINDS: Dict[str, Type] = {
+    cls.kind: cls
+    for cls in (
+        LinkFault, BatchFault, WritebackOverflow, ServerCrash,
+        SwitchReprogram, StaleReplication, PuntReorder,
+    )
+}
+
+#: every fault-class tag, in campaign-coverage order.
+ALL_FAULT_KINDS: Tuple[str, ...] = tuple(FAULT_KINDS)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults for one deployment run."""
+
+    faults: Tuple = ()
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.kind for spec in self.faults}))
+
+    def by_kind(self, kind: str) -> List:
+        return [spec for spec in self.faults if spec.kind == kind]
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "no faults"
+        return "; ".join(_describe(spec) for spec in self.faults)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"faults": [_spec_to_dict(spec) for spec in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            faults=tuple(
+                _spec_from_dict(item) for item in data.get("faults", [])
+            )
+        )
+
+
+def _spec_to_dict(spec) -> dict:
+    out = {"kind": spec.kind}
+    for spec_field in dataclass_fields(spec):
+        out[spec_field.name] = getattr(spec, spec_field.name)
+    return out
+
+
+def _spec_from_dict(data: dict) -> object:
+    kind = data["kind"]
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}")
+    kwargs = {
+        spec_field.name: data[spec_field.name]
+        for spec_field in dataclass_fields(cls)
+        if spec_field.name in data
+    }
+    return cls(**kwargs)
+
+
+def _describe(spec) -> str:
+    if isinstance(spec, LinkFault):
+        return (
+            f"link {spec.mode} {spec.direction} p={spec.probability}"
+            f" [{spec.start},{spec.stop})"
+        )
+    if isinstance(spec, BatchFault):
+        return (
+            f"batch {spec.mode} p={spec.probability}"
+            f" doom={spec.doom_probability}"
+        )
+    if isinstance(spec, WritebackOverflow):
+        return f"writeback overflow p={spec.probability}"
+    if isinstance(spec, ServerCrash):
+        state = "lose-state" if spec.lose_state else "keep-state"
+        return f"server crash @{spec.at_packet}+{spec.outage} {state}"
+    if isinstance(spec, SwitchReprogram):
+        return f"switch reprogram @{spec.at_packet}+{spec.duration}"
+    if isinstance(spec, StaleReplication):
+        return f"stale replication +{spec.extra_us}µs p={spec.probability}"
+    if isinstance(spec, PuntReorder):
+        return "punt reorder on drain"
+    return repr(spec)
+
+
+# ---------------------------------------------------------------------------
+# Randomized plan generation (the campaign's scenario source)
+# ---------------------------------------------------------------------------
+
+
+def generate_plan(rng: random.Random, stream_len: int) -> FaultPlan:
+    """Draw a random, internally consistent fault schedule.
+
+    Picks 1–3 fault classes.  Crash and reprogram windows are placed
+    inside the stream and never overlap each other (overlap is the
+    degenerate total-outage case, exercised separately by the runtime's
+    defensive path, not worth most of the budget).
+    """
+    choices = list(ALL_FAULT_KINDS)
+    rng.shuffle(choices)
+    picked = choices[: rng.randint(1, 3)]
+    specs: List = []
+    #: packet indices already owned by an outage window
+    reserved: List[Tuple[int, int]] = []
+
+    def place_window(length: int) -> Optional[int]:
+        for _ in range(8):
+            at = rng.randrange(0, max(1, stream_len - 1))
+            if all(at + length <= lo or at >= hi for lo, hi in reserved):
+                reserved.append((at, at + length))
+                return at
+        return None
+
+    for kind in picked:
+        if kind == "link":
+            start = rng.randrange(0, max(1, stream_len // 2))
+            specs.append(LinkFault(
+                direction=rng.choice(["to_server", "to_switch"]),
+                mode=rng.choice(["loss", "loss", "corrupt"]),
+                probability=rng.choice([0.05, 0.15, 0.3]),
+                start=start,
+                stop=rng.choice([None, start + rng.randint(3, stream_len)]),
+            ))
+        elif kind == "batch":
+            specs.append(BatchFault(
+                mode=rng.choice(["fail", "timeout"]),
+                probability=rng.choice([0.1, 0.25, 0.5]),
+                doom_probability=rng.choice([0.0, 0.0, 0.1]),
+            ))
+        elif kind == "overflow":
+            specs.append(WritebackOverflow(
+                probability=rng.choice([0.05, 0.15]),
+            ))
+        elif kind == "crash":
+            outage = rng.randint(2, max(3, stream_len // 4))
+            at = place_window(outage)
+            if at is not None:
+                specs.append(ServerCrash(
+                    at_packet=at, outage=outage,
+                    lose_state=rng.random() < 0.75,
+                ))
+        elif kind == "reprogram":
+            duration = rng.randint(2, max(3, stream_len // 4))
+            at = place_window(duration)
+            if at is not None:
+                specs.append(SwitchReprogram(at_packet=at, duration=duration))
+        elif kind == "stale":
+            specs.append(StaleReplication(
+                extra_us=rng.choice([500.0, 2_000.0, 10_000.0]),
+                probability=rng.choice([0.25, 0.75]),
+            ))
+        elif kind == "reorder":
+            specs.append(PuntReorder())
+            # Reorder only matters when something queues punts: pair it
+            # with a crash window if none was drawn.
+            if not any(isinstance(s, ServerCrash) for s in specs):
+                outage = rng.randint(2, max(3, stream_len // 4))
+                at = place_window(outage)
+                if at is not None:
+                    specs.append(ServerCrash(
+                        at_packet=at, outage=outage,
+                        lose_state=rng.random() < 0.5,
+                    ))
+    return FaultPlan(faults=tuple(specs))

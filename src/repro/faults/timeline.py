@@ -1,0 +1,159 @@
+"""Discrete-event timeline of an outage + recovery on the punt path.
+
+The campaign (packet-indexed, semantics-first) proves *what* the
+deployment does under faults; this module models *when* — driving the
+:class:`repro.sim.Simulator` through a server outage to get recovery
+time, queue occupancy, and the latency the fault adds to punted packets.
+It feeds the fault-recovery experiment table
+(:func:`repro.eval.experiments.fault_recovery`).
+
+Model: punts arrive at a fixed inter-arrival time and need one service
+slot each (server run + state-sync batch, Table 3).  During the outage
+window punts queue up to the policy's bounded depth (beyond it they are
+dropped — the deployment's ``queue_overflow`` degradation); when the
+server returns the backlog drains at the service rate while new punts
+keep arriving.  Recovery is complete when the queue first empties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.events import Simulator
+from repro.switchsim.control_plane import (
+    RetryPolicy,
+    expected_batch_latency_us,
+)
+
+
+@dataclass
+class OutageScenario:
+    """One punt-path outage to simulate."""
+
+    #: punt inter-arrival time (µs) — the slow-path load
+    arrival_interval_us: float = 50.0
+    #: per-punt service time (µs): server run + replication batch
+    service_us: float = expected_batch_latency_us(1, "modify")
+    #: when the server goes down (µs into the run)
+    outage_start_us: float = 1_000.0
+    #: how long it stays down (µs)
+    outage_us: float = 10_000.0
+    #: bounded punt-queue depth (DegradationPolicy.punt_queue_depth)
+    queue_depth: int = 32
+    #: total punts driven through the timeline
+    punts: int = 2_000
+
+    def describe(self) -> str:
+        return (
+            f"outage={self.outage_us / 1000:.0f}ms"
+            f" queue={self.queue_depth}"
+            f" load=1/{self.arrival_interval_us:.0f}µs"
+        )
+
+
+@dataclass
+class RecoveryTimeline:
+    """What the simulation observed."""
+
+    scenario: OutageScenario
+    served: int = 0
+    dropped: int = 0
+    max_queue: int = 0
+    #: µs after the server returned until the backlog first emptied
+    recovery_us: float = 0.0
+    #: per-served-punt latency (completion − arrival), µs
+    latencies_us: List[float] = field(default_factory=list)
+
+    def latency_percentile(self, fraction: float) -> float:
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        index = min(
+            len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    @property
+    def baseline_latency_us(self) -> float:
+        """Fault-free punt latency (service only, no queueing)."""
+        return self.scenario.service_us
+
+    def added_p99_us(self) -> float:
+        return max(0.0, self.latency_percentile(0.99) - self.baseline_latency_us)
+
+
+def simulate_outage(scenario: OutageScenario) -> RecoveryTimeline:
+    """Run one outage scenario on the discrete-event engine."""
+    sim = Simulator()
+    timeline = RecoveryTimeline(scenario)
+    outage_end = scenario.outage_start_us + scenario.outage_us
+    queue: List[float] = []  # arrival times of waiting punts
+    state = {"busy": False, "recovered_at": None}
+
+    def server_up(now: float) -> bool:
+        return not (scenario.outage_start_us <= now < outage_end)
+
+    def start_service(arrival_time: float) -> None:
+        state["busy"] = True
+
+        def complete() -> None:
+            timeline.served += 1
+            timeline.latencies_us.append(sim.now - arrival_time)
+            state["busy"] = False
+            pump()
+
+        sim.schedule(scenario.service_us, complete)
+
+    def pump() -> None:
+        """Serve the head of the queue if the server is free."""
+        if state["busy"] or not server_up(sim.now):
+            return
+        if queue:
+            start_service(queue.pop(0))
+        elif (
+            state["recovered_at"] is None and sim.now >= outage_end
+        ):
+            # Backlog just emptied for the first time post-outage.
+            state["recovered_at"] = sim.now
+            timeline.recovery_us = sim.now - outage_end
+
+    def arrive() -> None:
+        if state["busy"] or not server_up(sim.now):
+            if len(queue) >= scenario.queue_depth:
+                timeline.dropped += 1
+            else:
+                queue.append(sim.now)
+                timeline.max_queue = max(timeline.max_queue, len(queue))
+        else:
+            start_service(sim.now)
+
+    for index in range(scenario.punts):
+        sim.schedule_at(index * scenario.arrival_interval_us, arrive)
+    sim.schedule_at(outage_end, pump)  # the server comes back
+    sim.run()
+    if state["recovered_at"] is None:
+        # Queue never emptied before the arrivals stopped; recovery ends
+        # when the last punt finishes.
+        timeline.recovery_us = max(0.0, sim.now - outage_end)
+    return timeline
+
+
+def retry_latency_us(
+    failed_attempts: int,
+    policy: Optional[RetryPolicy] = None,
+    n_tables: int = 1,
+    op: str = "modify",
+) -> float:
+    """Nominal extra output-commit wait after ``failed_attempts`` vetoed
+    batch attempts (jitter-free; the worst case the fault harness charges
+    a packet that eventually commits)."""
+    policy = policy or RetryPolicy()
+    base = expected_batch_latency_us(n_tables, op)
+    wait = 0.0
+    nominal_backoff = policy.base_backoff_us
+    for _ in range(failed_attempts):
+        wait += base  # the failed attempt burns its RPC time
+        wait += min(policy.max_backoff_us, nominal_backoff)
+        nominal_backoff *= policy.backoff_multiplier
+    return wait

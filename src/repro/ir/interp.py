@@ -257,6 +257,14 @@ class StateStore:
             "scalars": dict(self.scalars),
         }
 
+    def restore(self, snapshot: dict) -> None:
+        """Roll back to a :meth:`snapshot` (used by the fault harness to
+        undo a punted packet's server-side effects when its state updates
+        could not be committed to the switch)."""
+        self.maps = {k: dict(v) for k, v in snapshot["maps"].items()}
+        self.vectors = {k: list(v) for k, v in snapshot["vectors"].items()}
+        self.scalars = dict(snapshot["scalars"])
+
     def drain_journal(self) -> List[tuple]:
         entries = self.journal
         self.journal = []

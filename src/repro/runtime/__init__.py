@@ -11,12 +11,15 @@
 """
 
 from repro.runtime.server import ServerRuntime, ServerResult
+from repro.runtime.degradation import DegradationPolicy, DropAccounting
 from repro.runtime.deployment import GalliumMiddlebox, PacketJourney, compile_middlebox
 from repro.runtime.baseline import FastClickRuntime, BaselineResult
 
 __all__ = [
     "ServerRuntime",
     "ServerResult",
+    "DegradationPolicy",
+    "DropAccounting",
     "GalliumMiddlebox",
     "PacketJourney",
     "compile_middlebox",

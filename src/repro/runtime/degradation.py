@@ -1,0 +1,124 @@
+"""Graceful-degradation policy for a deployed Gallium middlebox.
+
+A production middlebox cannot assume every punt reaches the server or that
+every update batch lands: links lose frames, control-plane RPCs fail, the
+server restarts.  :class:`DegradationPolicy` declares — per middlebox —
+what the deployment does when the slow path is unavailable, and
+:class:`DropAccounting` makes every degraded packet explicit so the fault
+oracle can verify that nothing is lost silently.
+
+Degradation reasons
+-------------------
+``punt_lost`` / ``punt_corrupted``
+    The switch→server frame vanished (loss, or an FCS-failing frame the
+    server NIC discarded).  The packet is gone; always accounted as a drop.
+``return_lost`` / ``return_corrupted``
+    The server→switch frame vanished *after* the state batch committed:
+    state stays consistent, only the packet is lost.
+``server_down`` / ``queue_overflow`` / ``total_outage``
+    The server was unreachable and the bounded punt queue could not hold
+    the packet; the fail-open/fail-closed policy decides the outcome.
+``writeback_failed`` / ``writeback_overflow``
+    The atomic update batch could not be committed after retries; the
+    server rolls its state back (output commit forbids releasing the
+    rewritten packet) and the policy decides the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.switchsim.control_plane import RetryPolicy
+
+#: Reasons where the packet is physically gone: policy cannot save it.
+UNSALVAGEABLE_REASONS = frozenset({
+    "punt_lost", "punt_corrupted", "return_lost", "return_corrupted",
+})
+
+#: Reasons the fail-open/fail-closed policy arbitrates.
+POLICY_REASONS = frozenset({
+    "server_down", "queue_overflow", "total_outage",
+    "writeback_failed", "writeback_overflow",
+})
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Per-middlebox declaration of behaviour under faults."""
+
+    #: True: degraded packets are forwarded as received (bypass wire);
+    #: False: degraded packets are dropped (the safe default for
+    #: security middleboxes like firewalls).
+    fail_open: bool = False
+    #: Punts buffered while the server is down before overflow.
+    punt_queue_depth: int = 32
+    #: Retry schedule for failed update batches.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def to_dict(self) -> dict:
+        return {
+            "fail_open": self.fail_open,
+            "punt_queue_depth": self.punt_queue_depth,
+            "retry": self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationPolicy":
+        return cls(
+            fail_open=bool(data.get("fail_open", False)),
+            punt_queue_depth=int(data.get("punt_queue_depth", 32)),
+            retry=RetryPolicy.from_dict(data.get("retry", {})),
+        )
+
+
+@dataclass
+class DropAccounting:
+    """Explicit ledger of every packet the deployment degraded.
+
+    ``by_reason`` counts degradations by cause; ``failed_open`` /
+    ``failed_closed`` split them by outcome.  The invariant the fault
+    oracle enforces: every processed packet is either delivered with full
+    middlebox semantics or appears here — no silent losses.
+    """
+
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    failed_open: int = 0
+    failed_closed: int = 0
+    queued: int = 0
+    reordered: int = 0
+    server_restarts: int = 0
+    fallback_packets: int = 0
+    switch_resyncs: int = 0
+
+    def count(self, reason: str) -> None:
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+    @property
+    def degraded_total(self) -> int:
+        return sum(self.by_reason.values())
+
+    def summary(self) -> str:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.by_reason.items())
+        ) or "none"
+        return (
+            f"degraded={self.degraded_total} [{reasons}]"
+            f" open={self.failed_open} closed={self.failed_closed}"
+            f" queued={self.queued} reordered={self.reordered}"
+            f" restarts={self.server_restarts}"
+            f" fallback={self.fallback_packets}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "by_reason": dict(self.by_reason),
+            "failed_open": self.failed_open,
+            "failed_closed": self.failed_closed,
+            "queued": self.queued,
+            "reordered": self.reordered,
+            "server_restarts": self.server_restarts,
+            "fallback_packets": self.fallback_packets,
+            "switch_resyncs": self.switch_resyncs,
+        }

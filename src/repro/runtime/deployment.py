@@ -12,6 +12,19 @@ partition → synthesize shims → build the switch program), and
    until the updates are visible on the switch,
 4. the packet returns to the switch, which applies the server's verdict or
    runs the post-processing pipeline.
+
+Fault tolerance
+---------------
+The deployment optionally runs under a :class:`DegradationPolicy` with a
+fault injector (see :mod:`repro.faults`).  In that mode it adds: a bounded
+punt queue for server outages, fail-open/fail-closed handling of
+unsalvageable packets, retried update batches with server-side rollback
+when a batch cannot commit (output commit forbids releasing the packet),
+server crash recovery that resynchronizes authoritative state from the
+switch, and a server-only fallback mode while the switch reprograms.
+Every degradation is recorded in :class:`DropAccounting` and in the
+``fault_log`` — the ordered effect log the fault oracle replays against a
+clean reference deployment to prove nothing diverged silently.
 """
 
 from __future__ import annotations
@@ -21,14 +34,16 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.headers import synthesize_shim_layouts
 from repro.ir.externs import ExternHost
-from repro.ir.interp import Interpreter, StateStore
+from repro.ir.interp import Interpreter, PacketView, StateStore
 from repro.ir.lowering import LoweredMiddlebox, lower_program
 from repro.lang.parser import parse_program
 from repro.net.packet import RawPacket
 from repro.partition.constraints import SwitchResources
 from repro.partition.partitioner import partition_middlebox
 from repro.partition.plan import PartitionPlan, PlacementKind
+from repro.runtime.degradation import DegradationPolicy, DropAccounting
 from repro.runtime.server import ServerRuntime
+from repro.switchsim.control_plane import UpdateBatchError
 from repro.switchsim.program import SwitchProgram
 from repro.switchsim.switch_model import SwitchModel, SwitchOutput
 
@@ -37,7 +52,7 @@ from repro.switchsim.switch_model import SwitchModel, SwitchOutput
 class PacketJourney:
     """Full trace of one packet through the deployed middlebox."""
 
-    verdict: str  # "send" | "drop"
+    verdict: str  # "send" | "drop" | "queued"
     emitted: List[Tuple[int, RawPacket]] = field(default_factory=list)
     fast_path: bool = False
     punted: bool = False
@@ -48,10 +63,48 @@ class PacketJourney:
     sync_wait_us: float = 0.0
     #: number of switch tables touched by the state sync (0 = no sync)
     sync_tables: int = 0
+    #: position in the deployment's arrival order (set when faults are on)
+    packet_index: Optional[int] = None
+    #: True when a fault degraded this packet (see ``degraded_reason``)
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    #: True while the punt sits in the bounded queue (placeholder journey);
+    #: the completed journey arrives via ``drain_deferred()``
+    queued: bool = False
+    #: processed in server-only fallback mode (switch reprogramming)
+    fallback: bool = False
+    #: update-batch retries this packet's state sync needed
+    retries: int = 0
+    #: µs burned in failed batch attempts and backoff
+    retry_wait_us: float = 0.0
+    #: extra µs of output-commit wait from a stale-replication window
+    stale_wait_us: float = 0.0
 
     @property
     def server_involved(self) -> bool:
         return self.punted
+
+    @property
+    def delivered(self) -> bool:
+        """Full middlebox semantics were applied to this packet."""
+        return not self.degraded and not self.queued
+
+
+@dataclass
+class PuntCompletion:
+    """Result of finishing one punted packet on the server."""
+
+    verdict: str
+    emitted: List[Tuple[int, RawPacket]]
+    server_instructions: int
+    post_instructions: int
+    sync_wait_us: float
+    sync_tables: int
+    retries: int = 0
+    retry_wait_us: float = 0.0
+    stale_wait_us: float = 0.0
+    #: set when the return frame was lost after the state batch committed
+    lost_reason: Optional[str] = None
 
 
 def compile_middlebox(
@@ -87,9 +140,14 @@ class GalliumMiddlebox:
         config: Optional[Dict[int, list]] = None,
         clock=None,
         seed: int = 0,
+        policy: Optional[DegradationPolicy] = None,
+        injector=None,
     ):
         self.plan = plan
         self.program = program
+        #: deployment-level seed; threads into the control plane's
+        #: jitter/backoff RNG through :class:`SwitchModel`.
+        self.seed = seed
         self.switch = SwitchModel(
             program, server_port=server_port, port_pairs=port_pairs, seed=seed
         )
@@ -104,6 +162,20 @@ class GalliumMiddlebox:
         )
         self.server_port = server_port
         self.packets_processed = 0
+        # -- graceful degradation (active when an injector is attached) ----
+        self.policy = policy or DegradationPolicy()
+        self.injector = injector
+        self.accounting = DropAccounting()
+        #: ordered effect log the fault oracle replays (see module doc)
+        self.fault_log: List[tuple] = []
+        self._punt_queue: List[tuple] = []
+        self._deferred_journeys: List[PacketJourney] = []
+        self._server_was_down = False
+        self._fallback_active = False
+        if policy is not None or injector is not None:
+            self.switch.control_plane.retry = self.policy.retry
+        if injector is not None:
+            self.switch.control_plane.fault_hook = injector.batch_fault
 
     @classmethod
     def from_source(
@@ -114,6 +186,10 @@ class GalliumMiddlebox:
     ) -> "GalliumMiddlebox":
         plan, program = compile_middlebox(source, limits)
         return cls(plan, program, **kwargs)
+
+    @property
+    def faults_armed(self) -> bool:
+        return self.injector is not None
 
     # -- deployment ------------------------------------------------------------
 
@@ -126,12 +202,19 @@ class GalliumMiddlebox:
         self.sync_all_state()
 
     def sync_all_state(self) -> None:
-        """Bulk-install every switch-resident state member (deploy time)."""
+        """Bulk-install every switch-resident state member.
+
+        Used at deploy time and again after a switch reprogram: the switch
+        copy is rebuilt from the server's authoritative state, so each
+        table is cleared first (a stale switch entry the server deleted
+        meanwhile must not survive the resync).
+        """
         for name, placement in self.plan.placements.items():
             if not placement.on_switch:
                 continue
             member = placement.member
             if member.kind == "map":
+                self.switch.control_plane.clear_table(name)
                 self.switch.control_plane.install_entries(
                     name, dict(self.state.maps[name])
                 )
@@ -140,6 +223,7 @@ class GalliumMiddlebox:
                     (index,): value
                     for index, value in enumerate(self.state.vectors[name])
                 }
+                self.switch.control_plane.clear_table(name)
                 self.switch.control_plane.install_entries(name, entries)
             else:
                 self.switch.control_plane.write_register(
@@ -149,7 +233,10 @@ class GalliumMiddlebox:
     # -- the packet path ----------------------------------------------------------
 
     def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
+        index = self.packets_processed
         self.packets_processed += 1
+        if self.faults_armed:
+            return self._process_with_faults(packet, ingress_port, index)
         first = self.switch.receive(packet, ingress_port)
         if not first.punted:
             return PacketJourney(
@@ -160,27 +247,384 @@ class GalliumMiddlebox:
             )
         # Slow path: server handles the punted packet.
         assert first.emitted and first.emitted[0][0] == self.server_port
-        punted_packet = first.emitted[0][1]
-        server_result = self.server.handle(punted_packet)
-        sync_wait = 0.0
-        sync_tables = 0
-        if server_result.updates:
-            batch = self.switch.control_plane.apply_batch(server_result.updates)
-            # Output commit: the packet is held until visibility.
-            sync_wait = batch.visibility_latency_us
-            sync_tables = batch.tables_touched
-        second = self.switch.receive(server_result.packet, self.server_port)
+        completion = self.complete_punt(first.emitted[0][1])
         return PacketJourney(
-            verdict="drop" if second.dropped else "send",
-            emitted=second.emitted,
+            verdict=completion.verdict,
+            emitted=completion.emitted,
             fast_path=False,
             punted=True,
             pre_instructions=first.pipeline_instructions,
+            server_instructions=completion.server_instructions,
+            post_instructions=completion.post_instructions,
+            sync_wait_us=completion.sync_wait_us,
+            sync_tables=completion.sync_tables,
+        )
+
+    def complete_punt(self, punted_packet: RawPacket) -> PuntCompletion:
+        """Finish one punted packet: server run, state sync, return leg.
+
+        This is the slow-path tail of :meth:`process_packet`, exposed so
+        the fault harness can replay punt completions independently of
+        ingress (queued punts complete after the server recovers).
+        """
+        server_result = self.server.handle(punted_packet)
+        sync_wait = 0.0
+        sync_tables = 0
+        retries = 0
+        retry_wait = 0.0
+        stale_wait = 0.0
+        if server_result.updates:
+            try:
+                batch = self.switch.control_plane.apply_batch(
+                    server_result.updates
+                )
+            except UpdateBatchError as exc:
+                if not exc.applied:
+                    raise
+                # The final attempt timed out *after* the batch landed on
+                # the switch; the control plane reconciles by re-reading
+                # switch state, so the packet proceeds (with the full
+                # retry latency charged to its output-commit wait).
+                sync_wait = exc.retry_wait_us
+                retries = exc.attempts - 1
+                retry_wait = exc.retry_wait_us
+            else:
+                # Output commit: the packet is held until visibility.
+                sync_wait = batch.visibility_latency_us
+                sync_tables = batch.tables_touched
+                retries = batch.attempts - 1
+                retry_wait = batch.retry_wait_us
+            if self.faults_armed:
+                stale_wait = self.injector.stale_extra_us()
+                sync_wait += stale_wait
+        if self.faults_armed:
+            lost = self.injector.return_frame_fate()
+            if lost is not None:
+                # The return frame vanished after the state committed:
+                # switch and server stay consistent, the packet is gone.
+                return PuntCompletion(
+                    verdict="drop", emitted=[],
+                    server_instructions=server_result.instructions,
+                    post_instructions=0,
+                    sync_wait_us=sync_wait, sync_tables=sync_tables,
+                    retries=retries, retry_wait_us=retry_wait,
+                    stale_wait_us=stale_wait, lost_reason=lost,
+                )
+        second = self.switch.receive(server_result.packet, self.server_port)
+        return PuntCompletion(
+            verdict="drop" if second.dropped else "send",
+            emitted=second.emitted,
             server_instructions=server_result.instructions,
             post_instructions=second.pipeline_instructions,
             sync_wait_us=sync_wait,
             sync_tables=sync_tables,
+            retries=retries,
+            retry_wait_us=retry_wait,
+            stale_wait_us=stale_wait,
         )
+
+    # -- the packet path under faults ----------------------------------------
+
+    def _process_with_faults(
+        self, packet: RawPacket, ingress_port: int, index: int
+    ) -> PacketJourney:
+        injector = self.injector
+        injector.begin_packet(index)
+        self._advance_windows(index)
+        pristine = packet.copy()
+        if injector.switch_down(index):
+            if injector.server_down(index):
+                return self._degrade(
+                    pristine, ingress_port, index, "total_outage"
+                )
+            return self._fallback_process(packet, ingress_port, index)
+        first = self.switch.receive(packet, ingress_port)
+        self.fault_log.append(("ingress", index, ingress_port))
+        if not first.punted:
+            return PacketJourney(
+                verdict="drop" if first.dropped else "send",
+                emitted=first.emitted,
+                fast_path=True,
+                pre_instructions=first.pipeline_instructions,
+                packet_index=index,
+            )
+        punted = first.emitted[0][1]
+        fate = injector.punt_frame_fate()
+        if fate is not None:
+            # The frame died on the wire (or failed the server NIC's FCS
+            # check); the pre-pipeline's switch-state effects stand, the
+            # packet itself is unrecoverable.
+            self.fault_log.append(("drop_punt", index))
+            self.accounting.count(fate)
+            self.accounting.failed_closed += 1
+            return PacketJourney(
+                verdict="drop", punted=True, degraded=True,
+                degraded_reason=fate,
+                pre_instructions=first.pipeline_instructions,
+                packet_index=index,
+            )
+        if injector.server_down(index):
+            return self._enqueue_punt(
+                index, punted, pristine, ingress_port,
+                first.pipeline_instructions,
+            )
+        return self._serve_punt(
+            index, punted, pristine, ingress_port,
+            first.pipeline_instructions,
+        )
+
+    def _serve_punt(
+        self,
+        index: int,
+        punted: RawPacket,
+        pristine: RawPacket,
+        ingress_port: int,
+        pre_instructions: int,
+    ) -> PacketJourney:
+        snapshot = self.state.snapshot()
+        try:
+            completion = self.complete_punt(punted)
+        except UpdateBatchError as exc:
+            # The batch never landed (vetoed RPCs or write-back overflow):
+            # roll the server back so switch and server stay in lockstep,
+            # then degrade the packet — output commit forbids releasing it.
+            self.state.restore(snapshot)
+            self.fault_log.append(("drop_punt", index))
+            reason = (
+                "writeback_overflow" if exc.kind == "overflow"
+                else "writeback_failed"
+            )
+            return self._degrade(
+                pristine, ingress_port, index, reason,
+                pre_instructions=pre_instructions,
+                retries=exc.attempts - 1,
+                retry_wait_us=exc.retry_wait_us,
+                punted=True,
+            )
+        self.fault_log.append(("serve", index))
+        if completion.lost_reason is not None:
+            self.accounting.count(completion.lost_reason)
+            self.accounting.failed_closed += 1
+            return PacketJourney(
+                verdict="drop", punted=True, degraded=True,
+                degraded_reason=completion.lost_reason,
+                pre_instructions=pre_instructions,
+                server_instructions=completion.server_instructions,
+                sync_wait_us=completion.sync_wait_us,
+                sync_tables=completion.sync_tables,
+                retries=completion.retries,
+                retry_wait_us=completion.retry_wait_us,
+                stale_wait_us=completion.stale_wait_us,
+                packet_index=index,
+            )
+        return PacketJourney(
+            verdict=completion.verdict,
+            emitted=completion.emitted,
+            punted=True,
+            pre_instructions=pre_instructions,
+            server_instructions=completion.server_instructions,
+            post_instructions=completion.post_instructions,
+            sync_wait_us=completion.sync_wait_us,
+            sync_tables=completion.sync_tables,
+            retries=completion.retries,
+            retry_wait_us=completion.retry_wait_us,
+            stale_wait_us=completion.stale_wait_us,
+            packet_index=index,
+        )
+
+    def _enqueue_punt(
+        self,
+        index: int,
+        punted: RawPacket,
+        pristine: RawPacket,
+        ingress_port: int,
+        pre_instructions: int,
+    ) -> PacketJourney:
+        if len(self._punt_queue) >= self.policy.punt_queue_depth:
+            self.fault_log.append(("drop_punt", index))
+            return self._degrade(
+                pristine, ingress_port, index, "queue_overflow",
+                pre_instructions=pre_instructions, punted=True,
+            )
+        self._punt_queue.append(
+            (index, punted, pristine, ingress_port, pre_instructions)
+        )
+        self.accounting.queued += 1
+        return PacketJourney(
+            verdict="queued", punted=True, queued=True,
+            pre_instructions=pre_instructions, packet_index=index,
+        )
+
+    def _degrade(
+        self,
+        pristine: RawPacket,
+        ingress_port: int,
+        index: int,
+        reason: str,
+        pre_instructions: int = 0,
+        retries: int = 0,
+        retry_wait_us: float = 0.0,
+        punted: bool = False,
+    ) -> PacketJourney:
+        """Apply the fail-open/fail-closed policy to an unservable packet."""
+        self.accounting.count(reason)
+        if self.policy.fail_open:
+            self.accounting.failed_open += 1
+            port = self.switch.port_pairs.get(ingress_port, ingress_port)
+            return PacketJourney(
+                verdict="send", emitted=[(port, pristine)],
+                punted=punted, degraded=True, degraded_reason=reason,
+                pre_instructions=pre_instructions,
+                retries=retries, retry_wait_us=retry_wait_us,
+                packet_index=index,
+            )
+        self.accounting.failed_closed += 1
+        return PacketJourney(
+            verdict="drop", punted=punted, degraded=True,
+            degraded_reason=reason,
+            pre_instructions=pre_instructions,
+            retries=retries, retry_wait_us=retry_wait_us,
+            packet_index=index,
+        )
+
+    # -- fallback mode (switch reprogramming) ---------------------------------
+
+    def _fallback_process(
+        self, packet: RawPacket, ingress_port: int, index: int
+    ) -> PacketJourney:
+        """Server-only operation: the server runs the *complete* middlebox
+        program while the switch pipelines are unavailable.  Replication is
+        deferred; the window ends with a bulk state resync."""
+        if not self._fallback_active:
+            self._fallback_active = True
+            self._pull_switch_registers()
+        self.fault_log.append(("fallback", index, ingress_port))
+        self.accounting.fallback_packets += 1
+        self.state.drain_journal()
+        packet.ingress_port = ingress_port
+        result = Interpreter(
+            self.plan.middlebox.process, self.state, self.externs
+        ).run(PacketView(packet))
+        self.state.drain_journal()  # bulk resync covers replication
+        verdict = result.verdict or "drop"
+        emitted: List[Tuple[int, RawPacket]] = []
+        if verdict == "send":
+            port = result.egress_port or self.switch.port_pairs.get(
+                ingress_port, ingress_port
+            )
+            emitted = [(port, packet)]
+        return PacketJourney(
+            verdict=verdict,
+            emitted=emitted,
+            fallback=True,
+            server_instructions=result.instructions_executed,
+            packet_index=index,
+        )
+
+    def _pull_switch_registers(self) -> None:
+        """Copy switch-authoritative register values into server state
+        (entering fallback, and after a server restart)."""
+        for name, placement in self.plan.placements.items():
+            if placement.kind is PlacementKind.SWITCH_REGISTER:
+                self.state.scalars[name] = self.switch.registers[name].value
+
+    # -- crash recovery ---------------------------------------------------------
+
+    def crash_resync(self) -> None:
+        """Rebuild server state after a crash, from the authoritative
+        switch copy.
+
+        ``configure()`` reruns from the deployment's static config; state
+        the switch holds (replicated tables, registers) is read back from
+        the switch — the last successfully committed batch survives by
+        construction of the write-back protocol.  Server-only dynamic
+        state cannot be recovered and resets to its post-configure values:
+        a *declared* degradation the fault oracle mirrors, never a silent
+        one.
+        """
+        fresh = StateStore(self.plan.middlebox.state)
+        fresh.track_reads = self.state.track_reads
+        configure = self.plan.middlebox.configure
+        if configure is not None:
+            Interpreter(configure, fresh, self.externs).run()
+        fresh.drain_journal()
+        for name, placement in self.plan.placements.items():
+            member = placement.member
+            if placement.kind is PlacementKind.REPLICATED_TABLE:
+                entries = self.switch.tables[name].snapshot()
+                if member.kind == "map":
+                    fresh.maps[name] = dict(entries)
+                else:  # vector stored as an index-keyed table
+                    length = 1 + max((k[0] for k in entries), default=-1)
+                    vector = [0] * length
+                    for (position,), value in entries.items():
+                        vector[position] = value
+                    fresh.vectors[name] = vector
+            elif placement.kind in (
+                PlacementKind.SWITCH_REGISTER,
+                PlacementKind.REPLICATED_REGISTER,
+            ):
+                fresh.scalars[name] = self.switch.registers[name].value
+        self.state = fresh
+        self.server.state = fresh
+        self.accounting.server_restarts += 1
+
+    # -- fault-window bookkeeping ------------------------------------------------
+
+    def _advance_windows(self, index: int) -> None:
+        """Fire window-edge transitions (recovery actions) for packet
+        ``index``: switch reprogram completion and server restart."""
+        injector = self.injector
+        if self._fallback_active and not injector.switch_down(index):
+            self.sync_all_state()
+            self.fault_log.append(("resync",))
+            self.accounting.switch_resyncs += 1
+            self._fallback_active = False
+        server_down = injector.server_down(index)
+        if server_down and not self._server_was_down:
+            self._server_was_down = True
+        elif self._server_was_down and not server_down:
+            self._server_was_down = False
+            if injector.take_restart_state_loss():
+                self.crash_resync()
+                self.fault_log.append(("crash",))
+            self._drain_punt_queue()
+
+    def _drain_punt_queue(self) -> None:
+        """Serve punts buffered during the outage (possibly reordered by a
+        link fault); their completed journeys surface via
+        :meth:`drain_deferred`."""
+        entries = self._punt_queue
+        self._punt_queue = []
+        if not entries:
+            return
+        order = self.injector.drain_order(len(entries))
+        if list(order) != list(range(len(entries))):
+            self.accounting.reordered += len(entries)
+        for position in order:
+            index, punted, pristine, ingress_port, pre_instructions = (
+                entries[position]
+            )
+            journey = self._serve_punt(
+                index, punted, pristine, ingress_port, pre_instructions
+            )
+            journey.queued = True
+            self._deferred_journeys.append(journey)
+
+    def drain_deferred(self) -> List[PacketJourney]:
+        """Completed journeys of previously queued punts (drained on server
+        recovery); each carries its original ``packet_index``."""
+        journeys = self._deferred_journeys
+        self._deferred_journeys = []
+        return journeys
+
+    def recover(self) -> None:
+        """End all fault windows and finish every pending recovery: drain
+        the punt queue, resync after a reprogram, restart the server."""
+        if not self.faults_armed:
+            return
+        self.injector.clear()
+        self._advance_windows(self.packets_processed)
 
     # -- stats ----------------------------------------------------------------------
 

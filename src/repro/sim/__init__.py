@@ -15,7 +15,7 @@ links.  This package models it:
 """
 
 from repro.sim.costs import CostModel
-from repro.sim.events import EventQueue, Simulator
+from repro.sim.events import EventQueue, SimulationError, Simulator
 from repro.sim.latency import LatencyModel, LatencySample
 from repro.sim.capacity import CapacityModel, ThroughputEstimate
 from repro.sim.fluid import FluidFlowSimulator, FlowRecord
@@ -23,6 +23,7 @@ from repro.sim.fluid import FluidFlowSimulator, FlowRecord
 __all__ = [
     "CostModel",
     "EventQueue",
+    "SimulationError",
     "Simulator",
     "LatencyModel",
     "LatencySample",

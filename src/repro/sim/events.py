@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 
+class SimulationError(RuntimeError):
+    """A discrete-event simulation was driven into an invalid state."""
+
+
 class EventQueue:
     """Priority queue of (time, seq, callback) events."""
 
@@ -26,11 +30,21 @@ class EventQueue:
         heapq.heappush(self._heap, (time, next(self._counter), callback))
 
     def pop(self) -> Tuple[float, Callable[[], None]]:
+        if not self._heap:
+            raise SimulationError(
+                "pop() on an empty event queue: no events are scheduled"
+                " (check the queue with bool()/len() before popping)"
+            )
         time, _, callback = heapq.heappop(self._heap)
         return time, callback
 
-    def peek_time(self) -> Optional[float]:
-        return self._heap[0][0] if self._heap else None
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise SimulationError(
+                "peek_time() on an empty event queue: no events are scheduled"
+                " (check the queue with bool()/len() before peeking)"
+            )
+        return self._heap[0][0]
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -62,7 +76,7 @@ class Simulator:
         """Process events until the queue drains (or ``until`` / the cap)."""
         while self.queue:
             next_time = self.queue.peek_time()
-            if until is not None and next_time is not None and next_time > until:
+            if until is not None and next_time > until:
                 self.now = until
                 break
             time, callback = self.queue.pop()

@@ -13,7 +13,13 @@ from repro.switchsim.tables import ExactMatchTable, TableEntryLimit
 from repro.switchsim.registers import Register
 from repro.switchsim.program import SwitchProgram, SwitchProgramError, TableSpec, RegisterSpec
 from repro.switchsim.pipeline import PipelineExecutor, TraversalResult, SwitchStateAdapter
-from repro.switchsim.control_plane import ControlPlane, UpdateBatchResult
+from repro.switchsim.control_plane import (
+    ControlPlane,
+    ControlPlaneFault,
+    RetryPolicy,
+    UpdateBatchError,
+    UpdateBatchResult,
+)
 from repro.switchsim.switch_model import SwitchModel, SwitchOutput
 
 __all__ = [
@@ -28,6 +34,9 @@ __all__ = [
     "TraversalResult",
     "SwitchStateAdapter",
     "ControlPlane",
+    "ControlPlaneFault",
+    "RetryPolicy",
+    "UpdateBatchError",
     "UpdateBatchResult",
     "SwitchModel",
     "SwitchOutput",

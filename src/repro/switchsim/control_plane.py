@@ -15,22 +15,34 @@ model calibrated against the paper's Table 3:
 The shape is linear for the first two tables and sub-linear beyond
 (the SDK pipelines RPCs once more than two table programs are touched), so
 the model is ``base_per_table × min(n, 2) + overlap_per_table × max(0, n-2)``.
+
+Batches are retried under a :class:`RetryPolicy` (capped exponential
+backoff with jitter) when a :class:`ControlPlaneFault` is injected by the
+fault harness (`repro.faults`).  RPC-level "fail" faults veto the attempt
+before any switch state changes; "timeout" faults apply the batch but lose
+the confirmation, so the retry re-applies it — safe because the three-step
+protocol is idempotent for inserts, modifies, deletes and register writes.
+A batch that exhausts its attempts (or hits a write-back overflow) raises
+:class:`UpdateBatchError` and leaves no staged residue behind.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.switchsim.registers import Register
-from repro.switchsim.tables import ExactMatchTable
+from repro.switchsim.tables import ExactMatchTable, TableEntryLimit
 
 #: Calibrated per-op costs in microseconds (see Table 3 reproduction).
 BASE_PER_TABLE_US = {"insert": 135.2, "modify": 128.6, "delete": 131.3}
 OVERLAP_PER_TABLE_US = {"insert": 50.5, "modify": 52.4, "delete": 51.7}
 #: Relative jitter applied to each batch (the paper reports ±15-20%).
 JITTER_FRACTION = 0.15
+#: A timed-out batch RPC costs this multiple of its nominal latency (the
+#: confirmation deadline) before the caller gives up and retries.
+TIMEOUT_MULTIPLE = 3.0
 
 
 @dataclass(frozen=True)
@@ -43,6 +55,72 @@ class StateUpdate:
     value: Optional[int]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for failed update batches."""
+
+    max_attempts: int = 4
+    base_backoff_us: float = 200.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 5_000.0
+    jitter_fraction: float = 0.1
+
+    def backoff_us(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retry number ``attempt`` (1-based), with jitter."""
+        nominal = min(
+            self.max_backoff_us,
+            self.base_backoff_us * self.backoff_multiplier ** (attempt - 1),
+        )
+        jitter = 1.0 + rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return nominal * jitter
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_backoff_us": self.base_backoff_us,
+            "backoff_multiplier": self.backoff_multiplier,
+            "max_backoff_us": self.max_backoff_us,
+            "jitter_fraction": self.jitter_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        return cls(
+            max_attempts=int(data.get("max_attempts", 4)),
+            base_backoff_us=float(data.get("base_backoff_us", 200.0)),
+            backoff_multiplier=float(data.get("backoff_multiplier", 2.0)),
+            max_backoff_us=float(data.get("max_backoff_us", 5_000.0)),
+            jitter_fraction=float(data.get("jitter_fraction", 0.1)),
+        )
+
+
+class ControlPlaneFault(Exception):
+    """A transient injected fault on one batch attempt (retryable)."""
+
+    def __init__(self, kind: str):
+        super().__init__(f"injected control-plane fault: {kind}")
+        self.kind = kind  # "fail" | "timeout"
+
+
+class UpdateBatchError(Exception):
+    """A batch could not be applied (retries exhausted or overflow).
+
+    ``kind`` is ``"overflow"`` for write-back capacity (permanent) or the
+    transient fault kind that exhausted its retries.  ``applied`` reports
+    whether the switch state changed: overflows and vetoed RPCs abort
+    cleanly, so the caller can roll the server back and degrade the packet
+    without switch/server divergence.
+    """
+
+    def __init__(self, message: str, kind: str, attempts: int,
+                 retry_wait_us: float, applied: bool = False):
+        super().__init__(message)
+        self.kind = kind
+        self.attempts = attempts
+        self.retry_wait_us = retry_wait_us
+        self.applied = applied
+
+
 @dataclass
 class UpdateBatchResult:
     """Timing of one atomic update batch."""
@@ -53,6 +131,10 @@ class UpdateBatchResult:
     total_latency_us: float
     tables_touched: int
     updates_applied: int
+    #: attempts it took (1 = no retries)
+    attempts: int = 1
+    #: µs spent in failed attempts + backoff before the successful one
+    retry_wait_us: float = 0.0
 
 
 class ControlPlane:
@@ -63,12 +145,25 @@ class ControlPlane:
         tables: Dict[str, ExactMatchTable],
         registers: Dict[str, Register],
         seed: Optional[int] = 0,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.tables = tables
         self.registers = registers
         self._rng = random.Random(seed)
+        #: retry policy for failed batches (None = single attempt)
+        self.retry = retry
+        #: fault-harness hook: called with the 1-based attempt number,
+        #: returns None (healthy) or "fail" / "timeout" / "overflow"
+        self.fault_hook: Optional[Callable[[int], Optional[str]]] = None
         self.batches_applied = 0
         self.updates_applied = 0
+        self.batch_attempts = 0
+        self.batches_retried = 0
+        self.batches_failed = 0
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter/backoff RNG (public reproducibility knob)."""
+        self._rng = random.Random(seed)
 
     # -- bulk install (deployment time, not on the packet path) ---------------
 
@@ -83,6 +178,10 @@ class ControlPlane:
     def write_register(self, register: str, value: int) -> None:
         self.registers[register].control_write(value)
 
+    def clear_table(self, table: str) -> None:
+        """Remove every entry (bulk resync preamble, not on the packet path)."""
+        self.tables[table].clear()
+
     # -- atomic per-packet batch (the paper's three-step protocol) -------------
 
     def apply_batch(self, updates: List[StateUpdate]) -> UpdateBatchResult:
@@ -90,21 +189,96 @@ class ControlPlane:
 
         Returns the latency components; the caller (the Gallium runtime)
         holds the triggering packet until ``visibility_latency_us`` has
-        elapsed — the output-commit rule.
+        elapsed — the output-commit rule.  Transient injected faults are
+        retried per ``self.retry``; raises :class:`UpdateBatchError` when
+        the batch cannot be applied.
         """
+        max_attempts = self.retry.max_attempts if self.retry else 1
+        retry_wait = 0.0
+        attempts = 0
+        last_fault: Optional[ControlPlaneFault] = None
+        #: True once any attempt mutated the switch (a timed-out attempt
+        #: applies the batch and only loses the confirmation) — exhaustion
+        #: must then report applied=True no matter how later attempts die,
+        #: or the caller would roll the server back while the switch keeps
+        #: the batch: exactly the silent divergence this protocol forbids.
+        any_applied = False
+        while attempts < max_attempts:
+            attempts += 1
+            self.batch_attempts += 1
+            fault = self.fault_hook(attempts) if self.fault_hook else None
+            try:
+                result = self._apply_once(updates, fault)
+            except ControlPlaneFault as exc:
+                last_fault = exc
+                if exc.kind == "timeout":
+                    any_applied = True
+                retry_wait += self._attempt_cost_us(updates, exc.kind)
+                if attempts < max_attempts:
+                    self.batches_retried += 1
+                    retry_wait += self.retry.backoff_us(attempts, self._rng)
+                continue
+            except TableEntryLimit as exc:
+                self.batches_failed += 1
+                raise UpdateBatchError(
+                    str(exc), kind="overflow", attempts=attempts,
+                    retry_wait_us=retry_wait,
+                ) from exc
+            result.attempts = attempts
+            result.retry_wait_us = retry_wait
+            result.visibility_latency_us += retry_wait
+            result.total_latency_us += retry_wait
+            self.batches_applied += 1
+            self.updates_applied += len(updates)
+            return result
+        assert last_fault is not None
+        self.batches_failed += 1
+        raise UpdateBatchError(
+            f"update batch failed after {attempts} attempts"
+            f" (last fault: {last_fault.kind})",
+            kind=last_fault.kind,
+            attempts=attempts,
+            retry_wait_us=retry_wait,
+            applied=any_applied,
+        )
+
+    def _apply_once(
+        self, updates: List[StateUpdate], fault: Optional[str]
+    ) -> UpdateBatchResult:
+        """One attempt at the three-step protocol.
+
+        ``fault == "fail"`` vetoes the RPC before any switch mutation;
+        ``fault == "overflow"`` models write-back capacity exhaustion (also
+        before mutation, so the abort is clean); ``fault == "timeout"``
+        applies everything but loses the confirmation, exercising the
+        protocol's idempotence on retry.
+        """
+        if fault == "fail":
+            raise ControlPlaneFault("fail")
+        if fault == "overflow":
+            raise TableEntryLimit(
+                "injected write-back overflow (fault harness)"
+            )
         table_updates = [u for u in updates if u.op != "register"]
         register_updates = [u for u in updates if u.op == "register"]
         touched: Dict[str, List[StateUpdate]] = {}
         for update in table_updates:
             touched.setdefault(update.target, []).append(update)
 
-        # Step 1: stage every update in the write-back tables.
-        for table_name, table_ops in touched.items():
-            table = self.tables[table_name]
-            for update in table_ops:
-                table.stage(
-                    update.key, None if update.op == "delete" else update.value
-                )
+        # Step 1: stage every update in the write-back tables.  A capacity
+        # failure aborts the whole batch: discard any staged residue so the
+        # next batch's fold cannot observe it.
+        try:
+            for table_name, table_ops in touched.items():
+                table = self.tables[table_name]
+                for update in table_ops:
+                    table.stage(
+                        update.key, None if update.op == "delete" else update.value
+                    )
+        except TableEntryLimit:
+            for table_name in touched:
+                self.tables[table_name].discard_writeback()
+            raise
         for update in register_updates:
             self.registers[update.target].control_write(update.value or 0)
 
@@ -118,18 +292,30 @@ class ControlPlane:
             table.fold_writeback()
             table.set_visibility(False)
 
+        if fault == "timeout":
+            # The batch landed but the confirmation never arrived; the
+            # caller cannot tell and must retry (idempotently).
+            raise ControlPlaneFault("timeout")
+
         n_tables = len(touched) + (1 if register_updates else 0)
         op_kind = _dominant_op(table_updates) if table_updates else "modify"
         visibility = _batch_latency_us(n_tables, op_kind, self._rng)
         total = visibility * 1.35  # folding runs after visibility
-        self.batches_applied += 1
-        self.updates_applied += len(updates)
         return UpdateBatchResult(
             visibility_latency_us=visibility,
             total_latency_us=total,
             tables_touched=n_tables,
             updates_applied=len(updates),
         )
+
+    def _attempt_cost_us(self, updates: List[StateUpdate], kind: str) -> float:
+        """Wall-clock burned by one failed attempt."""
+        table_updates = [u for u in updates if u.op != "register"]
+        n_tables = len({u.target for u in table_updates})
+        n_tables += 1 if len(table_updates) < len(updates) else 0
+        op_kind = _dominant_op(table_updates) if table_updates else "modify"
+        nominal = _batch_latency_us(n_tables, op_kind, self._rng)
+        return nominal * (TIMEOUT_MULTIPLE if kind == "timeout" else 1.0)
 
 
 def _dominant_op(updates: List[StateUpdate]) -> str:
@@ -139,11 +325,18 @@ def _dominant_op(updates: List[StateUpdate]) -> str:
     return max(counts, key=counts.get)
 
 
-def _batch_latency_us(n_tables: int, op: str, rng: random.Random) -> float:
+def expected_batch_latency_us(n_tables: int, op: str) -> float:
+    """The calibrated (jitter-free) batch latency — the Table 3 model."""
     if n_tables <= 0:
         return 0.0
     base = BASE_PER_TABLE_US.get(op, BASE_PER_TABLE_US["modify"])
     overlap = OVERLAP_PER_TABLE_US.get(op, OVERLAP_PER_TABLE_US["modify"])
-    latency = base * min(n_tables, 2) + overlap * max(0, n_tables - 2)
+    return base * min(n_tables, 2) + overlap * max(0, n_tables - 2)
+
+
+def _batch_latency_us(n_tables: int, op: str, rng: random.Random) -> float:
+    latency = expected_batch_latency_us(n_tables, op)
+    if latency == 0.0:
+        return 0.0
     jitter = 1.0 + rng.uniform(-JITTER_FRACTION, JITTER_FRACTION)
     return latency * jitter

@@ -89,6 +89,21 @@ class ExactMatchTable:
     def set_visibility(self, visible: bool) -> None:
         self._writeback_visible = visible
 
+    def clear(self) -> None:
+        """Control-plane bulk clear (table rebuild during a state resync)."""
+        self._main.clear()
+        self.discard_writeback()
+
+    def discard_writeback(self) -> None:
+        """Abort a batch: drop staged entries without folding them.
+
+        Used by the control plane when a multi-table batch fails partway
+        through staging — leftover staged entries would otherwise leak into
+        the next batch's fold and break atomicity.
+        """
+        self._writeback.clear()
+        self._writeback_visible = False
+
     def fold_writeback(self) -> None:
         """Apply staged entries to the main table and clear the stage."""
         for key, value in self._writeback.items():

@@ -1,0 +1,102 @@
+"""Tests for the outage/recovery discrete-event timeline."""
+
+import pytest
+
+from repro.faults.timeline import (
+    OutageScenario,
+    RecoveryTimeline,
+    retry_latency_us,
+    simulate_outage,
+)
+from repro.switchsim.control_plane import (
+    RetryPolicy,
+    expected_batch_latency_us,
+)
+
+
+class TestSimulateOutage:
+    def test_no_outage_no_drops(self):
+        scenario = OutageScenario(
+            arrival_interval_us=500.0, outage_us=0.0, punts=100
+        )
+        timeline = simulate_outage(scenario)
+        assert timeline.served == 100
+        assert timeline.dropped == 0
+        # An unloaded, fault-free punt costs exactly one service slot.
+        assert timeline.latency_percentile(0.99) == pytest.approx(
+            scenario.service_us
+        )
+        assert timeline.added_p99_us() == pytest.approx(0.0)
+
+    def test_conservation(self):
+        timeline = simulate_outage(OutageScenario(punts=500))
+        assert timeline.served + timeline.dropped == 500
+
+    def test_queue_bounded_by_policy(self):
+        timeline = simulate_outage(OutageScenario(queue_depth=16))
+        assert timeline.max_queue <= 16
+
+    def test_long_outage_overflows_small_queue(self):
+        timeline = simulate_outage(OutageScenario(
+            arrival_interval_us=50.0, outage_us=20_000.0, queue_depth=4,
+        ))
+        assert timeline.dropped > 0
+        assert timeline.max_queue == 4
+
+    def test_deeper_queue_trades_drops_for_latency(self):
+        shallow = simulate_outage(OutageScenario(queue_depth=4))
+        deep = simulate_outage(OutageScenario(queue_depth=128))
+        assert deep.dropped < shallow.dropped
+        assert deep.added_p99_us() > shallow.added_p99_us()
+
+    def test_recovery_time_grows_with_outage(self):
+        # Arrivals slower than service, so the backlog is purely the
+        # outage's doing and drains after it ends.
+        short = simulate_outage(OutageScenario(
+            arrival_interval_us=200.0, outage_us=2_000.0, queue_depth=1_000,
+        ))
+        long = simulate_outage(OutageScenario(
+            arrival_interval_us=200.0, outage_us=20_000.0, queue_depth=1_000,
+        ))
+        assert long.recovery_us > short.recovery_us
+
+    def test_deterministic(self):
+        runs = [simulate_outage(OutageScenario()) for _ in range(2)]
+        assert runs[0].served == runs[1].served
+        assert runs[0].latencies_us == runs[1].latencies_us
+        assert runs[0].recovery_us == runs[1].recovery_us
+
+
+class TestRetryLatency:
+    def test_zero_failures_free(self):
+        assert retry_latency_us(0) == 0.0
+
+    def test_each_failure_adds_rpc_plus_backoff(self):
+        policy = RetryPolicy(base_backoff_us=100.0, backoff_multiplier=2.0,
+                             max_backoff_us=10_000.0)
+        base = expected_batch_latency_us(1, "modify")
+        assert retry_latency_us(1, policy) == pytest.approx(base + 100.0)
+        assert retry_latency_us(2, policy) == pytest.approx(
+            2 * base + 100.0 + 200.0
+        )
+
+    def test_backoff_caps(self):
+        policy = RetryPolicy(base_backoff_us=100.0, backoff_multiplier=10.0,
+                             max_backoff_us=150.0)
+        base = expected_batch_latency_us(1, "modify")
+        assert retry_latency_us(3, policy) == pytest.approx(
+            3 * base + 100.0 + 150.0 + 150.0
+        )
+
+
+class TestPercentiles:
+    def test_empty_timeline(self):
+        timeline = RecoveryTimeline(OutageScenario())
+        assert timeline.latency_percentile(0.99) == 0.0
+
+    def test_percentile_ordering(self):
+        timeline = RecoveryTimeline(OutageScenario())
+        timeline.latencies_us = list(map(float, range(100)))
+        assert timeline.latency_percentile(0.5) <= timeline.latency_percentile(
+            0.99
+        )

@@ -205,3 +205,34 @@ class TestFluidFlowSimulator:
                                  per_packet_latency_us=0)
         records = sim.run()
         assert records[1].finish_us >= records[0].finish_us
+
+
+class TestEmptyQueueErrors:
+    def test_pop_empty_raises_simulation_error(self):
+        from repro.sim.events import SimulationError
+
+        with pytest.raises(SimulationError, match="empty"):
+            EventQueue().pop()
+
+    def test_peek_time_empty_raises_simulation_error(self):
+        from repro.sim.events import SimulationError
+
+        with pytest.raises(SimulationError, match="empty"):
+            EventQueue().peek_time()
+
+    def test_simulation_error_is_runtime_error(self):
+        from repro.sim.events import SimulationError
+
+        # Callers that guarded with ``except RuntimeError`` keep working.
+        assert issubclass(SimulationError, RuntimeError)
+        with pytest.raises(RuntimeError):
+            EventQueue().pop()
+
+    def test_drained_queue_raises_too(self):
+        from repro.sim.events import SimulationError
+
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.pop()

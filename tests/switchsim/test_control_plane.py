@@ -109,3 +109,177 @@ class TestLatencyModel:
         of a packet sent through a software middlebox' (~22.5 µs)."""
         ratio = self._mean(1, "insert") / 22.5
         assert 4.5 <= ratio <= 7.5
+
+
+class TestLatencyCalibration:
+    """Every sample stays inside the declared jitter band, and the
+    jitter-free model reproduces Table 3 exactly."""
+
+    def test_jitter_within_15_percent_every_sample(self):
+        import random
+
+        from repro.switchsim.control_plane import expected_batch_latency_us
+
+        rng = random.Random(0)
+        for op in ("insert", "modify", "delete"):
+            for n_tables in (1, 2, 4):
+                mean = expected_batch_latency_us(n_tables, op)
+                for _ in range(500):
+                    sample = _batch_latency_us(n_tables, op, rng)
+                    assert 0.85 * mean <= sample <= 1.15 * mean, (op, n_tables)
+
+    def test_matches_table3_matrix(self):
+        from repro.switchsim.control_plane import expected_batch_latency_us
+
+        # Paper Table 3, µs.  The two-segment linear model reproduces the
+        # measured matrix to within ±1.5 µs.
+        table3 = {
+            ("insert", 1): 135.2, ("modify", 1): 128.6, ("delete", 1): 131.3,
+            ("insert", 2): 270.1, ("modify", 2): 258.3, ("delete", 2): 262.7,
+            ("insert", 4): 371.0, ("modify", 4): 363.0, ("delete", 4): 366.1,
+        }
+        for (op, n_tables), want in table3.items():
+            got = expected_batch_latency_us(n_tables, op)
+            assert abs(got - want) <= 1.5, (op, n_tables, got, want)
+
+    def test_sublinear_beyond_two_tables(self):
+        from repro.switchsim.control_plane import expected_batch_latency_us
+
+        for op in ("insert", "modify", "delete"):
+            one = expected_batch_latency_us(1, op)
+            two = expected_batch_latency_us(2, op)
+            four = expected_batch_latency_us(4, op)
+            assert two == pytest.approx(2 * one)
+            assert four < 2 * two  # incremental tables cost less
+
+    def test_reseed_reproduces_jitter(self):
+        control, _, _ = make_control()
+        control.reseed(42)
+        first = control.apply_batch(
+            [StateUpdate("insert", "t0", (1,), 1)]
+        ).visibility_latency_us
+        control.reseed(42)
+        second = control.apply_batch(
+            [StateUpdate("insert", "t0", (2,), 2)]
+        ).visibility_latency_us
+        assert first == second
+
+
+class TestRetryMachinery:
+    def make_retrying(self, fates, max_attempts=4):
+        from repro.switchsim.control_plane import RetryPolicy
+
+        control, tables, registers = make_control()
+        control.retry = RetryPolicy(max_attempts=max_attempts)
+        schedule = iter(fates)
+        control.fault_hook = lambda attempt: next(schedule, None)
+        return control, tables
+
+    def test_fail_then_succeed(self):
+        control, tables = self.make_retrying(["fail", "fail", None])
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert result.attempts == 3
+        assert result.retry_wait_us > 0
+        assert tables["t0"].lookup((1,)) == (True, 5)
+        assert control.batches_retried == 2
+        assert control.batches_applied == 1
+
+    def test_all_fail_exhaustion_not_applied(self):
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, tables = self.make_retrying(["fail"] * 4)
+        with pytest.raises(UpdateBatchError) as excinfo:
+            control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert excinfo.value.applied is False
+        assert excinfo.value.attempts == 4
+        assert tables["t0"].lookup((1,)) == (False, 0)
+        assert control.batches_failed == 1
+
+    def test_timeout_then_fail_exhaustion_reports_applied(self):
+        """Regression for a campaign-found divergence: an early timed-out
+        attempt lands the batch on the switch; if every later attempt is
+        vetoed, exhaustion must still report applied=True so the caller
+        does not roll the server back under a mutated switch."""
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, tables = self.make_retrying(["timeout", "fail", "fail", "fail"])
+        with pytest.raises(UpdateBatchError) as excinfo:
+            control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert excinfo.value.applied is True
+        # The switch indeed kept the batch from the timed-out attempt.
+        assert tables["t0"].lookup((1,)) == (True, 5)
+
+    def test_timeout_retry_is_idempotent(self):
+        control, tables = self.make_retrying(["timeout", None])
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert result.attempts == 2
+        assert tables["t0"].lookup((1,)) == (True, 5)
+        assert tables["t0"].entry_count == 1  # re-applied, not duplicated
+
+    def test_timeout_costs_more_than_fail(self):
+        fail_control, _ = self.make_retrying(["fail", None])
+        timeout_control, _ = self.make_retrying(["timeout", None])
+        fail_control.reseed(0)
+        timeout_control.reseed(0)
+        update = [StateUpdate("insert", "t0", (1,), 5)]
+        fail_wait = fail_control.apply_batch(update).retry_wait_us
+        timeout_wait = timeout_control.apply_batch(update).retry_wait_us
+        assert timeout_wait > fail_wait
+
+    def test_overflow_aborts_with_no_staged_residue(self):
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, tables = self.make_retrying(["overflow"])
+        with pytest.raises(UpdateBatchError) as excinfo:
+            control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert excinfo.value.kind == "overflow"
+        assert not tables["t0"]._writeback
+        assert tables["t0"].lookup((1,)) == (False, 0)
+
+    def test_real_capacity_overflow_discards_residue(self):
+        from repro.switchsim.control_plane import UpdateBatchError
+        from repro.switchsim.tables import ExactMatchTable
+
+        control = ControlPlane(
+            {"tiny": ExactMatchTable("tiny", [32], 32, 2)},
+            {},
+            seed=0,
+        )
+        control.apply_batch([StateUpdate("insert", "tiny", (1,), 1)])
+        control.apply_batch([StateUpdate("insert", "tiny", (2,), 2)])
+        with pytest.raises(UpdateBatchError) as excinfo:
+            control.apply_batch([StateUpdate("insert", "tiny", (3,), 3)])
+        assert excinfo.value.kind == "overflow"
+        assert not control.tables["tiny"]._writeback
+        assert control.tables["tiny"].entry_count == 2
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        import random
+
+        from repro.switchsim.control_plane import RetryPolicy
+
+        policy = RetryPolicy(base_backoff_us=100.0, backoff_multiplier=2.0,
+                             max_backoff_us=500.0, jitter_fraction=0.0)
+        rng = random.Random(0)
+        waits = [policy.backoff_us(attempt, rng) for attempt in (1, 2, 3, 4, 5)]
+        assert waits == [100.0, 200.0, 400.0, 500.0, 500.0]
+
+    def test_jitter_bounds(self):
+        import random
+
+        from repro.switchsim.control_plane import RetryPolicy
+
+        policy = RetryPolicy(base_backoff_us=100.0, jitter_fraction=0.1)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 90.0 <= policy.backoff_us(1, rng) <= 110.0
+
+    def test_dict_roundtrip(self):
+        from repro.switchsim.control_plane import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=7, base_backoff_us=50.0,
+                             backoff_multiplier=3.0, max_backoff_us=900.0,
+                             jitter_fraction=0.25)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
