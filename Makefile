@@ -1,10 +1,44 @@
 PYTHON ?= python
-export PYTHONPATH := src
+# Tier-1 convention: prepend src/ without clobbering a caller's PYTHONPATH.
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test difftest difftest-smoke faults faults-smoke benchmarks
+.PHONY: help test verify lint difftest difftest-smoke faults faults-smoke \
+	benchmarks
+
+help:
+	@echo "Targets:"
+	@echo "  test            tier-1 test suite (pytest tests/)"
+	@echo "  verify          static verifier over all bundled middleboxes"
+	@echo "  lint            ruff + mypy (skipped gracefully if not installed)"
+	@echo "  difftest        full differential gauntlet (1000 programs, --shrink)"
+	@echo "  difftest-smoke  fixed-seed ~60s gauntlet slice"
+	@echo "  faults          full fault campaign (500 scenarios)"
+	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
+	@echo "  benchmarks      regenerate every paper table/figure"
 
 test:
 	$(PYTHON) -m pytest -q tests/
+
+# Static verification layer over every bundled middlebox, plus a JSON
+# smoke check (schema consumed by CI and external tooling).
+verify:
+	$(PYTHON) -m repro verify all
+	$(PYTHON) -m repro verify minilb --json > /dev/null
+
+# Advisory lint: run ruff/mypy when available, skip (successfully) when
+# the environment does not have them (the image bakes in only the python
+# toolchain; CI installs both).
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed; skipping"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/verify src/repro/ir; \
+	else \
+		echo "lint: mypy not installed; skipping"; \
+	fi
 
 # The full gauntlet: 1000 programs, shrink failures to minimal reproducers.
 difftest:

@@ -4,7 +4,12 @@ Commands
 --------
 ``compile <name|file.cc>``
     Run the Gallium pipeline; print the partition summary and write the
-    ``.p4`` / ``_server.cc`` artifacts.
+    ``.p4`` / ``_server.cc`` artifacts.  ``--no-verify`` skips the static
+    verification layer.
+``verify <name|file.cc|all> [--json] [--cached]``
+    Run the three-stage static verifier (IR well-formedness, partition
+    invariants, P4 resource lint) and print human-readable or JSON
+    diagnostics without writing artifacts.
 ``partition <name|file.cc>``
     Print the three projected partition CFGs (paper Figure 4).
 ``experiments [table1|table2|table3|fig7|fig8|fig9|all]``
@@ -57,7 +62,8 @@ def _read_source(target: str) -> tuple:
 
 def cmd_compile(args) -> int:
     source, filename, stem = _read_source(args.target)
-    result = compile_source(source, filename=filename)
+    result = compile_source(source, filename=filename,
+                            verify=not args.no_verify)
     print(result.plan.summary())
     print(f"input {result.input_loc()} LoC -> P4 {result.p4_loc()} LoC"
           f" + C++ {result.cpp_loc()} LoC")
@@ -89,6 +95,32 @@ def cmd_partition(args) -> int:
     print("shim to switch :", plan.to_switch.names(),
           f"({plan.to_switch.byte_size()} bytes)")
     return 0
+
+
+def cmd_verify(args) -> int:
+    import json
+
+    from repro.verify import verify_compilation
+
+    if args.target == "all":
+        targets = list(MIDDLEBOX_NAMES)
+    else:
+        targets = [args.target]
+    reports = []
+    failed = False
+    for target in targets:
+        source, filename, _ = _read_source(target)
+        result = compile_source(source, filename=filename, verify=False)
+        report = verify_compilation(result, cache_mode=args.cached)
+        reports.append(report)
+        failed = failed or not report.ok
+        if not args.json:
+            print(report.format())
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if args.target != "all" else payload,
+                         indent=2))
+    return 1 if failed else 0
 
 
 def cmd_experiments(args) -> int:
@@ -154,6 +186,9 @@ def cmd_faults(args) -> int:
         max_failures=args.max_failures,
         time_budget_s=args.time_budget,
         seed_override=args.seed_override,
+        shrink_failures=args.shrink,
+        cached=args.cached,
+        cache_entries=args.cache_entries,
         log=print,  # streams progress and each failure report as found
     )
     print(stats.summary())
@@ -182,7 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("target", help="bundled name or .cc file")
     compile_parser.add_argument("--out", default="out",
                                 help="artifact output directory")
+    compile_parser.add_argument("--no-verify", action="store_true",
+                                help="skip the static verification layer")
     compile_parser.set_defaults(func=cmd_compile)
+
+    verify_parser = sub.add_parser(
+        "verify", help="run the static verifier over a middlebox"
+    )
+    verify_parser.add_argument(
+        "target", help="bundled name, .cc file, or 'all'"
+    )
+    verify_parser.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON diagnostics")
+    verify_parser.add_argument("--cached", action="store_true",
+                               help="also check cached-deployment"
+                               " preconditions (PART006)")
+    verify_parser.set_defaults(func=cmd_verify)
 
     partition_parser = sub.add_parser(
         "partition", help="show the three partition CFGs"
@@ -240,6 +290,15 @@ def build_parser() -> argparse.ArgumentParser:
                                " (reproduce a reported failure)")
     faults_parser.add_argument("--time-budget", type=float, default=None,
                                help="stop early after this many seconds")
+    faults_parser.add_argument("--shrink", action="store_true",
+                               help="delta-debug each failure (fault plan,"
+                               " program, stream) to a minimal reproducer")
+    faults_parser.add_argument("--cached", action="store_true",
+                               help="run scenarios on the bounded-table"
+                               " cache deployment")
+    faults_parser.add_argument("--cache-entries", type=int, default=2,
+                               help="cache bound per replicated table"
+                               " (with --cached)")
     faults_parser.set_defaults(func=cmd_faults)
 
     list_parser = sub.add_parser("list", help="list bundled middleboxes")

@@ -63,17 +63,24 @@ def compile_source(
     source: str,
     limits: Optional[SwitchResources] = None,
     filename: str = "<middlebox>",
+    verify: bool = True,
 ) -> CompilationResult:
     """Run the full Gallium pipeline on middlebox source text."""
     lowered = lower_program(parse_program(source, filename))
-    return compile_lowered(lowered, limits)
+    return compile_lowered(lowered, limits, verify=verify)
 
 
 def compile_lowered(
     lowered: LoweredMiddlebox,
     limits: Optional[SwitchResources] = None,
+    verify: bool = True,
 ) -> CompilationResult:
-    """Run the pipeline from an already-lowered middlebox."""
+    """Run the pipeline from an already-lowered middlebox.
+
+    With ``verify`` (the default) the static verification layer runs over
+    the compiled artifacts and any error-severity diagnostic aborts the
+    compilation with a :class:`repro.verify.VerificationError`.
+    """
     plan = partition_middlebox(lowered, limits)
     shim_to_server, shim_to_switch = synthesize_shim_layouts(
         plan.to_server, plan.to_switch
@@ -81,7 +88,7 @@ def compile_lowered(
     switch_program = SwitchProgram.from_plan(plan, shim_to_server, shim_to_switch)
     p4_source = emit_p4_program(switch_program)
     cpp_source = emit_cpp_program(plan, shim_to_server, shim_to_switch)
-    return CompilationResult(
+    result = CompilationResult(
         lowered=lowered,
         plan=plan,
         switch_program=switch_program,
@@ -90,3 +97,10 @@ def compile_lowered(
         p4_source=p4_source,
         cpp_source=cpp_source,
     )
+    if verify:
+        from repro.verify import VerificationError, verify_compilation
+
+        report = verify_compilation(result)
+        if not report.ok:
+            raise VerificationError(report)
+    return result

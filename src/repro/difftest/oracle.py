@@ -77,6 +77,15 @@ class OracleResult:
     error: Optional[str] = None
     cached_checked: bool = False
     packets_run: int = 0
+    #: error-severity diagnostics from the static verifier (empty when the
+    #: program verified clean or verification was disabled).  A program
+    #: that AGREEs dynamically but fails verification — or vice versa — is
+    #: a verifier/oracle disagreement, a bug class of its own.
+    verifier_errors: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.verifier_errors is None:
+            self.verifier_errors = []
 
     @property
     def diverged(self) -> bool:
@@ -234,12 +243,16 @@ def run_oracle(
     check_cached: bool = True,
     cache_entries: int = 2,
     deployment_seed: int = 0,
+    verify: bool = True,
 ) -> OracleResult:
     """Compile ``source`` once and drive all runtimes over ``stream``.
 
     ``deployment_seed`` threads into each deployment's control-plane
     jitter RNG (via ``GalliumMiddlebox(seed=...)``), so latency numbers
-    reproduce without reaching into private fields.
+    reproduce without reaching into private fields.  With ``verify`` the
+    static verifier also runs over the compiled artifacts; its
+    error-severity diagnostics ride along on the result so the gauntlet
+    can cross-check them against the dynamic outcome.
     """
     try:
         plan, program = compile_middlebox(source, limits)
@@ -253,6 +266,33 @@ def run_oracle(
             Outcome.CRASH, error=f"compile:\n{traceback.format_exc()}"
         )
 
+    verifier_errors: List[str] = []
+    if verify:
+        from repro.verify import verify_artifacts
+
+        try:
+            report = verify_artifacts(
+                plan, program.shim_to_server, program.shim_to_switch, program
+            )
+            verifier_errors = [d.format() for d in report.errors]
+        except Exception:
+            verifier_errors = [f"verifier crash:\n{traceback.format_exc()}"]
+
+    result = _drive_runtimes(
+        plan, program, stream, check_cached, cache_entries, deployment_seed
+    )
+    result.verifier_errors = verifier_errors
+    return result
+
+
+def _drive_runtimes(
+    plan,
+    program,
+    stream: StreamSpec,
+    check_cached: bool,
+    cache_entries: int,
+    deployment_seed: int,
+) -> OracleResult:
     try:
         baseline = FastClickRuntime(plan.middlebox)
         baseline.install()

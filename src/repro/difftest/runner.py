@@ -37,6 +37,11 @@ class Failure:
     result: OracleResult
     minimized_program: Optional[GenProgram] = None
     minimized_stream: Optional[StreamSpec] = None
+    #: True when the dynamic oracle and the static verifier disagree (the
+    #: program runs equivalent but fails verification): a new bug class —
+    #: either a verifier false positive or a latent compiler bug the
+    #: packet streams never excited.
+    verifier_disagreement: bool = False
 
     def report(self) -> str:
         lines = [
@@ -44,12 +49,15 @@ class Failure:
             f"program seed : {self.program_seed}",
             f"stream       : seed={self.stream.seed} count={self.stream.count}"
             f" udp_ratio={self.stream.udp_ratio}",
-            f"outcome      : {self.result.outcome.value}",
+            f"outcome      : {self.result.outcome.value}"
+            + (" (verifier disagreement)" if self.verifier_disagreement else ""),
             "reproduce    : python -m repro difftest --runs 1"
             f" --seed-override {self.program_seed}",
         ]
         if self.result.divergence is not None:
             lines.append(f"divergence   : {self.result.divergence}")
+        for line in self.result.verifier_errors:
+            lines.append(f"verifier     : {line}")
         if self.result.error:
             lines.append(f"error        : {self.result.error.rstrip()}")
         source = (
@@ -76,12 +84,15 @@ class GauntletStats:
     crash: int = 0
     partition_rejected: int = 0
     cached_checked: int = 0
+    verifier_disagreements: int = 0
     elapsed_s: float = 0.0
 
     def record(self, result: OracleResult) -> None:
         self.runs += 1
         if result.outcome is Outcome.AGREE:
             self.agree += 1
+            if result.verifier_errors:
+                self.verifier_disagreements += 1
         elif result.outcome is Outcome.DIVERGE:
             self.diverge += 1
         elif result.outcome is Outcome.CRASH:
@@ -93,12 +104,13 @@ class GauntletStats:
 
     @property
     def failures(self) -> int:
-        return self.diverge + self.crash
+        return self.diverge + self.crash + self.verifier_disagreements
 
     def summary(self) -> str:
         return (
             f"{self.runs} programs: {self.agree} agree, {self.diverge} diverge,"
-            f" {self.crash} crash, {self.partition_rejected} rejected"
+            f" {self.crash} crash, {self.partition_rejected} rejected,"
+            f" {self.verifier_disagreements} verifier disagreements"
             f" ({self.cached_checked} also ran the cached deployment)"
             f" in {self.elapsed_s:.1f}s"
         )
@@ -139,8 +151,14 @@ def run_gauntlet(
             deployment_seed=program_seed,
         )
         stats.record(result)
-        if result.outcome in (Outcome.DIVERGE, Outcome.CRASH):
-            failure = Failure(index, program_seed, stream, program, result)
+        disagreement = (
+            result.outcome is Outcome.AGREE and bool(result.verifier_errors)
+        )
+        if result.outcome in (Outcome.DIVERGE, Outcome.CRASH) or disagreement:
+            failure = Failure(
+                index, program_seed, stream, program, result,
+                verifier_disagreement=disagreement,
+            )
             if shrink_failures:
                 failure.minimized_program, failure.minimized_stream = _shrink_failure(
                     program, stream, result, limits
@@ -167,6 +185,9 @@ def _shrink_failure(
     """Minimize preserving the outcome class (and divergence kind if any)."""
     want_outcome = result.outcome
     want_kind = result.divergence.kind if result.divergence else None
+    want_verifier = (
+        want_outcome is Outcome.AGREE and bool(result.verifier_errors)
+    )
 
     def predicate(candidate: GenProgram, candidate_stream: StreamSpec) -> bool:
         replay = run_oracle(candidate.source(), candidate_stream, limits=limits)
@@ -175,6 +196,8 @@ def _shrink_failure(
         if want_kind is not None and (
             replay.divergence is None or replay.divergence.kind != want_kind
         ):
+            return False
+        if want_verifier and not replay.verifier_errors:
             return False
         return True
 

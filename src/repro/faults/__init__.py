@@ -15,6 +15,8 @@ package stress-tests the parts the paper takes for granted:
   proves equivalence-or-declared-degradation, never silent divergence,
 * :mod:`repro.faults.campaign` — the randomized campaign runner behind
   ``python -m repro faults`` / ``make faults-smoke``,
+* :mod:`repro.faults.shrink` — delta-debugging of campaign failures over
+  all three axes (fault plan, program, packet stream),
 * :mod:`repro.faults.corpus` — committed reproducers for bugs the
   campaign found, replayed as regression tests,
 * :mod:`repro.faults.timeline` — discrete-event recovery-time model used
@@ -34,6 +36,7 @@ from repro.faults.oracle import (
     FaultViolation,
     run_fault_oracle,
 )
+from repro.faults.shrink import shrink_fault_case, shrink_plan
 from repro.faults.plan import (
     ALL_FAULT_KINDS,
     BatchFault,
@@ -67,4 +70,6 @@ __all__ = [
     "generate_plan",
     "run_campaign",
     "run_fault_oracle",
+    "shrink_fault_case",
+    "shrink_plan",
 ]

@@ -78,20 +78,30 @@ class FaultFailure:
     injector_seed: int
     deployment_seed: int
     result: FaultOracleResult
+    cached: bool = False
+    minimized_program: Optional[GenProgram] = None
+    minimized_stream: Optional[StreamSpec] = None
+    minimized_plan: Optional[FaultPlan] = None
 
     def report(self) -> str:
+        plan = (
+            self.minimized_plan
+            if self.minimized_plan is not None else self.fault_plan
+        )
         lines = [
             f"=== fault-campaign failure (run #{self.index}) ===",
             f"program seed : {self.program_seed}",
             f"stream       : seed={self.stream.seed} count={self.stream.count}"
             f" udp_ratio={self.stream.udp_ratio}",
-            f"fault plan   : {self.fault_plan.describe()}",
+            f"fault plan   : {plan.describe()}"
+            + (" (minimized)" if self.minimized_plan is not None else ""),
             f"policy       : fail_open={self.policy.fail_open}"
             f" queue={self.policy.punt_queue_depth}"
             f" retries={self.policy.retry.max_attempts}",
             f"outcome      : {self.result.outcome.value}",
             "reproduce    : python -m repro faults --runs 1"
-            f" --seed-override {self.program_seed}",
+            f" --seed-override {self.program_seed}"
+            + (" --cached" if self.cached else ""),
         ]
         if self.result.violation is not None:
             lines.append(f"violation    : {self.result.violation}")
@@ -103,9 +113,43 @@ class FaultFailure:
                 for label, count in sorted(self.result.injected.items())
             )
             lines.append(f"injected     : {injected}")
-        lines.append("--- program source ---")
-        lines.append(self.program.source().rstrip())
+        source = (
+            self.minimized_program.source()
+            if self.minimized_program is not None
+            else self.program.source()
+        )
+        label = "minimized" if self.minimized_program is not None else "program"
+        lines.append(f"--- {label} source ---")
+        lines.append(source.rstrip())
+        if self.minimized_stream is not None:
+            lines.append(
+                f"minimized stream: seed={self.minimized_stream.seed}"
+                f" count={self.minimized_stream.count}"
+            )
         return "\n".join(lines)
+
+    def corpus_entry(self, name: str, description: str = ""):
+        """Package this failure (minimized when available) as a
+        :class:`~repro.faults.corpus.FaultCorpusEntry` ready for
+        ``tests/faults_corpus/``."""
+        from repro.faults.corpus import FaultCorpusEntry
+
+        program = self.minimized_program or self.program
+        return FaultCorpusEntry(
+            name=name,
+            source=program.source(),
+            stream=self.minimized_stream or self.stream,
+            fault_plan=(
+                self.minimized_plan
+                if self.minimized_plan is not None else self.fault_plan
+            ),
+            policy=self.policy,
+            injector_seed=self.injector_seed,
+            deployment_seed=self.deployment_seed,
+            description=description,
+            found_by_seed=self.program_seed,
+            cached=self.cached,
+        )
 
 
 @dataclass
@@ -175,8 +219,18 @@ def run_campaign(
     time_budget_s: Optional[float] = None,
     seed_override: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
+    shrink_failures: bool = False,
+    cached: bool = False,
+    cache_entries: int = 2,
 ) -> Tuple[CampaignStats, List[FaultFailure]]:
-    """Run the fault campaign; returns ``(stats, failures)``."""
+    """Run the fault campaign; returns ``(stats, failures)``.
+
+    ``cached`` drives every scenario on the bounded-table cache
+    deployment instead of the full-replication one (scenarios whose
+    programs cannot run in cache mode count as rejected);
+    ``shrink_failures`` delta-debugs each failure — fault plan, program,
+    and stream — before it is reported or written to the corpus.
+    """
     stats = CampaignStats()
     failures: List[FaultFailure] = []
     started = time.monotonic()
@@ -206,13 +260,24 @@ def run_campaign(
             injector_seed=injector_seed,
             deployment_seed=deploy_seed,
             limits=limits,
+            cached=cached,
+            cache_entries=cache_entries,
         )
         stats.record(fault_plan, result)
         if result.outcome in (FaultOutcome.VIOLATION, FaultOutcome.CRASH):
             failure = FaultFailure(
                 index, program_seed, stream, program, fault_plan, policy,
-                injector_seed, deploy_seed, result,
+                injector_seed, deploy_seed, result, cached=cached,
             )
+            if shrink_failures:
+                (
+                    failure.minimized_program,
+                    failure.minimized_stream,
+                    failure.minimized_plan,
+                ) = _shrink_failure(
+                    failure, limits, cached=cached,
+                    cache_entries=cache_entries,
+                )
             failures.append(failure)
             if log is not None:
                 log(failure.report())
@@ -224,3 +289,52 @@ def run_campaign(
             log(f"... {index + 1}/{runs}")
     stats.elapsed_s = time.monotonic() - started
     return stats, failures
+
+
+def _shrink_failure(
+    failure: FaultFailure,
+    limits: Optional[SwitchResources],
+    cached: bool = False,
+    cache_entries: int = 2,
+):
+    """Minimize (fault plan, program, stream) preserving the outcome class
+    and, for violations, the violation kind."""
+    from repro.faults.shrink import shrink_fault_case
+
+    want_outcome = failure.result.outcome
+    want_kind = (
+        failure.result.violation.kind
+        if failure.result.violation is not None else None
+    )
+
+    def predicate(
+        candidate: GenProgram, candidate_stream: StreamSpec,
+        candidate_plan: FaultPlan,
+    ) -> bool:
+        replay = run_fault_oracle(
+            candidate.source(),
+            candidate_stream,
+            candidate_plan,
+            policy=failure.policy,
+            injector_seed=failure.injector_seed,
+            deployment_seed=failure.deployment_seed,
+            limits=limits,
+            cached=cached,
+            cache_entries=cache_entries,
+        )
+        if replay.outcome is not want_outcome:
+            return False
+        if want_kind is not None and (
+            replay.violation is None or replay.violation.kind != want_kind
+        ):
+            return False
+        return True
+
+    try:
+        return shrink_fault_case(
+            failure.program, failure.stream, failure.fault_plan, predicate
+        )
+    except ValueError:
+        # Non-reproducible under re-run (should not happen: everything is
+        # seeded); keep the original case rather than lose the report.
+        return None, None, None

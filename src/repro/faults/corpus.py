@@ -42,6 +42,8 @@ class FaultCorpusEntry:
     expect: str = FaultOutcome.DEGRADED_OK.value
     description: str = ""
     found_by_seed: Optional[int] = None
+    #: replay on the bounded-cache deployment instead of full replication
+    cached: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -49,6 +51,7 @@ class FaultCorpusEntry:
             "description": self.description,
             "found_by_seed": self.found_by_seed,
             "expect": self.expect,
+            "cached": self.cached,
             "stream": self.stream.to_dict(),
             "fault_plan": self.fault_plan.to_dict(),
             "policy": self.policy.to_dict(),
@@ -73,6 +76,7 @@ class FaultCorpusEntry:
             expect=data.get("expect", FaultOutcome.DEGRADED_OK.value),
             description=data.get("description", ""),
             found_by_seed=data.get("found_by_seed"),
+            cached=bool(data.get("cached", False)),
         )
 
 
@@ -101,4 +105,5 @@ def replay_entry(entry: FaultCorpusEntry) -> FaultOracleResult:
         policy=entry.policy,
         injector_seed=entry.injector_seed,
         deployment_seed=entry.deployment_seed,
+        cached=entry.cached,
     )

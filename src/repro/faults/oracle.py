@@ -46,6 +46,10 @@ from repro.net.packet import RawPacket
 from repro.partition.constraints import SwitchResources
 from repro.partition.partitioner import PartitionError
 from repro.partition.plan import PlacementKind
+from repro.runtime.cache import (
+    CacheConfigurationError,
+    CachedGalliumMiddlebox,
+)
 from repro.runtime.degradation import (
     DegradationPolicy,
     UNSALVAGEABLE_REASONS,
@@ -118,6 +122,8 @@ class FaultOracleResult:
     accounting: Dict = field(default_factory=dict)
     injected: Dict[str, int] = field(default_factory=dict)
     fault_kinds: Tuple[str, ...] = ()
+    #: True when the scenario ran the bounded-cache deployment
+    cached_mode: bool = False
 
 
 def _journey_observation(journey: PacketJourney) -> Observation:
@@ -177,8 +183,16 @@ def run_fault_oracle(
     limits: Optional[SwitchResources] = None,
     config: Optional[Dict[int, list]] = None,
     verify_packets: int = 12,
+    cached: bool = False,
+    cache_entries: int = 2,
 ) -> FaultOracleResult:
-    """Drive one program through one fault schedule and verify it."""
+    """Drive one program through one fault schedule and verify it.
+
+    With ``cached`` the deployment under test (and its clean reference)
+    is the bounded-table :class:`CachedGalliumMiddlebox`; programs that
+    cannot run in cache mode (no replicated tables, or a register-mutating
+    switch pipeline) are REJECTED, mirroring the compile-time refusals.
+    """
     policy = policy or DegradationPolicy()
     try:
         plan, program = compile_middlebox(source_or_lowered, limits)
@@ -196,21 +210,33 @@ def run_fault_oracle(
         fault_plan, seed=injector_seed,
         max_attempts=policy.retry.max_attempts,
     )
+
+    def deploy(**kwargs) -> GalliumMiddlebox:
+        if cached:
+            box = CachedGalliumMiddlebox(
+                plan, program, cache_entries=cache_entries,
+                port_pairs=dict(DEFAULT_PORT_PAIRS),
+                config=config, seed=deployment_seed, **kwargs,
+            )
+        else:
+            box = GalliumMiddlebox(
+                plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
+                config=config, seed=deployment_seed, **kwargs,
+            )
+        box.install()
+        return box
+
     try:
-        dut = GalliumMiddlebox(
-            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
-            config=config, seed=deployment_seed,
-            policy=policy, injector=injector,
+        dut = deploy(policy=policy, injector=injector)
+        reference = deploy()
+    except CacheConfigurationError as exc:
+        return FaultOracleResult(
+            FaultOutcome.REJECTED, error=str(exc), cached_mode=True
         )
-        dut.install()
-        reference = GalliumMiddlebox(
-            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
-            config=config, seed=deployment_seed,
-        )
-        reference.install()
     except Exception:
         return FaultOracleResult(
-            FaultOutcome.CRASH, error=f"deploy:\n{traceback.format_exc()}"
+            FaultOutcome.CRASH, error=f"deploy:\n{traceback.format_exc()}",
+            cached_mode=cached,
         )
 
     packets = stream.build()
@@ -228,6 +254,7 @@ def run_fault_oracle(
         return FaultOracleResult(
             FaultOutcome.CRASH, packets_run=len(records),
             error=f"fault run:\n{traceback.format_exc()}",
+            cached_mode=cached,
         )
 
     def finish(violation: Optional[FaultViolation]) -> FaultOracleResult:
@@ -254,18 +281,20 @@ def run_fault_oracle(
             accounting=dut.accounting.as_dict(),
             injected=dict(injector.injected),
             fault_kinds=fault_plan.kinds(),
+            cached_mode=cached,
         )
 
     violation = _check_accounting(dut, records, len(packets))
     if violation is None:
         try:
             violation = _replay_reference(
-                reference, dut, records, packets, policy
+                reference, dut, records, packets, policy, cached=cached
             )
         except Exception:
             return FaultOracleResult(
                 FaultOutcome.CRASH, packets_run=len(packets),
                 error=f"reference replay:\n{traceback.format_exc()}",
+                cached_mode=cached,
             )
     if violation is None:
         violation = _check_convergence(dut) or _check_final_state(
@@ -280,6 +309,7 @@ def run_fault_oracle(
             return FaultOracleResult(
                 FaultOutcome.CRASH, packets_run=len(packets),
                 error=f"post-recovery verify:\n{traceback.format_exc()}",
+                cached_mode=cached,
             )
     return finish(violation)
 
@@ -318,16 +348,34 @@ def _check_accounting(
     return None
 
 
+def _pristine(packets: List[Tuple[RawPacket, int]], index: int) -> RawPacket:
+    packet, ingress = packets[index]
+    clone = packet.copy()
+    clone.ingress_port = ingress
+    return clone
+
+
 def _replay_reference(
     reference: GalliumMiddlebox,
     dut: GalliumMiddlebox,
     records: Dict[int, PacketRecord],
     packets: List[Tuple[RawPacket, int]],
     policy: DegradationPolicy,
+    cached: bool = False,
 ) -> Optional[FaultViolation]:
     """Replay the DUT's effect log on the clean reference deployment and
     compare every delivered observable (plus policy conformance of every
-    degraded packet)."""
+    degraded packet).
+
+    In cache mode the hit/miss decision depends on transient cache
+    content (refill batches the DUT's faults perturbed), so punt paths
+    may legitimately differ between DUT and reference.  Correctness does
+    not: a hit executes the read-only pre/post projections, a miss the
+    complete program — both equivalent.  The cached replay therefore
+    forces the DUT's punt decisions onto the reference (serving a punt
+    the reference fast-pathed is effect-free beyond cache refills, and
+    vice versa) instead of requiring the paths to match.
+    """
     held: Dict[int, RawPacket] = {}
     expected: Dict[int, Observation] = {}
     # Which packets the DUT's pre-pipeline punted, derived from the log
@@ -343,6 +391,19 @@ def _replay_reference(
             _, index, ingress = event
             out = reference.switch.receive(packets[index][0].copy(), ingress)
             dut_punted = index in dut_punts
+            if cached:
+                if dut_punted:
+                    held[index] = _pristine(packets, index)
+                elif out.punted:
+                    # The DUT hit its cache; the reference missed.  Serve
+                    # the miss now so refills land on the reference too.
+                    completion = reference.complete_punt(
+                        _pristine(packets, index)
+                    )
+                    expected[index] = _completion_observation(completion)
+                else:
+                    expected[index] = _switch_observation(out)
+                continue
             if out.punted != dut_punted:
                 return FaultViolation(
                     "path", index,
@@ -374,7 +435,11 @@ def _replay_reference(
         elif tag == "crash":
             reference.crash_resync()
         elif tag == "resync":
-            pass
+            if cached:
+                # The DUT's bulk resync rebuilt its bounded cache view
+                # deterministically from authoritative state; mirror it so
+                # the two caches re-converge at the same point.
+                reference.sync_all_state()
         else:  # pragma: no cover - log tags are closed
             raise AssertionError(f"unknown fault-log tag {tag!r}")
     if held:
@@ -440,11 +505,37 @@ def _replay_reference(
 
 def _check_convergence(dut: GalliumMiddlebox) -> Optional[FaultViolation]:
     """Post-recovery: the switch's replicated copies must equal the
-    server's authoritative state — the no-silent-divergence guarantee."""
+    server's authoritative state — the no-silent-divergence guarantee.
+
+    Bounded cache tables hold a *subset* by design, so for them the check
+    weakens to coherence: every cached entry must match the authoritative
+    value, and the cache must respect its size bound.
+    """
+    cached_tables = frozenset(getattr(dut, "cached_tables", ()))
     for name, placement in dut.plan.placements.items():
         if placement.kind is not PlacementKind.REPLICATED_TABLE:
             continue
         snapshot = dut.switch.tables[name].snapshot()
+        if name in cached_tables:
+            server_map = dut.state.maps[name]
+            stale = {
+                keys: value
+                for keys, value in snapshot.items()
+                if server_map.get(keys) != value
+            }
+            if stale:
+                return FaultViolation(
+                    "convergence", None,
+                    f"cached table {name!r} holds entries with no"
+                    f" authoritative backing: {stale!r}",
+                )
+            if len(snapshot) > dut.cache_entries:
+                return FaultViolation(
+                    "convergence", None,
+                    f"cached table {name!r} holds {len(snapshot)} entries"
+                    f" (bound is {dut.cache_entries})",
+                )
+            continue
         if placement.member.kind == "map":
             switch_copy = dict(snapshot)
             server_copy = dict(dut.state.maps[name])

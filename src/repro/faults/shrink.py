@@ -1,0 +1,156 @@
+"""Delta-debugging for fault-campaign failures.
+
+A campaign failure is a triple ``(program, stream, fault_plan)``; the
+difftest shrinker only knows the first two.  This module minimizes the
+fault plan itself — drop whole specs, narrow activity windows, halve
+probabilities — and then reuses :func:`repro.difftest.shrink.shrink_case`
+with the plan held fixed, so the reproducer committed to
+``tests/faults_corpus/`` is minimal along every axis.
+
+The predicate contract mirrors the difftest shrinker:
+``predicate(program, stream, fault_plan) -> bool``, True iff the
+interesting behaviour (usually "the fault oracle still reports the same
+violation kind") persists.  ``shrink_fault_case`` never returns a triple
+that fails the predicate.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Callable, List, Tuple
+
+from repro.difftest.generator import GenProgram
+from repro.difftest.oracle import StreamSpec
+from repro.difftest.shrink import shrink_case
+from repro.faults.plan import FaultPlan
+
+FaultPredicate = Callable[[GenProgram, StreamSpec, FaultPlan], bool]
+
+#: Probability floor below which halving stops (a fault that fires with
+#: p < 1% on a 25-packet stream is effectively off, and the predicate
+#: would reject it anyway).
+_MIN_PROBABILITY = 0.01
+
+
+def _try(
+    predicate: FaultPredicate,
+    program: GenProgram,
+    stream: StreamSpec,
+    plan: FaultPlan,
+) -> bool:
+    try:
+        return bool(predicate(program, stream, plan))
+    except Exception:
+        return False
+
+
+def _drop_one_spec(
+    program: GenProgram,
+    stream: StreamSpec,
+    plan: FaultPlan,
+    predicate: FaultPredicate,
+) -> Tuple[FaultPlan, bool]:
+    for index in range(len(plan.faults)):
+        candidate = FaultPlan(
+            faults=plan.faults[:index] + plan.faults[index + 1:]
+        )
+        if _try(predicate, program, stream, candidate):
+            return candidate, True
+    return plan, False
+
+
+def _spec_variants(spec, stream_len: int) -> List:
+    """Strictly-smaller variants of one fault spec, most aggressive first."""
+    variants: List = []
+
+    def replace(**kwargs) -> None:
+        candidate = dataclasses.replace(spec, **kwargs)
+        if candidate != spec and candidate not in variants:
+            variants.append(candidate)
+
+    for name in ("probability", "doom_probability"):
+        value = getattr(spec, name, None)
+        if value and value / 2 >= _MIN_PROBABILITY:
+            replace(**{name: value / 2})
+    start = getattr(spec, "start", None)
+    stop = getattr(spec, "stop", None)
+    if start is not None:
+        if stop is None:
+            replace(stop=stream_len)
+        elif stop - start > 1:
+            mid = (start + stop + 1) // 2
+            replace(stop=mid)
+            replace(start=(start + stop) // 2)
+    for name in ("outage", "duration"):
+        value = getattr(spec, name, None)
+        if value is not None and value > 1:
+            replace(**{name: value // 2})
+    return variants
+
+
+def _shrink_one_spec(
+    program: GenProgram,
+    stream: StreamSpec,
+    plan: FaultPlan,
+    predicate: FaultPredicate,
+) -> Tuple[FaultPlan, bool]:
+    for index, spec in enumerate(plan.faults):
+        for variant in _spec_variants(spec, stream.count):
+            candidate = FaultPlan(
+                faults=plan.faults[:index] + (variant,)
+                + plan.faults[index + 1:]
+            )
+            if _try(predicate, program, stream, candidate):
+                return candidate, True
+    return plan, False
+
+
+def shrink_plan(
+    program: GenProgram,
+    stream: StreamSpec,
+    plan: FaultPlan,
+    predicate: FaultPredicate,
+    max_rounds: int = 200,
+) -> FaultPlan:
+    """Minimize the fault plan alone, program and stream held fixed."""
+    for _ in range(max_rounds):
+        plan, dropped = _drop_one_spec(program, stream, plan, predicate)
+        if dropped:
+            continue
+        plan, narrowed = _shrink_one_spec(program, stream, plan, predicate)
+        if not narrowed:
+            break
+    return plan
+
+
+def shrink_fault_case(
+    program: GenProgram,
+    stream: StreamSpec,
+    plan: FaultPlan,
+    predicate: FaultPredicate,
+    max_rounds: int = 500,
+) -> Tuple[GenProgram, StreamSpec, FaultPlan]:
+    """Reduce ``(program, stream, fault_plan)`` while ``predicate`` holds.
+
+    Raises ``ValueError`` if the initial triple does not satisfy the
+    predicate (nothing to shrink).
+    """
+    program = copy.deepcopy(program)
+    if not _try(predicate, program, stream, plan):
+        raise ValueError(
+            "shrink_fault_case: initial case does not satisfy the predicate"
+        )
+    # Plan first: fewer active faults usually lets far more of the program
+    # be deleted in the second phase.
+    plan = shrink_plan(program, stream, plan, predicate)
+
+    def fixed_plan_predicate(p: GenProgram, s: StreamSpec) -> bool:
+        return _try(predicate, p, s, plan)
+
+    program, stream = shrink_case(
+        program, stream, fixed_plan_predicate, max_rounds=max_rounds
+    )
+    # A shorter stream may admit narrower windows; one more plan pass.
+    plan = shrink_plan(program, stream, plan, predicate)
+    return program, stream, plan

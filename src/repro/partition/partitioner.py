@@ -457,6 +457,24 @@ def _definitions(function) -> Dict[str, object]:
 
 
 
+def _projected_depth(function: Function) -> int:
+    """Longest stage-costing dependency chain of a *projected* pipeline.
+
+    Constraint 2 must hold on the program the switch actually runs: CFG
+    projection rematerializes pure slices into the pipeline (header
+    re-reads, ALU recomputation), so the emitted chain can be longer than
+    the original function's distance metric accounts for.
+    """
+    from repro.analysis.reachability import compute_reachability
+
+    info = compute_reachability(function)
+    if info.cyclic_blocks:
+        return 10**9  # loops can never fit a pipeline; force eviction
+    projected_graph = build_dependency_graph(function, info)
+    from_entry, _ = dependency_distances(projected_graph)
+    return max(from_entry.values(), default=0)
+
+
 def _enforce_budgets(
     lowered: LoweredMiddlebox,
     graph: DependencyGraph,
@@ -472,6 +490,10 @@ def _enforce_budgets(
     violated boundary (deepest dependency distance) to the server and
     re-run the label rules.  Terminates: each move strictly shrinks the
     offloaded set, and the all-server partitioning satisfies everything.
+
+    Also re-checks constraint 2 on the projections: rematerialized slices
+    can deepen the emitted pipeline beyond the pre-projection distance
+    bound (found by the static verifier's P4L006 lint).
     """
     while True:
         pre, non_off, post = _build_projections(lowered, graph, assignment)
@@ -481,10 +503,12 @@ def _enforce_budgets(
         over_pre = (
             to_server.byte_size() > limits.transfer_bytes
             or meta_pre > limits.metadata_bytes
+            or _projected_depth(pre.function) > limits.pipeline_depth
         )
         over_post = (
             to_switch.byte_size() > limits.transfer_bytes
             or meta_post > limits.metadata_bytes
+            or _projected_depth(post.function) > limits.pipeline_depth
         )
         if not over_pre and not over_post:
             return assignment, (pre, non_off, post), (to_server, to_switch)
@@ -598,16 +622,13 @@ def _measure(
     placements: Dict[str, StatePlacement],
     pre, post, to_server: TransferSpec, to_switch: TransferSpec,
 ) -> ConstraintReport:
-    from_entry, to_exit = dependency_distances(graph)
-    depth_pre = 0
-    depth_post = 0
+    # Depth is measured on the projections — the pipelines the switch
+    # actually runs — so remat-induced chains count (see _projected_depth).
+    depth_pre = _projected_depth(pre.function)
+    depth_post = _projected_depth(post.function)
     site_insts: Dict[str, List[irin.Instruction]] = {}
     for inst in graph.instructions:
         partition = assignment.partition_of(inst)
-        if partition is Partition.PRE:
-            depth_pre = max(depth_pre, from_entry[inst.id])
-        elif partition is Partition.POST:
-            depth_post = max(depth_post, to_exit[inst.id])
         if partition is not Partition.NON_OFF:
             for loc in inst.global_state_accesses():
                 if loc.name in lowered.state:

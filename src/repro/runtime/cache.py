@@ -33,9 +33,14 @@ from repro.ir.externs import ExternHost
 from repro.ir.interp import Interpreter, PacketView, StateStore
 from repro.net.packet import RawPacket
 from repro.partition.plan import PartitionPlan, PlacementKind
-from repro.runtime.deployment import GalliumMiddlebox, PacketJourney
-from repro.switchsim.control_plane import StateUpdate
+from repro.runtime.deployment import (
+    GalliumMiddlebox,
+    PacketJourney,
+    PuntCompletion,
+)
+from repro.switchsim.control_plane import StateUpdate, UpdateBatchError
 from repro.switchsim.program import SwitchProgram
+from repro.switchsim.switch_model import SwitchOutput
 
 
 class CacheConfigurationError(ValueError):
@@ -73,10 +78,14 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
     ):
         super().__init__(plan, program, **kwargs)
         self.cache_entries = cache_entries
+        # Only map-kind tables are bounded: they grow with traffic (the
+        # paper's target).  A replicated vector has a fixed length, so it
+        # stays fully installed like a plain switch table.
         self.cached_tables = [
             name
             for name, placement in plan.placements.items()
             if placement.kind is PlacementKind.REPLICATED_TABLE
+            and placement.member.kind == "map"
         ]
         if not self.cached_tables:
             raise CacheConfigurationError(
@@ -122,6 +131,10 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
     # -- the packet path ------------------------------------------------------
 
     def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
+        if self.faults_armed:
+            index = self.packets_processed
+            self.packets_processed += 1
+            return self._process_with_faults(packet, ingress_port, index)
         self.packets_processed += 1
         pristine = packet.copy()  # the switch's clone, taken at ingress
         first = self.switch.receive(packet, ingress_port)
@@ -133,42 +146,104 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
+        pristine.ingress_port = ingress_port
+        completion = self.complete_punt(pristine)
+        # The caller's packet handle reflects the full run's rewrites.
+        packet.adopt(pristine)
+        return PacketJourney(
+            verdict=completion.verdict,
+            emitted=[(port, packet) for port, _ in completion.emitted],
+            fast_path=False,
+            punted=True,
+            pre_instructions=first.pipeline_instructions,
+            server_instructions=completion.server_instructions,
+            sync_wait_us=completion.sync_wait_us,
+            sync_tables=completion.sync_tables,
+        )
+
+    def _punt_frame(
+        self, first: SwitchOutput, pristine: RawPacket, ingress_port: int
+    ) -> RawPacket:
+        """Cache punts carry the pristine ingress clone, not the shim frame
+        (the server reruns the complete program on it)."""
+        frame = pristine.copy()
+        frame.ingress_port = ingress_port
+        return frame
+
+    def complete_punt(self, punted_packet: RawPacket) -> PuntCompletion:
+        """Cache miss (or genuine slow path): run the *complete* middlebox
+        program on the pristine clone, then replicate writes and refill.
+
+        Mirrors the base class's fault handling so the harness can drive
+        it: an update batch that never lands raises ``UpdateBatchError``
+        with the cache FIFO restored (the caller rolls server state back),
+        and a lost return frame drops the packet after the state committed.
+        """
         self.stats.misses += 1
-        # Cache miss (or genuine slow path): the server runs the complete
-        # middlebox program on the pristine clone.
         self.state.drain_journal()
         self.state.read_log.clear()
-        pristine.ingress_port = ingress_port
-        view = PacketView(pristine)
+        ingress_port = punted_packet.ingress_port
         result = Interpreter(
             self.plan.middlebox.process, self.state, self.externs
-        ).run(view)
+        ).run(PacketView(punted_packet))
+        fifo_snapshot = {
+            name: list(fifo) for name, fifo in self._fifo.items()
+        }
         updates = self._updates_and_refills()
         sync_wait = 0.0
         sync_tables = 0
+        retries = 0
+        retry_wait = 0.0
+        stale_wait = 0.0
         if updates:
-            batch = self.switch.control_plane.apply_batch(updates)
-            sync_wait = batch.visibility_latency_us
-            sync_tables = batch.tables_touched
+            try:
+                batch = self.switch.control_plane.apply_batch(updates)
+            except UpdateBatchError as exc:
+                if not exc.applied:
+                    self._restore_fifo(fifo_snapshot)
+                    raise
+                # Final attempt timed out after the batch landed; proceed
+                # with the retry latency charged (see base class).
+                sync_wait = exc.retry_wait_us
+                retries = exc.attempts - 1
+                retry_wait = exc.retry_wait_us
+            else:
+                sync_wait = batch.visibility_latency_us
+                sync_tables = batch.tables_touched
+                retries = batch.attempts - 1
+                retry_wait = batch.retry_wait_us
+            if self.faults_armed:
+                stale_wait = self.injector.stale_extra_us()
+                sync_wait += stale_wait
         self._enforce_cache_bounds()
+        if self.faults_armed:
+            lost = self.injector.return_frame_fate()
+            if lost is not None:
+                return PuntCompletion(
+                    verdict="drop", emitted=[],
+                    server_instructions=result.instructions_executed,
+                    post_instructions=0,
+                    sync_wait_us=sync_wait, sync_tables=sync_tables,
+                    retries=retries, retry_wait_us=retry_wait,
+                    stale_wait_us=stale_wait, lost_reason=lost,
+                )
         verdict = result.verdict or "drop"
-        # The caller's packet handle reflects the full run's rewrites.
-        packet.adopt(pristine)
         emitted: List[Tuple[int, RawPacket]] = []
         if verdict == "send":
             port = result.egress_port or self.switch.port_pairs.get(
                 ingress_port, ingress_port
             )
-            emitted = [(port, packet)]
-        return PacketJourney(
+            emitted = [(port, punted_packet)]
+        return PuntCompletion(
             verdict=verdict,
             emitted=emitted,
-            fast_path=False,
-            punted=True,
-            pre_instructions=first.pipeline_instructions,
             server_instructions=result.instructions_executed,
+            post_instructions=0,
             sync_wait_us=sync_wait,
             sync_tables=sync_tables,
+            retries=retries,
+            retry_wait_us=retry_wait,
+            stale_wait_us=stale_wait,
         )
 
     # -- cache maintenance -------------------------------------------------------
@@ -213,8 +288,22 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         fifo.pop(keys, None)
         fifo[keys] = True
 
+    def _restore_fifo(self, snapshot: Dict[str, List[tuple]]) -> None:
+        """Roll the FIFO bookkeeping back to a pre-batch snapshot (the
+        update batch never landed, so neither did any noted insert)."""
+        for name, keys_in_order in snapshot.items():
+            self._fifo[name] = OrderedDict(
+                (keys, True) for keys in keys_in_order
+            )
+
     def _enforce_cache_bounds(self) -> None:
-        """Evict oldest entries beyond the cache size (control plane)."""
+        """Evict oldest entries beyond the cache size.
+
+        Evictions are issued by the switch's *local* control plane — cache
+        management, not server→switch write-back RPCs — so no output-commit
+        wait is charged and the fault harness's batch faults (which model
+        RPC trouble on the write-back path) do not apply.
+        """
         for name in self.cached_tables:
             fifo = self._fifo[name]
             evictions: List[StateUpdate] = []
@@ -223,9 +312,32 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                 evictions.append(StateUpdate("delete", name, keys, None))
                 self.stats.evictions += 1
             if evictions:
-                # Evictions are cache management, not packet-path state: no
-                # output-commit wait is charged.
-                self.switch.control_plane.apply_batch(evictions)
+                control = self.switch.control_plane
+                hook = control.fault_hook
+                control.fault_hook = None
+                try:
+                    control.apply_batch(evictions)
+                finally:
+                    control.fault_hook = hook
+
+    # -- crash recovery ------------------------------------------------------
+
+    def crash_resync(self) -> None:
+        """Rebuild server state from the switch after a crash.
+
+        In cache mode the switch holds only the cached *subset* of each
+        bounded table, so that subset is all a restart can recover — a
+        larger but still *declared* degradation than the full-replication
+        deployment (the fault oracle mirrors it on its reference).  The
+        FIFO bookkeeping is rebuilt from the surviving switch entries in
+        their table order.
+        """
+        super().crash_resync()
+        for name in self.cached_tables:
+            self._fifo[name] = OrderedDict(
+                (keys, True)
+                for keys in self.switch.tables[name].snapshot()
+            )
 
     def switch_cache_occupancy(self) -> Dict[str, int]:
         return {

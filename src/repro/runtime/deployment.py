@@ -325,6 +325,18 @@ class GalliumMiddlebox:
 
     # -- the packet path under faults ----------------------------------------
 
+    def _punt_frame(
+        self, first: SwitchOutput, pristine: RawPacket, ingress_port: int
+    ) -> RawPacket:
+        """The frame that travels the switch→server punt path.
+
+        The base deployment forwards the shim-encapsulated packet the pre
+        pipeline emitted; the cached deployment overrides this to clone
+        the pristine packet at ingress (its server side reruns the whole
+        program, not the non-offloaded partition).
+        """
+        return first.emitted[0][1]
+
     def _process_with_faults(
         self, packet: RawPacket, ingress_port: int, index: int
     ) -> PacketJourney:
@@ -348,7 +360,7 @@ class GalliumMiddlebox:
                 pre_instructions=first.pipeline_instructions,
                 packet_index=index,
             )
-        punted = first.emitted[0][1]
+        punted = self._punt_frame(first, pristine, ingress_port)
         fate = injector.punt_frame_fate()
         if fate is not None:
             # The frame died on the wire (or failed the server NIC's FCS

@@ -1,0 +1,198 @@
+"""Stage 3 — P4 resource lint (codes P4L001-P4L010).
+
+Walks the emitted switch program (pipeline CFGs + table/register specs, the
+structure the ``.p4`` text is printed from) and statically bounds it against
+the same constraint-1..5 limits :mod:`repro.switchsim` enforces when a
+program is loaded — so a resource violation becomes a compile error with a
+source span instead of a deploy-time ``SwitchProgramError``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.depgraph import build_dependency_graph
+from repro.analysis.distance import dependency_distances
+from repro.analysis.liveness import peak_live_bytes
+from repro.analysis.reachability import compute_reachability
+from repro.ir import instructions as irin
+from repro.ir.function import Function
+from repro.switchsim.program import _SWITCH_STATE_OPS, SwitchProgram
+
+from repro.verify.diagnostics import Diagnostic, STAGE_P4LINT, error, warning
+
+#: Widest register a single-stage ALU operation can update atomically.
+REGISTER_WIDTH_LIMIT = 64
+
+#: Stage-costing instructions per block beyond which a compiled action is
+#: unlikely to fit a single stage's VLIW budget (lint warning only).  Pure
+#: copies and casts are free — the same accounting as
+#: ``analysis.distance._stage_cost``.
+ACTION_COMPLEXITY_LIMIT = 32
+
+_FREE_OPS = (irin.Assign, irin.Cast, irin.Jump, irin.Return)
+
+
+def lint_switch_program(program: SwitchProgram) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for label, function in (("pre", program.pre), ("post", program.post)):
+        out.extend(_lint_pipeline(program, label, function))
+    out.extend(_lint_memory(program))
+    out.extend(_lint_registers(program))
+    return out
+
+
+def _lint_pipeline(
+    program: SwitchProgram, label: str, function: Function
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    info = compute_reachability(function)
+    if info.cyclic_blocks:
+        out.append(
+            error(
+                "P4L004",
+                STAGE_P4LINT,
+                f"control-flow loop through blocks"
+                f" {sorted(info.cyclic_blocks)}",
+                function=function.name,
+            )
+        )
+    state_sites: Dict[str, List[irin.Instruction]] = {}
+    for inst in function.instructions():
+        if isinstance(inst, _SWITCH_STATE_OPS):
+            state = inst.state
+            if state not in program.tables and state not in program.registers:
+                out.append(
+                    error(
+                        "P4L002",
+                        STAGE_P4LINT,
+                        f"access to state {state!r} that has no switch"
+                        " table or register backing it",
+                        function=function.name,
+                        location=inst.location,
+                    )
+                )
+            state_sites.setdefault(state, []).append(inst)
+        elif not inst.p4_supported():
+            out.append(
+                error(
+                    "P4L001",
+                    STAGE_P4LINT,
+                    f"instruction not expressible in P4: {inst!r}",
+                    function=function.name,
+                    location=inst.location,
+                )
+            )
+    for state, sites in sorted(state_sites.items()):
+        if len(sites) > 1 and not (
+            state in program.registers
+            and _mutually_exclusive(info, sites)
+        ):
+            out.append(
+                error(
+                    "P4L003",
+                    STAGE_P4LINT,
+                    f"state {state!r} accessed {len(sites)} times in the"
+                    f" {label} pipeline (a table applies at most once)",
+                    function=function.name,
+                    location=sites[1].location,
+                )
+            )
+    tables_applied = {
+        state for state in state_sites if state in program.tables
+    }
+    if len(tables_applied) > program.limits.pipeline_depth:
+        out.append(
+            error(
+                "P4L009",
+                STAGE_P4LINT,
+                f"{len(tables_applied)} tables applied in the {label}"
+                f" pipeline (> {program.limits.pipeline_depth} stages)",
+                function=function.name,
+            )
+        )
+    metadata = peak_live_bytes(function)
+    if metadata > program.limits.metadata_bytes:
+        out.append(
+            error(
+                "P4L007",
+                STAGE_P4LINT,
+                f"peak live metadata {metadata}B exceeds the"
+                f" {program.limits.metadata_bytes}B scratchpad",
+                function=function.name,
+            )
+        )
+    if not info.cyclic_blocks:
+        # Depth is the longest stage-costing dependency chain; undefined
+        # over cyclic pipelines (P4L004 already rejects those).
+        graph = build_dependency_graph(function, info)
+        from_entry, _ = dependency_distances(graph)
+        depth = max(from_entry.values(), default=0)
+        if depth > program.limits.pipeline_depth:
+            out.append(
+                error(
+                    "P4L006",
+                    STAGE_P4LINT,
+                    f"dependency chain of {depth} stages exceeds the"
+                    f" {program.limits.pipeline_depth}-stage pipeline",
+                    function=function.name,
+                )
+            )
+    for block_name, block in function.blocks.items():
+        body = sum(
+            1 for inst in block.body if not isinstance(inst, _FREE_OPS)
+        )
+        if body > ACTION_COMPLEXITY_LIMIT:
+            out.append(
+                warning(
+                    "P4L010",
+                    STAGE_P4LINT,
+                    f"{body} stage-costing instructions in one block"
+                    f" (> {ACTION_COMPLEXITY_LIMIT}); the compiled action"
+                    " may not fit a single stage",
+                    function=function.name,
+                    block=block_name,
+                )
+            )
+    return out
+
+
+def _mutually_exclusive(info, sites: List[irin.Instruction]) -> bool:
+    for i, first in enumerate(sites):
+        for second in sites[i + 1 :]:
+            if info.can_happen_after(first, second) or info.can_happen_after(
+                second, first
+            ):
+                return False
+    return True
+
+
+def _lint_memory(program: SwitchProgram) -> List[Diagnostic]:
+    total = 0
+    for spec in program.tables.values():
+        total += spec.size * (sum(spec.key_widths) + spec.value_width + 7) // 8
+    if total > program.limits.memory_bytes:
+        return [
+            error(
+                "P4L005",
+                STAGE_P4LINT,
+                f"tables need {total}B of switch memory"
+                f" (> {program.limits.memory_bytes}B, constraint 1)",
+            )
+        ]
+    return []
+
+
+def _lint_registers(program: SwitchProgram) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for name, spec in sorted(program.registers.items()):
+        if spec.width_bits > REGISTER_WIDTH_LIMIT:
+            out.append(
+                error(
+                    "P4L008",
+                    STAGE_P4LINT,
+                    f"register {name!r} is {spec.width_bits} bits wide"
+                    f" (> {REGISTER_WIDTH_LIMIT}-bit ALU datapath)",
+                )
+            )
+    return out

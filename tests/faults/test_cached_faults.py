@@ -1,0 +1,169 @@
+"""Fault campaign on the bounded-cache deployment (``faults --cached``).
+
+The cached deployment (paper §7, "Reducing memory usage") adds three
+behaviours the full-replication deployment never shows — misses punt to
+the server, FIFO eviction keeps tables bounded, and crash recovery
+rebuilds only the cache subset — so the fault oracle must hold it to
+*coherence* (cache ⊆ authoritative state, within bound) rather than
+strict table equality.  These tests pin the cached oracle's outcome
+classes and the eviction/rollback corner cases.
+"""
+
+from repro.difftest.oracle import StreamSpec
+from repro.faults import (
+    BatchFault,
+    FaultPlan,
+    LinkFault,
+    ServerCrash,
+    run_campaign,
+    run_fault_oracle,
+)
+from repro.faults.corpus import FaultCorpusEntry
+from repro.runtime.degradation import DegradationPolicy
+
+#: Offloads a map find (replicated table + cache) with the insert on the
+#: server — the §7 cached-deployment shape.
+MAP_SOURCE = """class Box {
+  // @gallium: max_entries=64
+  HashMap<uint32_t, uint16_t> m0;
+
+  void process(Packet *pkt) {
+    iphdr *ip = pkt->network_header();
+    tcphdr *tcp = pkt->tcp_header();
+    uint32_t k1 = (uint32_t)(tcp->sport);
+    uint16_t *h1 = m0.find(&k1);
+    if (h1 != NULL) {
+      ip->ttl = 7;
+    } else {
+      uint16_t v1 = (uint16_t)(ip->ttl);
+      m0.insert(&k1, &v1);
+    }
+    pkt->send();
+  }
+};
+"""
+
+#: No offloadable map table: the cached deployment must refuse it.
+REGISTER_SOURCE = """class Box {
+  uint32_t ctr0;
+
+  void process(Packet *pkt) {
+    ctr0 += 1;
+    pkt->send();
+  }
+};
+"""
+
+STREAM = StreamSpec(seed=7, count=30)
+
+
+def _run(source, plan, **kwargs):
+    kwargs.setdefault("cached", True)
+    kwargs.setdefault("cache_entries", 2)
+    return run_fault_oracle(source, STREAM, plan, **kwargs)
+
+
+def test_cached_rejects_program_without_map_tables():
+    result = _run(REGISTER_SOURCE, FaultPlan())
+    assert result.outcome.value == "rejected"
+    assert result.cached_mode
+    assert result.error
+
+
+def test_cached_clean_without_faults():
+    result = _run(MAP_SOURCE, FaultPlan())
+    assert result.outcome.value == "clean", result.violation or result.error
+    assert result.cached_mode
+    assert result.degraded == 0
+
+
+def test_cached_converges_through_server_crash():
+    plan = FaultPlan(faults=(
+        ServerCrash(at_packet=8, outage=5, lose_state=True),
+    ))
+    result = _run(MAP_SOURCE, plan)
+    assert result.outcome.value in ("clean", "degraded_ok"), (
+        result.violation or result.error
+    )
+    assert result.cached_mode
+
+
+def test_cached_survives_link_loss_and_batch_failures():
+    plan = FaultPlan(faults=(
+        LinkFault(direction="to_server", mode="loss", probability=0.5),
+        BatchFault(mode="fail", probability=0.5, doom_probability=0.3),
+    ))
+    result = _run(
+        MAP_SOURCE, plan,
+        policy=DegradationPolicy(fail_open=True),
+        injector_seed=11,
+    )
+    assert result.outcome.value in ("clean", "degraded_ok"), (
+        result.violation or result.error
+    )
+
+
+def test_cached_eviction_bound_respected_under_faults():
+    """With cache_entries=1 every second flow evicts; the oracle's
+    coherence check (cache subset + bound) must still pass."""
+    plan = FaultPlan(faults=(
+        BatchFault(mode="timeout", probability=0.4),
+    ))
+    result = _run(MAP_SOURCE, plan, cache_entries=1, injector_seed=3)
+    assert result.outcome.value in ("clean", "degraded_ok"), (
+        result.violation or result.error
+    )
+
+
+def test_cached_campaign_accepts_map_program():
+    # program seed 3000016 offloads a map table and survives its fault
+    # schedule on the cache deployment (found by the cached sweep)
+    stats, failures = run_campaign(
+        runs=1, seed=0, packets=10, seed_override=3000016, cached=True,
+    )
+    assert failures == []
+    assert stats.clean + stats.degraded_ok == 1
+
+
+def test_cached_campaign_counts_rejections():
+    # program seed 3000009 has no replicated map table: cache mode refuses
+    stats, failures = run_campaign(
+        runs=1, seed=0, packets=10, seed_override=3000009, cached=True,
+    )
+    assert failures == []
+    assert stats.rejected == 1
+
+
+def test_cached_corpus_entry_round_trips():
+    entry = FaultCorpusEntry(
+        name="t",
+        source=MAP_SOURCE,
+        stream=STREAM,
+        fault_plan=FaultPlan(),
+        policy=DegradationPolicy(),
+        cached=True,
+    )
+    data = entry.to_dict()
+    assert data["cached"] is True
+    assert FaultCorpusEntry.from_dict(data).cached is True
+
+
+def test_campaign_failure_corpus_entry_preserves_cached():
+    from repro.difftest.generator import generate_program
+    from repro.faults.campaign import FaultFailure
+    from repro.faults.oracle import FaultOracleResult, FaultOutcome
+
+    failure = FaultFailure(
+        index=0,
+        program_seed=1,
+        stream=STREAM,
+        program=generate_program(1),
+        fault_plan=FaultPlan(),
+        policy=DegradationPolicy(),
+        injector_seed=0,
+        deployment_seed=0,
+        result=FaultOracleResult(FaultOutcome.VIOLATION, cached_mode=True),
+        cached=True,
+    )
+    assert failure.corpus_entry("t").cached is True
+    assert "--cached" in failure.report()

@@ -1,0 +1,107 @@
+"""Unit tests for the fault-plan delta-debugger (``faults --shrink``)."""
+
+import pytest
+
+from repro.difftest.generator import generate_program
+from repro.difftest.oracle import StreamSpec
+from repro.faults import (
+    BatchFault,
+    FaultPlan,
+    LinkFault,
+    ServerCrash,
+    shrink_fault_case,
+    shrink_plan,
+)
+from repro.faults.shrink import _spec_variants
+
+PROGRAM = generate_program(1)
+STREAM = StreamSpec(seed=1, count=20)
+
+
+def test_spec_variants_are_strictly_smaller():
+    spec = LinkFault(probability=0.4, start=2, stop=18)
+    variants = _spec_variants(spec, STREAM.count)
+    assert variants
+    assert spec not in variants
+    assert any(v.probability == 0.2 for v in variants)
+    assert any(v.stop - v.start < 16 for v in variants)
+
+
+def test_spec_variants_respect_probability_floor():
+    spec = LinkFault(probability=0.015)
+    assert all(
+        v.probability >= 0.01 or v.probability == spec.probability
+        for v in _spec_variants(spec, STREAM.count)
+    )
+
+
+def test_spec_variants_bound_open_windows():
+    spec = BatchFault(probability=0.5, start=0, stop=None)
+    variants = _spec_variants(spec, STREAM.count)
+    assert any(v.stop == STREAM.count for v in variants)
+
+
+def test_spec_variants_halve_outage():
+    spec = ServerCrash(at_packet=4, outage=8)
+    variants = _spec_variants(spec, STREAM.count)
+    assert any(v.outage == 4 for v in variants)
+
+
+def test_shrink_plan_drops_irrelevant_specs():
+    plan = FaultPlan(faults=(
+        LinkFault(probability=0.3),
+        ServerCrash(at_packet=5, outage=6),
+        BatchFault(probability=0.4),
+    ))
+
+    def crash_matters(program, stream, candidate):
+        return any(spec.kind == "crash" for spec in candidate.faults)
+
+    shrunk = shrink_plan(PROGRAM, STREAM, plan, crash_matters)
+    assert [spec.kind for spec in shrunk.faults] == ["crash"]
+    # and the surviving spec was narrowed as far as the predicate allows
+    assert shrunk.by_kind("crash")[0].outage == 1
+
+
+def test_shrink_fault_case_requires_failing_start():
+    def never(program, stream, plan):
+        return False
+
+    with pytest.raises(ValueError):
+        shrink_fault_case(PROGRAM, STREAM, FaultPlan(), never)
+
+
+def test_shrink_fault_case_minimizes_all_three_axes():
+    plan = FaultPlan(faults=(
+        LinkFault(probability=0.4),
+        BatchFault(probability=0.4),
+    ))
+
+    def link_survives(program, stream, candidate):
+        return any(spec.kind == "link" for spec in candidate.faults)
+
+    program, stream, shrunk = shrink_fault_case(
+        PROGRAM, STREAM, plan, link_survives
+    )
+    assert [spec.kind for spec in shrunk.faults] == ["link"]
+    # the difftest shrinker ran too: the program/stream only got smaller
+    assert stream.count <= STREAM.count
+    assert len(program.source()) <= len(PROGRAM.source())
+    assert link_survives(program, stream, shrunk)
+
+
+def test_shrink_predicate_turning_flaky_raises_value_error():
+    """A predicate that stops reproducing mid-shrink surfaces as the same
+    ValueError as a non-reproducing initial case; the campaign catches it
+    and keeps the original reproducer rather than losing the report."""
+    plan = FaultPlan(faults=(LinkFault(probability=0.4),))
+    calls = []
+
+    def explosive(program, stream, candidate):
+        calls.append(candidate)
+        if len(calls) == 1:
+            return True  # initial case holds
+        raise RuntimeError("oracle blew up")
+
+    with pytest.raises(ValueError):
+        shrink_fault_case(PROGRAM, STREAM, plan, explosive)

@@ -1,0 +1,115 @@
+"""Stage 3 unit tests: P4 resource-lint codes (P4L001-P4L010).
+
+Each test compiles the cached_post_register_rmw reproducer (it offloads
+both a table and a register, so every lint has something to bite on),
+mutates the emitted :class:`SwitchProgram`, and asserts the expected
+constraint-1..5 code fires.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.difftest.corpus import load_corpus
+from repro.ir import instructions as irin
+from repro.ir.values import const_int, Reg
+from repro.lang.types import IntType
+from repro.verify import lint_switch_program
+
+U32 = IntType(32)
+
+
+@pytest.fixture()
+def program():
+    entries = {entry.name: entry for entry in load_corpus()}
+    result = compile_source(
+        entries["cached_post_register_rmw"].source, verify=False
+    )
+    switch_program = result.switch_program
+    assert switch_program.tables and switch_program.registers
+    assert lint_switch_program(switch_program) == []
+    return switch_program
+
+
+def _codes(program):
+    return {d.code for d in lint_switch_program(program)}
+
+
+def _entry_block(function):
+    return function.blocks[function.entry]
+
+
+def test_p4l001_non_p4_instruction(program):
+    _entry_block(program.pre).instructions.insert(
+        0,
+        irin.BinOp(
+            Reg("bad_mod", U32), irin.BinOpKind.MOD,
+            const_int(5), const_int(3),
+        ),
+    )
+    assert "P4L001" in _codes(program)
+
+
+def test_p4l002_unbacked_state_access(program):
+    _entry_block(program.pre).instructions.insert(
+        0, irin.LoadState(Reg("orphan", U32), "no_such_state")
+    )
+    assert "P4L002" in _codes(program)
+
+
+def test_p4l003_table_applied_twice(program):
+    block = _entry_block(program.pre)
+    extra = [
+        irin.LoadState(Reg("dup0", U32), "m0"),
+        irin.LoadState(Reg("dup1", U32), "m0"),
+    ]
+    block.instructions[0:0] = extra
+    assert "P4L003" in _codes(program)
+
+
+def test_p4l004_pipeline_loop(program):
+    block = _entry_block(program.post)
+    block.instructions[-1] = irin.Jump(program.post.entry)
+    assert "P4L004" in _codes(program)
+
+
+def test_p4l005_table_memory_blowup(program):
+    name, spec = next(iter(program.tables.items()))
+    program.tables[name] = dataclasses.replace(spec, size=1 << 30)
+    assert "P4L005" in _codes(program)
+
+
+def test_p4l007_metadata_over_scratchpad(program):
+    program.limits = dataclasses.replace(program.limits, metadata_bytes=0)
+    assert "P4L007" in _codes(program)
+
+
+def test_p4l008_register_too_wide(program):
+    name, spec = next(iter(program.registers.items()))
+    program.registers[name] = dataclasses.replace(spec, width_bits=128)
+    assert "P4L008" in _codes(program)
+
+
+def test_p4l009_too_many_tables(program):
+    program.limits = dataclasses.replace(program.limits, pipeline_depth=0)
+    assert "P4L009" in _codes(program)
+
+
+def test_p4l010_oversized_block_is_warning(program):
+    block = _entry_block(program.pre)
+    filler = [
+        irin.BinOp(
+            Reg(f"fill{i}", U32), irin.BinOpKind.ADD,
+            const_int(i), const_int(1),
+        )
+        for i in range(33)
+    ]
+    block.instructions[0:0] = filler
+    diagnostics = lint_switch_program(program)
+    assert "P4L010" in {d.code for d in diagnostics}
+    assert all(
+        d.severity == "warning"
+        for d in diagnostics
+        if d.code == "P4L010"
+    )
