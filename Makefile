@@ -3,7 +3,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: help test verify lint difftest difftest-smoke faults faults-smoke \
-	benchmarks
+	telemetry-smoke benchmarks
 
 help:
 	@echo "Targets:"
@@ -14,6 +14,7 @@ help:
 	@echo "  difftest-smoke  fixed-seed ~60s gauntlet slice"
 	@echo "  faults          full fault campaign (500 scenarios)"
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
+	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
 	@echo "  benchmarks      regenerate every paper table/figure"
 
 test:
@@ -55,6 +56,18 @@ faults:
 # Fixed-seed smoke slice bounded to ~60 seconds of wall clock.
 faults-smoke:
 	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60
+
+# Telemetry smoke: trace + metrics JSON on two example middleboxes, each
+# validated against the checked-in schemas (same flow CI runs).
+telemetry-smoke:
+	$(PYTHON) -m repro trace mazunat --packets 20 --json \
+		| $(PYTHON) -m repro.telemetry.schema trace -
+	$(PYTHON) -m repro metrics mazunat --packets 20 --json \
+		| $(PYTHON) -m repro.telemetry.schema metrics -
+	$(PYTHON) -m repro trace minilb --packets 20 --deployment cached --json \
+		| $(PYTHON) -m repro.telemetry.schema trace -
+	$(PYTHON) -m repro metrics minilb --packets 20 --deployment cached --json \
+		| $(PYTHON) -m repro.telemetry.schema metrics -
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

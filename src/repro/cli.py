@@ -19,6 +19,11 @@ Commands
 ``difftest --runs N --seed S [--shrink]``
     Differential-testing gauntlet: generate random middleboxes and compare
     the FastClick baseline against the Gallium (and cached) deployments.
+``trace <middlebox> [--deployment D] [--packets N] [--deep] [--json]``
+    Drive a traffic stream through one deployment with per-packet tracing
+    enabled and print the event trace (or the schema-checked JSON payload).
+``metrics <middlebox> [--deployment D] [--packets N] [--json]``
+    Same drive with tracing off; print the metrics-registry snapshot.
 ``faults --runs N --seed S``
     Fault-injection campaign: replay generated middleboxes under random
     fault schedules and verify, via the fault-aware oracle, that the
@@ -195,6 +200,142 @@ def cmd_faults(args) -> int:
     return 1 if stats.failures else 0
 
 
+def _build_observed_deployment(name, deployment, seed, cache_entries,
+                               tracing, deep):
+    """Deploy one bundled middlebox with a telemetry bundle attached."""
+    from repro.middleboxes import load
+    from repro.telemetry import Telemetry
+
+    if name not in MIDDLEBOX_NAMES:
+        raise SystemExit(
+            f"error: {name!r} is not a bundled middlebox"
+            f" ({', '.join(MIDDLEBOX_NAMES)})"
+        )
+    telemetry = Telemetry(tracing=tracing, deep=deep)
+    bundle = load(name)
+    if deployment == "baseline":
+        from repro.runtime.baseline import FastClickRuntime
+
+        middlebox = FastClickRuntime(
+            bundle.lowered, config=bundle.config, telemetry=telemetry
+        )
+    elif deployment == "cached":
+        from repro.runtime.cache import (
+            CacheConfigurationError,
+            CachedGalliumMiddlebox,
+        )
+        from repro.runtime.deployment import compile_middlebox
+
+        plan, program = compile_middlebox(bundle.lowered)
+        try:
+            middlebox = CachedGalliumMiddlebox(
+                plan, program, cache_entries=cache_entries,
+                config=bundle.config, seed=seed, telemetry=telemetry,
+            )
+        except CacheConfigurationError as exc:
+            raise SystemExit(f"error: {exc}")
+    else:
+        from repro.runtime.deployment import (
+            GalliumMiddlebox,
+            compile_middlebox,
+        )
+
+        plan, program = compile_middlebox(bundle.lowered)
+        middlebox = GalliumMiddlebox(
+            plan, program, config=bundle.config, seed=seed,
+            telemetry=telemetry,
+        )
+    middlebox.install()
+    return middlebox, telemetry
+
+
+def _drive_stream(middlebox, name: str, packets: int) -> int:
+    from itertools import islice
+
+    from repro.workloads import IperfWorkload, middlebox_stream
+
+    count = 0
+    for packet, port in islice(
+        middlebox_stream(name, IperfWorkload()), packets
+    ):
+        middlebox.process_packet(packet, port)
+        count += 1
+    return count
+
+
+def cmd_trace(args) -> int:
+    import json
+
+    middlebox, telemetry = _build_observed_deployment(
+        args.target, args.deployment, args.seed, args.cache_entries,
+        tracing=True, deep=args.deep,
+    )
+    count = _drive_stream(middlebox, args.target, args.packets)
+    if args.json:
+        payload = {
+            "version": 1,
+            "middlebox": args.target,
+            "deployment": args.deployment,
+            "seed": args.seed,
+            "packets": count,
+            "deep": args.deep,
+            "events": telemetry.tracer.to_dicts(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"# {args.target} [{args.deployment}]"
+              f" — {count} packets,"
+              f" {len(telemetry.tracer.events)} events")
+        print(telemetry.tracer.format())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    middlebox, telemetry = _build_observed_deployment(
+        args.target, args.deployment, args.seed, args.cache_entries,
+        tracing=False, deep=False,
+    )
+    count = _drive_stream(middlebox, args.target, args.packets)
+    snapshot = telemetry.metrics.to_dict()
+    if args.json:
+        payload = {
+            "version": 1,
+            "middlebox": args.target,
+            "deployment": args.deployment,
+            "seed": args.seed,
+            "packets": count,
+            "metrics": snapshot,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"# {args.target} [{args.deployment}] — {count} packets")
+    if snapshot["counters"]:
+        print("counters:")
+        for name, value in snapshot["counters"].items():
+            print(f"  {name:<40s} {value}")
+    if snapshot["gauges"]:
+        print("gauges:")
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name:<40s} {value}")
+    if snapshot["histograms"]:
+        print("histograms:")
+        for name, hist in snapshot["histograms"].items():
+            print(f"  {name:<40s} count={hist['count']}"
+                  f" sum={hist['sum']:.3f}")
+            buckets = ", ".join(
+                f"<={'inf' if bound is None else bound}: {n}"
+                for bound, n in zip(
+                    list(hist["bounds"]) + [None], hist["buckets"]
+                )
+                if n
+            )
+            if buckets:
+                print(f"  {'':<40s} {buckets}")
+    return 0
+
+
 def cmd_list(args) -> int:
     from repro.middleboxes import load
 
@@ -300,6 +441,39 @@ def build_parser() -> argparse.ArgumentParser:
                                help="cache bound per replicated table"
                                " (with --cached)")
     faults_parser.set_defaults(func=cmd_faults)
+
+    def _add_observe_args(observe_parser):
+        observe_parser.add_argument("target", help="bundled middlebox name")
+        observe_parser.add_argument(
+            "--deployment", default="gallium",
+            choices=["gallium", "cached", "baseline"],
+            help="which runtime to observe",
+        )
+        observe_parser.add_argument("--packets", type=int, default=25,
+                                    help="packets to drive through")
+        observe_parser.add_argument("--seed", type=int, default=0,
+                                    help="deployment seed")
+        observe_parser.add_argument("--cache-entries", type=int, default=16,
+                                    help="cache bound per replicated table"
+                                    " (with --deployment cached)")
+        observe_parser.add_argument("--json", action="store_true",
+                                    help="emit the schema-checked JSON"
+                                    " payload")
+
+    trace_parser = sub.add_parser(
+        "trace", help="per-packet event trace of one deployment"
+    )
+    _add_observe_args(trace_parser)
+    trace_parser.add_argument("--deep", action="store_true",
+                              help="also record one event per executed IR"
+                              " instruction")
+    trace_parser.set_defaults(func=cmd_trace)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="metrics-registry snapshot of one deployment"
+    )
+    _add_observe_args(metrics_parser)
+    metrics_parser.set_defaults(func=cmd_metrics)
 
     list_parser = sub.add_parser("list", help="list bundled middleboxes")
     list_parser.set_defaults(func=cmd_list)

@@ -31,9 +31,13 @@ class CorpusEntry:
     description: str = ""
     found_by_seed: Optional[int] = None
     check_cached: bool = True
+    #: serialized :class:`repro.telemetry.diff.TraceDiff` captured when
+    #: the bug was found — the first divergent semantic event between the
+    #: baseline and the deployment, kept as historical provenance.
+    trace_diff: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "found_by_seed": self.found_by_seed,
@@ -42,6 +46,9 @@ class CorpusEntry:
             "stream": self.stream.to_dict(),
             "source": self.source.splitlines(),
         }
+        if self.trace_diff is not None:
+            data["trace_diff"] = self.trace_diff
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CorpusEntry":
@@ -56,6 +63,7 @@ class CorpusEntry:
             description=data.get("description", ""),
             found_by_seed=data.get("found_by_seed"),
             check_cached=data.get("check_cached", True),
+            trace_diff=data.get("trace_diff"),
         )
 
 

@@ -82,6 +82,11 @@ class OracleResult:
     #: that AGREEs dynamically but fails verification — or vice versa — is
     #: a verifier/oracle disagreement, a bug class of its own.
     verifier_errors: List[str] = None  # type: ignore[assignment]
+    #: side-by-side trace provenance for a DIVERGE outcome: both runtimes
+    #: re-ran with per-packet tracing and the first divergent semantic
+    #: event was pinpointed (:class:`repro.telemetry.diff.TraceDiff`).
+    #: ``None`` when provenance was disabled or collection failed.
+    trace_diff: Optional[object] = None
 
     def __post_init__(self):
         if self.verifier_errors is None:
@@ -244,6 +249,7 @@ def run_oracle(
     cache_entries: int = 2,
     deployment_seed: int = 0,
     verify: bool = True,
+    provenance: bool = True,
 ) -> OracleResult:
     """Compile ``source`` once and drive all runtimes over ``stream``.
 
@@ -253,6 +259,12 @@ def run_oracle(
     static verifier also runs over the compiled artifacts; its
     error-severity diagnostics ride along on the result so the gauntlet
     can cross-check them against the dynamic outcome.
+
+    With ``provenance`` (the default), a DIVERGE outcome re-runs the
+    baseline and the diverging deployment with per-packet tracing enabled
+    and attaches the first-divergent-event trace diff to the result.
+    Shrinker predicates pass ``provenance=False``: they replay the oracle
+    hundreds of times and only the final report needs the diff.
     """
     try:
         plan, program = compile_middlebox(source, limits)
@@ -282,7 +294,66 @@ def run_oracle(
         plan, program, stream, check_cached, cache_entries, deployment_seed
     )
     result.verifier_errors = verifier_errors
+    if provenance and result.diverged and result.divergence is not None:
+        result.trace_diff = _collect_provenance(
+            plan, program, stream, result.divergence,
+            cache_entries, deployment_seed,
+        )
     return result
+
+
+def _collect_provenance(
+    plan,
+    program,
+    stream: StreamSpec,
+    divergence: Divergence,
+    cache_entries: int,
+    deployment_seed: int,
+):
+    """Re-run baseline + the diverging deployment with tracing enabled.
+
+    Deployments are deterministic, so the traced re-run reproduces the
+    divergence exactly; for a packet-indexed divergence the tracers
+    restrict recording to that packet.  Provenance is best-effort
+    diagnostics: any exception yields ``None`` rather than masking the
+    divergence itself.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.diff import diff_traces
+
+    try:
+        runtime_name = divergence.runtime
+        only = divergence.packet_index
+        base_telemetry = Telemetry(tracing=True)
+        dut_telemetry = Telemetry(tracing=True)
+        if only is not None:
+            base_telemetry.tracer.only_packet = only
+            dut_telemetry.tracer.only_packet = only
+        baseline = FastClickRuntime(plan.middlebox, telemetry=base_telemetry)
+        baseline.install()
+        if runtime_name == "cached":
+            dut = CachedGalliumMiddlebox(
+                plan, program, cache_entries=cache_entries,
+                port_pairs=dict(DEFAULT_PORT_PAIRS), seed=deployment_seed,
+                telemetry=dut_telemetry,
+            )
+        else:
+            dut = GalliumMiddlebox(
+                plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
+                seed=deployment_seed, telemetry=dut_telemetry,
+            )
+        dut.install()
+        packets = stream.build()
+        last = only if only is not None else len(packets) - 1
+        for packet, ingress in packets[: last + 1]:
+            baseline.process_packet(packet.copy(), ingress)
+            dut.process_packet(packet.copy(), ingress)
+        return diff_traces(
+            base_telemetry.tracer, dut_telemetry.tracer,
+            lhs_label="baseline", rhs_label=runtime_name,
+        )
+    except Exception:
+        return None
 
 
 def _drive_runtimes(

@@ -73,6 +73,9 @@ class Failure:
                 f"minimized stream: seed={self.minimized_stream.seed}"
                 f" count={self.minimized_stream.count}"
             )
+        if self.result.trace_diff is not None:
+            lines.append("--- trace provenance ---")
+            lines.append(self.result.trace_diff.render().rstrip())
         return "\n".join(lines)
 
 
@@ -163,6 +166,15 @@ def run_gauntlet(
                 failure.minimized_program, failure.minimized_stream = _shrink_failure(
                     program, stream, result, limits
                 )
+                if failure.minimized_program is not None:
+                    # Re-collect provenance on the minimized case so the
+                    # trace diff matches the source the report shows.
+                    replay = run_oracle(
+                        failure.minimized_program.source(),
+                        failure.minimized_stream, limits=limits,
+                    )
+                    if replay.trace_diff is not None:
+                        failure.result.trace_diff = replay.trace_diff
             failures.append(failure)
             if log is not None:
                 log(failure.report())
@@ -190,7 +202,12 @@ def _shrink_failure(
     )
 
     def predicate(candidate: GenProgram, candidate_stream: StreamSpec) -> bool:
-        replay = run_oracle(candidate.source(), candidate_stream, limits=limits)
+        # No provenance in the shrink loop: it replays the oracle hundreds
+        # of times and only the surviving case's report needs a diff.
+        replay = run_oracle(
+            candidate.source(), candidate_stream, limits=limits,
+            provenance=False,
+        )
         if replay.outcome is not want_outcome:
             return False
         if want_kind is not None and (

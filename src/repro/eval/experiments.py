@@ -352,20 +352,50 @@ def figure9_fct(
 def fault_recovery(
     arrival_interval_us: float = 200.0,
     punts: int = 2000,
+    name: str = "mazunat",
+    packet_size: int = 1500,
+    metrics=None,
 ) -> Tuple[List[str], List[List]]:
     """Recovery behaviour of the bounded punt queue across outage lengths.
 
     The paper's testbed never kills the middlebox server; this table
     quantifies what the graceful-degradation machinery (``repro.faults``)
     costs when it does: punts dropped at the bounded queue, backlog
-    drain time after the server returns, and the p99 latency the outage
-    adds to punts that survive.
+    drain time after the server returns, the p99 latency the outage adds
+    to punts that survive — and the throughput cost of fallback mode.
+    While the punt path is down only the offloaded fast path delivers
+    packets, so the deployment runs at the fallback rate for the outage
+    plus the backlog-drain window; *Effective Gbps* time-weights that
+    against the fault-free (normal) rate over the whole run.
+
+    Pass a :class:`repro.telemetry.MetricsRegistry` as ``metrics`` to
+    additionally publish every cell as
+    ``recovery.outage_<ms>ms.queue_<depth>.*`` gauges.
     """
     from repro.faults.timeline import OutageScenario, simulate_outage
+
+    workload = IperfWorkload(packet_size=packet_size)
+    profile = profile_middlebox(name, middlebox_stream(name, workload))
+    capacity = CapacityModel()
+    normal = capacity.gallium_throughput(
+        profile.slow_fraction,
+        profile.server_instructions_per_punt,
+        packet_size,
+        shim_bytes=profile.shim_to_server_bytes,
+    ).gbps
+    # Fallback mode: the slow path is unavailable, punts are queued or
+    # dropped, and only the fast-path fraction of the traffic gets
+    # through the switch at line rate.
+    line_gbps = capacity.line_rate_pps(packet_size) * packet_size * 8 / 1e9
+    fallback = line_gbps * (1.0 - profile.slow_fraction)
+    if metrics is not None:
+        metrics.gauge("recovery.normal_gbps").set(round(normal, 3))
+        metrics.gauge("recovery.fallback_gbps").set(round(fallback, 3))
 
     header = [
         "Scenario", "Served", "Dropped", "Max queue",
         "Recovery (ms)", "Added p99 (ms)",
+        "Normal Gbps", "Fallback Gbps", "Effective Gbps",
     ]
     rows = []
     for outage_ms in (1.0, 10.0, 50.0):
@@ -377,6 +407,13 @@ def fault_recovery(
                 punts=punts,
             )
             timeline = simulate_outage(scenario)
+            # Time spent in fallback mode: the outage itself plus the
+            # backlog drain, bounded by the run's total duration.
+            run_us = punts * arrival_interval_us
+            degraded_us = min(
+                run_us, scenario.outage_us + timeline.recovery_us
+            )
+            effective = normal - (normal - fallback) * (degraded_us / run_us)
             rows.append([
                 scenario.describe(),
                 timeline.served,
@@ -384,5 +421,19 @@ def fault_recovery(
                 timeline.max_queue,
                 round(timeline.recovery_us / 1000.0, 2),
                 round(timeline.added_p99_us() / 1000.0, 2),
+                round(normal, 2),
+                round(fallback, 2),
+                round(effective, 2),
             ])
+            if metrics is not None:
+                prefix = (
+                    f"recovery.outage_{outage_ms:g}ms.queue_{queue_depth}"
+                )
+                metrics.gauge(f"{prefix}.effective_gbps").set(
+                    round(effective, 3)
+                )
+                metrics.gauge(f"{prefix}.recovery_ms").set(
+                    round(timeline.recovery_us / 1000.0, 3)
+                )
+                metrics.counter(f"{prefix}.dropped").inc(timeline.dropped)
     return header, rows

@@ -126,6 +126,9 @@ class FaultFailure:
                 f"minimized stream: seed={self.minimized_stream.seed}"
                 f" count={self.minimized_stream.count}"
             )
+        if self.result.trace_diff is not None:
+            lines.append("--- trace provenance ---")
+            lines.append(self.result.trace_diff.render().rstrip())
         return "\n".join(lines)
 
     def corpus_entry(self, name: str, description: str = ""):
@@ -149,6 +152,10 @@ class FaultFailure:
             description=description,
             found_by_seed=self.program_seed,
             cached=self.cached,
+            trace_diff=(
+                self.result.trace_diff.to_dict()
+                if self.result.trace_diff is not None else None
+            ),
         )
 
 
@@ -278,6 +285,22 @@ def run_campaign(
                     failure, limits, cached=cached,
                     cache_entries=cache_entries,
                 )
+                if failure.minimized_program is not None:
+                    # Re-collect provenance on the minimized scenario so
+                    # the trace diff matches the source the report shows.
+                    replay = run_fault_oracle(
+                        failure.minimized_program.source(),
+                        failure.minimized_stream,
+                        failure.minimized_plan,
+                        policy=policy,
+                        injector_seed=injector_seed,
+                        deployment_seed=deploy_seed,
+                        limits=limits,
+                        cached=cached,
+                        cache_entries=cache_entries,
+                    )
+                    if replay.trace_diff is not None:
+                        failure.result.trace_diff = replay.trace_diff
             failures.append(failure)
             if log is not None:
                 log(failure.report())
@@ -311,6 +334,8 @@ def _shrink_failure(
         candidate: GenProgram, candidate_stream: StreamSpec,
         candidate_plan: FaultPlan,
     ) -> bool:
+        # No provenance in the shrink loop: it replays the oracle hundreds
+        # of times and only the surviving case's report needs a diff.
         replay = run_fault_oracle(
             candidate.source(),
             candidate_stream,
@@ -321,6 +346,7 @@ def _shrink_failure(
             limits=limits,
             cached=cached,
             cache_entries=cache_entries,
+            provenance=False,
         )
         if replay.outcome is not want_outcome:
             return False

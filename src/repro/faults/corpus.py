@@ -44,9 +44,13 @@ class FaultCorpusEntry:
     found_by_seed: Optional[int] = None
     #: replay on the bounded-cache deployment instead of full replication
     cached: bool = False
+    #: serialized :class:`repro.telemetry.diff.TraceDiff` captured when
+    #: the bug was found — the first divergent semantic event between the
+    #: reference and the faulty deployment, kept as historical provenance.
+    trace_diff: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "found_by_seed": self.found_by_seed,
@@ -59,6 +63,9 @@ class FaultCorpusEntry:
             "deployment_seed": self.deployment_seed,
             "source": self.source.splitlines(),
         }
+        if self.trace_diff is not None:
+            data["trace_diff"] = self.trace_diff
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultCorpusEntry":
@@ -77,6 +84,7 @@ class FaultCorpusEntry:
             description=data.get("description", ""),
             found_by_seed=data.get("found_by_seed"),
             cached=bool(data.get("cached", False)),
+            trace_diff=data.get("trace_diff"),
         )
 
 

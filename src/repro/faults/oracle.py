@@ -124,6 +124,12 @@ class FaultOracleResult:
     fault_kinds: Tuple[str, ...] = ()
     #: True when the scenario ran the bounded-cache deployment
     cached_mode: bool = False
+    #: side-by-side trace provenance for a VIOLATION outcome: the scenario
+    #: re-ran with tracing on both the DUT and the reference and the first
+    #: divergent semantic event was pinpointed
+    #: (:class:`repro.telemetry.diff.TraceDiff`); ``None`` when provenance
+    #: was disabled or collection failed.
+    trace_diff: Optional[object] = None
 
 
 def _journey_observation(journey: PacketJourney) -> Observation:
@@ -185,6 +191,8 @@ def run_fault_oracle(
     verify_packets: int = 12,
     cached: bool = False,
     cache_entries: int = 2,
+    provenance: bool = True,
+    _telemetry: Optional[tuple] = None,
 ) -> FaultOracleResult:
     """Drive one program through one fault schedule and verify it.
 
@@ -192,8 +200,18 @@ def run_fault_oracle(
     is the bounded-table :class:`CachedGalliumMiddlebox`; programs that
     cannot run in cache mode (no replicated tables, or a register-mutating
     switch pipeline) are REJECTED, mirroring the compile-time refusals.
+
+    With ``provenance`` (the default), a VIOLATION outcome re-runs the
+    whole scenario with per-packet tracing on both deployments (the run is
+    fully seeded, so it reproduces exactly) and attaches the trace diff
+    pinpointing the first divergent semantic event.  Shrinker predicates
+    pass ``provenance=False``.  ``_telemetry`` is the internal hook the
+    provenance re-run uses: a ``(dut_telemetry, reference_telemetry)``
+    pair threaded into the two deployments.
     """
     policy = policy or DegradationPolicy()
+    dut_telemetry = _telemetry[0] if _telemetry is not None else None
+    ref_telemetry = _telemetry[1] if _telemetry is not None else None
     try:
         plan, program = compile_middlebox(source_or_lowered, limits)
     except (PartitionError, SwitchProgramError) as exc:
@@ -227,8 +245,9 @@ def run_fault_oracle(
         return box
 
     try:
-        dut = deploy(policy=policy, injector=injector)
-        reference = deploy()
+        dut = deploy(policy=policy, injector=injector,
+                     telemetry=dut_telemetry)
+        reference = deploy(telemetry=ref_telemetry)
     except CacheConfigurationError as exc:
         return FaultOracleResult(
             FaultOutcome.REJECTED, error=str(exc), cached_mode=True
@@ -311,7 +330,48 @@ def run_fault_oracle(
                 error=f"post-recovery verify:\n{traceback.format_exc()}",
                 cached_mode=cached,
             )
-    return finish(violation)
+    result = finish(violation)
+    if (
+        provenance
+        and _telemetry is None
+        and result.outcome is FaultOutcome.VIOLATION
+    ):
+        result.trace_diff = _collect_fault_provenance(
+            source_or_lowered, stream, fault_plan, policy=policy,
+            injector_seed=injector_seed, deployment_seed=deployment_seed,
+            limits=limits, config=config, verify_packets=verify_packets,
+            cached=cached, cache_entries=cache_entries,
+        )
+    return result
+
+
+def _collect_fault_provenance(source_or_lowered, stream, fault_plan,
+                              **kwargs):
+    """Re-run the violating scenario with tracing on both deployments.
+
+    Everything is seeded and tracing never consumes randomness, so the
+    re-run reproduces the violation exactly; the reference's replayed
+    events are attributed to the DUT's packet indices (see
+    :func:`_replay_reference`).  Best-effort: any exception yields
+    ``None`` rather than masking the violation.
+    """
+    from repro.telemetry import Telemetry
+    from repro.telemetry.diff import diff_traces
+
+    try:
+        dut_telemetry = Telemetry(tracing=True)
+        ref_telemetry = Telemetry(tracing=True)
+        run_fault_oracle(
+            source_or_lowered, stream, fault_plan,
+            provenance=False, _telemetry=(dut_telemetry, ref_telemetry),
+            **kwargs,
+        )
+        return diff_traces(
+            ref_telemetry.tracer, dut_telemetry.tracer,
+            lhs_label="reference", rhs_label="deployment",
+        )
+    except Exception:
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -378,6 +438,9 @@ def _replay_reference(
     """
     held: Dict[int, RawPacket] = {}
     expected: Dict[int, Observation] = {}
+    # Replayed reference events are attributed to the DUT's packet index
+    # (the replay bypasses process_packet, so the tracer must be told).
+    ref_tracer = reference.telemetry.active_tracer
     # Which packets the DUT's pre-pipeline punted, derived from the log
     # itself: every punt ends in exactly one "serve" or "drop_punt".
     dut_punts = {
@@ -387,6 +450,8 @@ def _replay_reference(
     }
     for event in dut.fault_log:
         tag = event[0]
+        if ref_tracer is not None and len(event) > 1:
+            ref_tracer.begin_packet(event[1])
         if tag == "ingress":
             _, index, ingress = event
             out = reference.switch.receive(packets[index][0].copy(), ingress)
@@ -428,6 +493,9 @@ def _replay_reference(
             held.pop(event[1], None)
         elif tag == "fallback":
             _, index, ingress = event
+            # Align the reference's internal packet counter so its traced
+            # events carry the DUT's index for this packet.
+            reference.packets_processed = index
             journey = reference.process_packet(
                 packets[index][0].copy(), ingress
             )
@@ -595,6 +663,10 @@ def _verify_recovered(
     equivalent to the reference again on fresh traffic."""
     if verify_packets <= 0:
         return None
+    # Align packet counters so traced verification events carry the same
+    # packet indices on both sides (the reference replay advanced its
+    # counter only for fallback packets).
+    reference.packets_processed = dut.packets_processed
     verify_stream = StreamSpec(
         seed=stream.seed ^ VERIFY_SALT, count=verify_packets,
         udp_ratio=stream.udp_ratio,

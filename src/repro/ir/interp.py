@@ -184,18 +184,22 @@ class StateStore:
         #: table-cache runtime to learn which entries to refill (§7).
         self.track_reads = False
         self.read_log: List[tuple] = []
+        #: Optional :class:`repro.telemetry.PacketTracer`; ``None`` keeps
+        #: every state operation on the zero-overhead fast path.
+        self.tracer = None
 
     # -- maps ----------------------------------------------------------------
 
     def map_find(self, name: str, keys: tuple) -> Tuple[bool, int]:
         table = self.maps[name]
-        if keys in table:
-            if self.track_reads:
-                self.read_log.append((name, keys, True, table[keys]))
-            return True, table[keys]
+        found = keys in table
+        value = table[keys] if found else 0
         if self.track_reads:
-            self.read_log.append((name, keys, False, 0))
-        return False, 0
+            self.read_log.append((name, keys, found, value))
+        if self.tracer is not None:
+            self.tracer.record("table_lookup", name=name, key=keys,
+                               hit=found, value=value)
+        return found, value
 
     def map_insert(self, name: str, keys: tuple, value: int) -> None:
         member = self.members[name]
@@ -208,37 +212,58 @@ class StateStore:
             # Full table: drop the update (same observable behaviour as a
             # switch table rejecting an insert); record it for diagnostics.
             self.journal.append(("insert_failed", name, keys, value))
+            if self.tracer is not None:
+                self.tracer.record("table_full", name=name, key=keys,
+                                   value=value)
             return
         table[keys] = value
         self.journal.append(("insert", name, keys, value))
+        if self.tracer is not None:
+            self.tracer.record("map_insert", name=name, key=keys,
+                               value=value)
 
     def map_erase(self, name: str, keys: tuple) -> None:
         self.maps[name].pop(keys, None)
         self.journal.append(("erase", name, keys, None))
+        if self.tracer is not None:
+            self.tracer.record("map_erase", name=name, key=keys)
 
     # -- vectors --------------------------------------------------------------
 
     def vector_get(self, name: str, index: int) -> int:
         vector = self.vectors[name]
-        if 0 <= index < len(vector):
-            return vector[index]
-        return 0
+        value = vector[index] if 0 <= index < len(vector) else 0
+        if self.tracer is not None:
+            self.tracer.record("vector_get", name=name, index=index,
+                               value=value)
+        return value
 
     def vector_len(self, name: str) -> int:
-        return len(self.vectors[name])
+        length = len(self.vectors[name])
+        if self.tracer is not None:
+            self.tracer.record("vector_len", name=name, value=length)
+        return length
 
     def vector_push(self, name: str, value: int) -> None:
         self.vectors[name].append(value)
         self.journal.append(("push", name, (len(self.vectors[name]) - 1,), value))
+        if self.tracer is not None:
+            self.tracer.record("vector_push", name=name,
+                               index=len(self.vectors[name]) - 1, value=value)
 
     # -- scalars ---------------------------------------------------------------
 
     def load_scalar(self, name: str) -> int:
-        return self.scalars[name]
+        value = self.scalars[name]
+        if self.tracer is not None:
+            self.tracer.record("register_read", name=name, value=value)
+        return value
 
     def store_scalar(self, name: str, value: int) -> None:
         self.scalars[name] = value
         self.journal.append(("store", name, (), value))
+        if self.tracer is not None:
+            self.tracer.record("register_write", name=name, value=value)
 
     def rmw_scalar(self, name: str, op, operand: int, width: int) -> int:
         old = self.scalars[name]
@@ -246,6 +271,10 @@ class StateStore:
         mask = (1 << width) - 1 if width else 0xFFFFFFFF
         self.scalars[name] = new & mask
         self.journal.append(("store", name, (), self.scalars[name]))
+        if self.tracer is not None:
+            self.tracer.record("register_rmw", name=name,
+                               op=getattr(op, "name", str(op)).lower(),
+                               old=old, new=self.scalars[name])
         return old
 
     # -- snapshots ---------------------------------------------------------------
@@ -366,6 +395,8 @@ class Interpreter:
         executed: List[int] = []
         verdict: Optional[str] = None
         egress: Optional[int] = None
+        tracer = getattr(self.state, "tracer", None)
+        deep = tracer is not None and tracer.deep
 
         def value_of(operand: Operand) -> int:
             if isinstance(operand, Const):
@@ -382,7 +413,7 @@ class Interpreter:
 
         while True:
             next_block: Optional[str] = None
-            for inst in block.instructions:
+            for position, inst in enumerate(block.instructions):
                 steps += 1
                 if steps > _MAX_STEPS:
                     raise InterpreterError(
@@ -391,6 +422,13 @@ class Interpreter:
                     )
                 if collect_ids:
                     executed.append(inst.id)
+                if deep:
+                    # ``position`` (not ``inst.id``) keeps deep traces
+                    # byte-identical across re-compiles: instruction ids
+                    # come from a process-global counter.
+                    tracer.record("exec", function=self.function.name,
+                                  block=block.name, position=position,
+                                  op=type(inst).__name__)
                 if isinstance(inst, irin.Assign):
                     env[inst.dst.name] = self._wrap(value_of(inst.src), inst.dst)
                 elif isinstance(inst, irin.BinOp):
@@ -418,7 +456,11 @@ class Interpreter:
                 elif isinstance(inst, irin.StorePacketField):
                     if packet is None:
                         raise InterpreterError("packet access without a packet")
-                    packet.set_field(inst.region, inst.field, value_of(inst.src))
+                    value = value_of(inst.src)
+                    packet.set_field(inst.region, inst.field, value)
+                    if tracer is not None:
+                        tracer.record("packet_write", region=inst.region,
+                                      field=inst.field, value=value)
                 elif isinstance(inst, irin.LoadState):
                     env[inst.dst.name] = self._wrap(
                         self.state.load_scalar(inst.state), inst.dst

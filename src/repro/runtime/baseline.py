@@ -34,12 +34,23 @@ class FastClickRuntime:
         lowered: LoweredMiddlebox,
         config: Optional[Dict[int, list]] = None,
         clock=None,
+        telemetry=None,
     ):
+        from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
+
         self.lowered = lowered
         self.state = StateStore(lowered.state)
         self.externs = ExternHost(config=config, clock=clock)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.state.tracer = self.telemetry.active_tracer
         self.packets_processed = 0
         self.instructions_total = 0
+        self._c_packets = self.telemetry.metrics.counter(
+            "baseline.packets_processed"
+        )
+        self._h_instructions = self.telemetry.metrics.histogram(
+            "baseline.instructions_per_packet", INSTRUCTION_BOUNDS
+        )
 
     @classmethod
     def from_source(cls, source: str, **kwargs) -> "FastClickRuntime":
@@ -52,13 +63,31 @@ class FastClickRuntime:
         self.state.drain_journal()
 
     def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> BaselineResult:
+        from repro.sim.clock import PACKET_GAP_US, SERVER_INSTR_US
+
+        tracer = self.telemetry.active_tracer
+        self.telemetry.clock.advance(PACKET_GAP_US)
+        if tracer is not None:
+            tracer.begin_packet(self.packets_processed)
+            tracer.set_component("server")
         packet.ingress_port = ingress_port
         view = PacketView(packet)
         result = Interpreter(self.lowered.process, self.state, self.externs).run(view)
         self.packets_processed += 1
         self.instructions_total += result.instructions_executed
+        self._c_packets.inc()
+        self._h_instructions.observe(result.instructions_executed)
+        self.telemetry.clock.advance(
+            result.instructions_executed * SERVER_INSTR_US
+        )
+        verdict = result.verdict or "drop"
+        if tracer is not None:
+            tracer.record(
+                "verdict", verdict=verdict,
+                port=(result.egress_port or 0) if verdict == "send" else 0,
+            )
         return BaselineResult(
-            verdict=result.verdict or "drop",
+            verdict=verdict,
             egress_port=result.egress_port,
             instructions=result.instructions_executed,
         )

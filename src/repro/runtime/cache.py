@@ -26,7 +26,6 @@ miss executes the original program on the original packet.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.ir.externs import ExternHost
@@ -47,17 +46,45 @@ class CacheConfigurationError(ValueError):
     """Raised when a middlebox cannot run in cache mode."""
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    refills: int = 0
+    """Cache effectiveness counters, backed by the metrics registry.
+
+    The legacy integer attributes (``stats.hits += 1`` etc.) remain as
+    read/write properties over registry counters named ``cache.<field>``
+    so cache metrics appear alongside the rest of the deployment's
+    telemetry.
+    """
+
+    _FIELDS = ("hits", "misses", "evictions", "refills")
+
+    def __init__(self, metrics=None):
+        from repro.telemetry import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"cache.{name}")
+            for name in self._FIELDS
+        }
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def _stats_property(name: str) -> property:
+    def _get(self: CacheStats) -> int:
+        return self._counters[name].value
+
+    def _set(self: CacheStats, value: int) -> None:
+        self._counters[name].set(value)
+
+    return property(_get, _set)
+
+
+for _name in CacheStats._FIELDS:
+    setattr(CacheStats, _name, _stats_property(_name))
+del _name
 
 
 class CachedGalliumMiddlebox(GalliumMiddlebox):
@@ -68,6 +95,11 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
     paper's cache idea targets the connection-style tables that grow with
     traffic).
     """
+
+    # A punted packet's pre-pipeline run is speculative in cache mode —
+    # the server reruns the complete program on the pristine clone — so
+    # its traced effects must be discarded on punt (see base class).
+    _discard_pre_effects = True
 
     def __init__(
         self,
@@ -110,7 +142,7 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         self._fifo: Dict[str, OrderedDict] = {
             name: OrderedDict() for name in self.cached_tables
         }
-        self.stats = CacheStats()
+        self.stats = CacheStats(metrics=self.telemetry.metrics)
         self.state.track_reads = True
 
     # -- deployment ---------------------------------------------------------
@@ -131,21 +163,33 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
     # -- the packet path ------------------------------------------------------
 
     def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
-        if self.faults_armed:
-            index = self.packets_processed
-            self.packets_processed += 1
-            return self._process_with_faults(packet, ingress_port, index)
+        from repro.sim.clock import PACKET_GAP_US
+
+        index = self.packets_processed
         self.packets_processed += 1
+        tracer = self.telemetry.active_tracer
+        self.telemetry.clock.advance(PACKET_GAP_US)
+        if tracer is not None:
+            tracer.begin_packet(index)
+        if self.faults_armed:
+            return self._process_with_faults(packet, ingress_port, index)
         pristine = packet.copy()  # the switch's clone, taken at ingress
+        mark = tracer.mark() if tracer is not None else 0
         first = self.switch.receive(packet, ingress_port)
         if not first.punted:
             self.stats.hits += 1
+            if tracer is not None:
+                tracer.record("cache_hit", component="cache")
             return PacketJourney(
                 verdict="drop" if first.dropped else "send",
                 emitted=first.emitted,
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
+        if tracer is not None:
+            # The pre pipeline's work is speculative on a miss: the server
+            # reruns the whole program, so its traced effects are dropped.
+            tracer.rollback_effects(mark)
         pristine.ingress_port = ingress_port
         completion = self.complete_punt(pristine)
         # The caller's packet handle reflects the full run's rewrites.
@@ -179,13 +223,23 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         with the cache FIFO restored (the caller rolls server state back),
         and a lost return frame drops the packet after the state committed.
         """
+        from repro.sim.clock import PUNT_LINK_US, SERVER_INSTR_US
+
         self.stats.misses += 1
+        tracer = self.telemetry.active_tracer
+        self.telemetry.clock.advance(PUNT_LINK_US)
+        if tracer is not None:
+            tracer.record("cache_miss", component="cache")
+            tracer.set_component("server")
         self.state.drain_journal()
         self.state.read_log.clear()
         ingress_port = punted_packet.ingress_port
         result = Interpreter(
             self.plan.middlebox.process, self.state, self.externs
         ).run(PacketView(punted_packet))
+        self.telemetry.clock.advance(
+            result.instructions_executed * SERVER_INSTR_US
+        )
         fifo_snapshot = {
             name: list(fifo) for name, fifo in self._fifo.items()
         }
@@ -216,6 +270,7 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                 stale_wait = self.injector.stale_extra_us()
                 sync_wait += stale_wait
         self._enforce_cache_bounds()
+        self.telemetry.clock.advance(PUNT_LINK_US)
         if self.faults_armed:
             lost = self.injector.return_frame_fate()
             if lost is not None:
@@ -228,6 +283,11 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                     stale_wait_us=stale_wait, lost_reason=lost,
                 )
         verdict = result.verdict or "drop"
+        if tracer is not None:
+            tracer.record(
+                "verdict", component="server", verdict=verdict,
+                port=(result.egress_port or 0) if verdict == "send" else 0,
+            )
         emitted: List[Tuple[int, RawPacket]] = []
         if verdict == "send":
             port = result.egress_port or self.switch.port_pairs.get(
@@ -280,6 +340,10 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                 updates.append(StateUpdate("insert", name, keys, value))
                 self._note_insert(name, keys)
                 self.stats.refills += 1
+                tracer = self.telemetry.active_tracer
+                if tracer is not None:
+                    tracer.record("cache_refill", component="cache",
+                                  table=name, key=keys)
         self.state.read_log.clear()
         return updates
 
@@ -307,10 +371,14 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         for name in self.cached_tables:
             fifo = self._fifo[name]
             evictions: List[StateUpdate] = []
+            tracer = self.telemetry.active_tracer
             while len(fifo) > self.cache_entries:
                 keys, _ = fifo.popitem(last=False)
                 evictions.append(StateUpdate("delete", name, keys, None))
                 self.stats.evictions += 1
+                if tracer is not None:
+                    tracer.record("cache_evict", component="cache",
+                                  table=name, key=keys)
             if evictions:
                 control = self.switch.control_plane
                 hook = control.fault_hook
@@ -351,6 +419,7 @@ def build_cached(
     cache_entries: int,
     seed: int = 0,
     clock=None,
+    telemetry=None,
 ) -> CachedGalliumMiddlebox:
     """Compile + deploy one middlebox in table-cache mode."""
     from repro.middleboxes import load
@@ -361,6 +430,7 @@ def build_cached(
     middlebox = CachedGalliumMiddlebox(
         plan, program, cache_entries=cache_entries,
         config=bundle.config, seed=seed, clock=clock,
+        telemetry=telemetry,
     )
     middlebox.install()
     return middlebox

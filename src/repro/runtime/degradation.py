@@ -42,6 +42,11 @@ POLICY_REASONS = frozenset({
     "writeback_failed", "writeback_overflow",
 })
 
+#: The canonical drop-reason taxonomy.  Deployment, degradation policy,
+#: fault oracle, and the metrics registry all share this closed set;
+#: counting a reason outside it is a programming error, not a new metric.
+DROP_REASONS = UNSALVAGEABLE_REASONS | POLICY_REASONS
+
 
 @dataclass(frozen=True)
 class DegradationPolicy:
@@ -72,7 +77,6 @@ class DegradationPolicy:
         )
 
 
-@dataclass
 class DropAccounting:
     """Explicit ledger of every packet the deployment degraded.
 
@@ -80,19 +84,44 @@ class DropAccounting:
     ``failed_closed`` split them by outcome.  The invariant the fault
     oracle enforces: every processed packet is either delivered with full
     middlebox semantics or appears here — no silent losses.
+
+    The ledger is backed by a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (pass the
+    deployment's registry so drop counters appear alongside every other
+    metric under the ``drops.`` prefix); the legacy integer attributes
+    remain as read/write properties over the registry counters.
     """
 
-    by_reason: Dict[str, int] = field(default_factory=dict)
-    failed_open: int = 0
-    failed_closed: int = 0
-    queued: int = 0
-    reordered: int = 0
-    server_restarts: int = 0
-    fallback_packets: int = 0
-    switch_resyncs: int = 0
+    _FIELDS = (
+        "failed_open", "failed_closed", "queued", "reordered",
+        "server_restarts", "fallback_packets", "switch_resyncs",
+    )
+
+    def __init__(self, metrics=None):
+        from repro.telemetry import MetricsRegistry
+
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"drops.{name}")
+            for name in self._FIELDS
+        }
 
     def count(self, reason: str) -> None:
-        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        if reason not in DROP_REASONS:
+            raise ValueError(
+                f"unknown drop reason {reason!r}; the canonical taxonomy is"
+                f" {sorted(DROP_REASONS)}"
+            )
+        self.metrics.counter(f"drops.by_reason.{reason}").inc()
+
+    @property
+    def by_reason(self) -> Dict[str, int]:
+        prefix = "drops.by_reason."
+        return {
+            counter.name[len(prefix):]: counter.value
+            for counter in self.metrics.counters_with_prefix(prefix)
+            if counter.value
+        }
 
     @property
     def degraded_total(self) -> int:
@@ -112,13 +141,25 @@ class DropAccounting:
         )
 
     def as_dict(self) -> dict:
-        return {
-            "by_reason": dict(self.by_reason),
-            "failed_open": self.failed_open,
-            "failed_closed": self.failed_closed,
-            "queued": self.queued,
-            "reordered": self.reordered,
-            "server_restarts": self.server_restarts,
-            "fallback_packets": self.fallback_packets,
-            "switch_resyncs": self.switch_resyncs,
-        }
+        data = {"by_reason": dict(self.by_reason)}
+        data.update(
+            (name, self._counters[name].value) for name in self._FIELDS
+        )
+        return data
+
+
+def _ledger_property(name: str) -> property:
+    def _get(self: DropAccounting) -> int:
+        return self._counters[name].value
+
+    def _set(self: DropAccounting, value: int) -> None:
+        self._counters[name].set(value)
+
+    return property(_get, _set)
+
+
+# The legacy dataclass fields (``accounting.failed_closed += 1`` etc.)
+# become registry-counter views so call sites keep working unchanged.
+for _name in DropAccounting._FIELDS:
+    setattr(DropAccounting, _name, _ledger_property(_name))
+del _name

@@ -43,7 +43,9 @@ from repro.partition.partitioner import partition_middlebox
 from repro.partition.plan import PartitionPlan, PlacementKind
 from repro.runtime.degradation import DegradationPolicy, DropAccounting
 from repro.runtime.server import ServerRuntime
+from repro.sim.clock import PACKET_GAP_US, PUNT_LINK_US, SERVER_INSTR_US
 from repro.switchsim.control_plane import UpdateBatchError
+from repro.telemetry import LATENCY_BOUNDS_US, Telemetry
 from repro.switchsim.program import SwitchProgram
 from repro.switchsim.switch_model import SwitchModel, SwitchOutput
 
@@ -131,6 +133,11 @@ def compile_middlebox(
 class GalliumMiddlebox:
     """A running switch+server middlebox pair."""
 
+    #: Cached deployments discard the pre pipeline's speculative work when
+    #: a packet punts (the server reruns the whole program); the tracer
+    #: must then drop those effect events too or they would double-count.
+    _discard_pre_effects = False
+
     def __init__(
         self,
         plan: PartitionPlan,
@@ -142,16 +149,23 @@ class GalliumMiddlebox:
         seed: int = 0,
         policy: Optional[DegradationPolicy] = None,
         injector=None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.plan = plan
         self.program = program
         #: deployment-level seed; threads into the control plane's
         #: jitter/backoff RNG through :class:`SwitchModel`.
         self.seed = seed
+        #: observability bundle (clock + metrics + tracer) shared by every
+        #: component of this deployment side.
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._tracer = self.telemetry.active_tracer
         self.switch = SwitchModel(
-            program, server_port=server_port, port_pairs=port_pairs, seed=seed
+            program, server_port=server_port, port_pairs=port_pairs,
+            seed=seed, telemetry=self.telemetry,
         )
         self.state = StateStore(plan.middlebox.state)
+        self.state.tracer = self._tracer
         self.externs = ExternHost(config=config, clock=clock)
         self.server = ServerRuntime(
             plan,
@@ -159,21 +173,30 @@ class GalliumMiddlebox:
             program.shim_to_server,
             program.shim_to_switch,
             self.externs,
+            telemetry=self.telemetry,
         )
         self.server_port = server_port
         self.packets_processed = 0
         # -- graceful degradation (active when an injector is attached) ----
         self.policy = policy or DegradationPolicy()
         self.injector = injector
-        self.accounting = DropAccounting()
+        self.accounting = DropAccounting(metrics=self.telemetry.metrics)
+        self._c_punts_served = self.telemetry.metrics.counter(
+            "punt.served"
+        )
+        self._h_sync_wait = self.telemetry.metrics.histogram(
+            "punt.sync_wait_us", LATENCY_BOUNDS_US
+        )
         #: ordered effect log the fault oracle replays (see module doc)
         self.fault_log: List[tuple] = []
         self._punt_queue: List[tuple] = []
         self._deferred_journeys: List[PacketJourney] = []
         self._server_was_down = False
         self._fallback_active = False
-        if policy is not None or injector is not None:
-            self.switch.control_plane.retry = self.policy.retry
+        # The deployment's retry policy always governs the control plane
+        # (retries only trigger on injected faults, so this is a no-op for
+        # fault-free runs but makes the policy uniformly configurable).
+        self.switch.control_plane.retry = self.policy.retry
         if injector is not None:
             self.switch.control_plane.fault_hook = injector.batch_fault
 
@@ -195,6 +218,8 @@ class GalliumMiddlebox:
 
     def install(self) -> None:
         """Run ``configure()`` on the server and push state to the switch."""
+        if self._tracer is not None:
+            self._tracer.set_component("server.configure")
         configure = self.plan.middlebox.configure
         if configure is not None:
             Interpreter(configure, self.state, self.externs).run()
@@ -235,6 +260,9 @@ class GalliumMiddlebox:
     def process_packet(self, packet: RawPacket, ingress_port: int = 1) -> PacketJourney:
         index = self.packets_processed
         self.packets_processed += 1
+        self.telemetry.clock.advance(PACKET_GAP_US)
+        if self._tracer is not None:
+            self._tracer.begin_packet(index)
         if self.faults_armed:
             return self._process_with_faults(packet, ingress_port, index)
         first = self.switch.receive(packet, ingress_port)
@@ -267,6 +295,7 @@ class GalliumMiddlebox:
         the fault harness can replay punt completions independently of
         ingress (queued punts complete after the server recovers).
         """
+        self.telemetry.clock.advance(PUNT_LINK_US)
         server_result = self.server.handle(punted_packet)
         sync_wait = 0.0
         sync_tables = 0
@@ -297,6 +326,9 @@ class GalliumMiddlebox:
             if self.faults_armed:
                 stale_wait = self.injector.stale_extra_us()
                 sync_wait += stale_wait
+        self._c_punts_served.inc()
+        self._h_sync_wait.observe(sync_wait)
+        self.telemetry.clock.advance(PUNT_LINK_US)
         if self.faults_armed:
             lost = self.injector.return_frame_fate()
             if lost is not None:
@@ -350,6 +382,7 @@ class GalliumMiddlebox:
                     pristine, ingress_port, index, "total_outage"
                 )
             return self._fallback_process(packet, ingress_port, index)
+        mark = self._tracer.mark() if self._tracer is not None else 0
         first = self.switch.receive(packet, ingress_port)
         self.fault_log.append(("ingress", index, ingress_port))
         if not first.punted:
@@ -360,6 +393,8 @@ class GalliumMiddlebox:
                 pre_instructions=first.pipeline_instructions,
                 packet_index=index,
             )
+        if self._discard_pre_effects and self._tracer is not None:
+            self._tracer.rollback_effects(mark)
         punted = self._punt_frame(first, pristine, ingress_port)
         fate = injector.punt_frame_fate()
         if fate is not None:
@@ -369,6 +404,9 @@ class GalliumMiddlebox:
             self.fault_log.append(("drop_punt", index))
             self.accounting.count(fate)
             self.accounting.failed_closed += 1
+            if self._tracer is not None:
+                self._tracer.record("degrade", component="deployment",
+                                    reason=fate, outcome="drop")
             return PacketJourney(
                 verdict="drop", punted=True, degraded=True,
                 degraded_reason=fate,
@@ -393,7 +431,12 @@ class GalliumMiddlebox:
         ingress_port: int,
         pre_instructions: int,
     ) -> PacketJourney:
+        if self._tracer is not None:
+            # Punts drained from the queue complete long after their
+            # arrival; re-point the tracer at the original packet.
+            self._tracer.begin_packet(index)
         snapshot = self.state.snapshot()
+        mark = self._tracer.mark() if self._tracer is not None else 0
         try:
             completion = self.complete_punt(punted)
         except UpdateBatchError as exc:
@@ -401,6 +444,9 @@ class GalliumMiddlebox:
             # roll the server back so switch and server stay in lockstep,
             # then degrade the packet — output commit forbids releasing it.
             self.state.restore(snapshot)
+            if self._tracer is not None:
+                # Rolled-back server effects never happened observably.
+                self._tracer.rollback_effects(mark)
             self.fault_log.append(("drop_punt", index))
             reason = (
                 "writeback_overflow" if exc.kind == "overflow"
@@ -417,6 +463,10 @@ class GalliumMiddlebox:
         if completion.lost_reason is not None:
             self.accounting.count(completion.lost_reason)
             self.accounting.failed_closed += 1
+            if self._tracer is not None:
+                self._tracer.record("degrade", component="deployment",
+                                    reason=completion.lost_reason,
+                                    outcome="drop")
             return PacketJourney(
                 verdict="drop", punted=True, degraded=True,
                 degraded_reason=completion.lost_reason,
@@ -462,6 +512,9 @@ class GalliumMiddlebox:
             (index, punted, pristine, ingress_port, pre_instructions)
         )
         self.accounting.queued += 1
+        if self._tracer is not None:
+            self._tracer.record("punt_queued", component="deployment",
+                                depth=len(self._punt_queue))
         return PacketJourney(
             verdict="queued", punted=True, queued=True,
             pre_instructions=pre_instructions, packet_index=index,
@@ -480,6 +533,12 @@ class GalliumMiddlebox:
     ) -> PacketJourney:
         """Apply the fail-open/fail-closed policy to an unservable packet."""
         self.accounting.count(reason)
+        if self._tracer is not None:
+            self._tracer.record(
+                "degrade", component="deployment", reason=reason,
+                outcome="fail_open" if self.policy.fail_open
+                else "fail_closed",
+            )
         if self.policy.fail_open:
             self.accounting.failed_open += 1
             port = self.switch.port_pairs.get(ingress_port, ingress_port)
@@ -512,12 +571,21 @@ class GalliumMiddlebox:
             self._pull_switch_registers()
         self.fault_log.append(("fallback", index, ingress_port))
         self.accounting.fallback_packets += 1
+        if self._tracer is not None:
+            self._tracer.set_component("server.fallback")
+            self._tracer.record("fallback", ingress_port=ingress_port)
         self.state.drain_journal()
         packet.ingress_port = ingress_port
         result = Interpreter(
             self.plan.middlebox.process, self.state, self.externs
         ).run(PacketView(packet))
         self.state.drain_journal()  # bulk resync covers replication
+        self.telemetry.clock.advance(
+            result.instructions_executed * SERVER_INSTR_US
+        )
+        if self._tracer is not None and result.verdict is not None:
+            self._tracer.record("verdict", verdict=result.verdict,
+                                port=result.egress_port or 0)
         verdict = result.verdict or "drop"
         emitted: List[Tuple[int, RawPacket]] = []
         if verdict == "send":
@@ -556,10 +624,16 @@ class GalliumMiddlebox:
         """
         fresh = StateStore(self.plan.middlebox.state)
         fresh.track_reads = self.state.track_reads
+        if self._tracer is not None:
+            self._tracer.record("crash_resync", component="deployment")
         configure = self.plan.middlebox.configure
         if configure is not None:
             Interpreter(configure, fresh, self.externs).run()
         fresh.drain_journal()
+        # Attach the tracer only after the configure rerun: recovery
+        # bookkeeping is not packet provenance (and the reference side of
+        # a fault diff replays the crash without rerunning configure).
+        fresh.tracer = self.state.tracer
         for name, placement in self.plan.placements.items():
             member = placement.member
             if placement.kind is PlacementKind.REPLICATED_TABLE:
@@ -592,6 +666,8 @@ class GalliumMiddlebox:
             self.fault_log.append(("resync",))
             self.accounting.switch_resyncs += 1
             self._fallback_active = False
+            if self._tracer is not None:
+                self._tracer.record("switch_resync", component="deployment")
         server_down = injector.server_down(index)
         if server_down and not self._server_was_down:
             self._server_was_down = True

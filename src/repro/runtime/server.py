@@ -50,12 +50,16 @@ class ServerRuntime:
         shim_to_server: ShimLayout,
         shim_to_switch: ShimLayout,
         externs: Optional[ExternHost] = None,
+        telemetry=None,
     ):
+        from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
+
         self.plan = plan
         self.state = state
         self.shim_to_server = shim_to_server
         self.shim_to_switch = shim_to_switch
         self.externs = externs or ExternHost()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._replicated = {
             name
             for name, placement in plan.placements.items()
@@ -63,9 +67,15 @@ class ServerRuntime:
         }
         self.packets_handled = 0
         self.instructions_total = 0
+        self._c_punts = self.telemetry.metrics.counter("server.punts_handled")
+        self._h_instructions = self.telemetry.metrics.histogram(
+            "server.instructions_per_punt", INSTRUCTION_BOUNDS
+        )
 
     def handle(self, packet: RawPacket) -> ServerResult:
         """Run the non-offloaded partition for one punted packet."""
+        from repro.sim.clock import SERVER_INSTR_US
+
         shim_bytes = packet.metadata.pop(SHIM_KEY, b"")
         packet.metadata.pop(SHIM_DIR_KEY, None)
         values = self.shim_to_server.decode(shim_bytes)
@@ -76,6 +86,9 @@ class ServerRuntime:
         packet.ingress_port = ingress
         env = {k: v for k, v in values.items() if not k.startswith("__")}
         self.state.drain_journal()  # discard any stale entries
+        tracer = self.telemetry.active_tracer
+        if tracer is not None:
+            tracer.set_component("server")
         view = PacketView(packet)
         interpreter = Interpreter(
             self.plan.non_offloaded, self.state, self.externs
@@ -83,8 +96,27 @@ class ServerRuntime:
         result = interpreter.run(view, initial_env=env)
         self.packets_handled += 1
         self.instructions_total += result.instructions_executed
+        self._c_punts.inc()
+        self._h_instructions.observe(result.instructions_executed)
+        self.telemetry.clock.advance(
+            result.instructions_executed * SERVER_INSTR_US
+        )
 
         updates = self._updates_from_journal(self.state.drain_journal())
+        if tracer is not None:
+            tracer.record(
+                "server_exec",
+                instructions=result.instructions_executed,
+                updates=len(updates),
+            )
+            if result.verdict is not None:
+                # The server decided this packet's fate; the switch will
+                # only *apply* the verdict flag on the return leg.
+                tracer.record(
+                    "verdict", verdict=result.verdict,
+                    port=(result.egress_port or 0)
+                    if result.verdict == "send" else 0,
+                )
         out_values: Dict[str, int] = {
             "__verdict": _verdict_flag(result.verdict),
             "__egress_port": result.egress_port or 0,

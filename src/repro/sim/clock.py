@@ -1,0 +1,46 @@
+"""Simulated time source shared by the telemetry layer.
+
+Every trace event is stamped with a simulated timestamp so traces are
+reproducible byte-for-byte: the clock only advances by the deterministic
+nominal costs below (plus the control plane's seeded batch latencies),
+never by wall-clock reads.  The constants are nominal per-operation costs
+in the same spirit as :mod:`repro.sim.latency` — a Tofino-class pipeline
+stage is ~ns-scale while a server instruction is ~two DRAM-bound cycles —
+scaled so a trace of a few dozen packets reads naturally in microseconds.
+"""
+
+from __future__ import annotations
+
+#: Inter-packet gap charged at the start of every ``process_packet``.
+PACKET_GAP_US = 1.0
+#: Fixed parser cost per packet entering the switch pipeline.
+PARSE_US = 0.05
+#: Per-IR-instruction cost inside a switch pipeline traversal.
+SWITCH_INSTR_US = 0.002
+#: Per-IR-instruction cost on the server (baseline and punt path).
+SERVER_INSTR_US = 0.004
+#: One-way switch<->server link traversal for a punted frame.
+PUNT_LINK_US = 2.0
+
+
+class SimClock:
+    """A monotonically advancing simulated microsecond counter."""
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    def advance(self, delta_us: float) -> float:
+        """Advance by ``delta_us`` (negative deltas are clamped to 0)."""
+        if delta_us > 0.0:
+            self._now_us += delta_us
+        return self._now_us
+
+    def reset(self, start_us: float = 0.0) -> None:
+        self._now_us = float(start_us)
+
+    def __repr__(self) -> str:
+        return f"<SimClock t={self._now_us:.3f}us>"

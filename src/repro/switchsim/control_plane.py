@@ -57,13 +57,21 @@ class StateUpdate:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Capped exponential backoff for failed update batches."""
+    """Capped exponential backoff for failed update batches.
+
+    Every backoff constant — and the timed-out-RPC cost multiple that
+    used to be the module-level :data:`TIMEOUT_MULTIPLE` — is
+    constructor-configurable per deployment; the module constant remains
+    only as the documented default.
+    """
 
     max_attempts: int = 4
     base_backoff_us: float = 200.0
     backoff_multiplier: float = 2.0
     max_backoff_us: float = 5_000.0
     jitter_fraction: float = 0.1
+    #: A timed-out batch RPC costs this multiple of its nominal latency.
+    timeout_multiple: float = TIMEOUT_MULTIPLE
 
     def backoff_us(self, attempt: int, rng: random.Random) -> float:
         """Wait before retry number ``attempt`` (1-based), with jitter."""
@@ -81,6 +89,7 @@ class RetryPolicy:
             "backoff_multiplier": self.backoff_multiplier,
             "max_backoff_us": self.max_backoff_us,
             "jitter_fraction": self.jitter_fraction,
+            "timeout_multiple": self.timeout_multiple,
         }
 
     @classmethod
@@ -91,6 +100,9 @@ class RetryPolicy:
             backoff_multiplier=float(data.get("backoff_multiplier", 2.0)),
             max_backoff_us=float(data.get("max_backoff_us", 5_000.0)),
             jitter_fraction=float(data.get("jitter_fraction", 0.1)),
+            timeout_multiple=float(
+                data.get("timeout_multiple", TIMEOUT_MULTIPLE)
+            ),
         )
 
 
@@ -146,7 +158,10 @@ class ControlPlane:
         registers: Dict[str, Register],
         seed: Optional[int] = 0,
         retry: Optional[RetryPolicy] = None,
+        telemetry=None,
     ):
+        from repro.telemetry import LATENCY_BOUNDS_US, Telemetry
+
         self.tables = tables
         self.registers = registers
         self._rng = random.Random(seed)
@@ -155,11 +170,39 @@ class ControlPlane:
         #: fault-harness hook: called with the 1-based attempt number,
         #: returns None (healthy) or "fail" / "timeout" / "overflow"
         self.fault_hook: Optional[Callable[[int], Optional[str]]] = None
-        self.batches_applied = 0
-        self.updates_applied = 0
-        self.batch_attempts = 0
-        self.batches_retried = 0
-        self.batches_failed = 0
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        metrics = self.telemetry.metrics
+        self._c_applied = metrics.counter("control_plane.batches_applied")
+        self._c_updates = metrics.counter("control_plane.updates_applied")
+        self._c_attempts = metrics.counter("control_plane.batch_attempts")
+        self._c_retried = metrics.counter("control_plane.batches_retried")
+        #: failed batches == server-side rollbacks (the caller restores its
+        #: snapshot whenever a batch dies), so one counter serves both.
+        self._c_failed = metrics.counter("control_plane.batches_failed")
+        self._h_visibility = metrics.histogram(
+            "control_plane.batch_visibility_us", LATENCY_BOUNDS_US
+        )
+
+    # Legacy counter attributes, now views over the metrics registry.
+    @property
+    def batches_applied(self) -> int:
+        return self._c_applied.value
+
+    @property
+    def updates_applied(self) -> int:
+        return self._c_updates.value
+
+    @property
+    def batch_attempts(self) -> int:
+        return self._c_attempts.value
+
+    @property
+    def batches_retried(self) -> int:
+        return self._c_retried.value
+
+    @property
+    def batches_failed(self) -> int:
+        return self._c_failed.value
 
     def reseed(self, seed: int) -> None:
         """Reset the jitter/backoff RNG (public reproducibility knob)."""
@@ -196,6 +239,13 @@ class ControlPlane:
         max_attempts = self.retry.max_attempts if self.retry else 1
         retry_wait = 0.0
         attempts = 0
+        tracer = self.telemetry.active_tracer
+        if tracer is not None:
+            tracer.record(
+                "batch_begin", component="control_plane",
+                updates=len(updates),
+                tables=sorted({u.target for u in updates}),
+            )
         last_fault: Optional[ControlPlaneFault] = None
         #: True once any attempt mutated the switch (a timed-out attempt
         #: applies the batch and only loses the confirmation) — exhaustion
@@ -205,7 +255,7 @@ class ControlPlane:
         any_applied = False
         while attempts < max_attempts:
             attempts += 1
-            self.batch_attempts += 1
+            self._c_attempts.inc()
             fault = self.fault_hook(attempts) if self.fault_hook else None
             try:
                 result = self._apply_once(updates, fault)
@@ -214,12 +264,19 @@ class ControlPlane:
                 if exc.kind == "timeout":
                     any_applied = True
                 retry_wait += self._attempt_cost_us(updates, exc.kind)
+                if tracer is not None:
+                    tracer.record("batch_attempt", component="control_plane",
+                                  attempt=attempts, fault=exc.kind)
                 if attempts < max_attempts:
-                    self.batches_retried += 1
+                    self._c_retried.inc()
                     retry_wait += self.retry.backoff_us(attempts, self._rng)
                 continue
             except TableEntryLimit as exc:
-                self.batches_failed += 1
+                self._c_failed.inc()
+                if tracer is not None:
+                    tracer.record("batch_abort", component="control_plane",
+                                  fault="overflow", attempts=attempts,
+                                  applied=False)
                 raise UpdateBatchError(
                     str(exc), kind="overflow", attempts=attempts,
                     retry_wait_us=retry_wait,
@@ -228,11 +285,24 @@ class ControlPlane:
             result.retry_wait_us = retry_wait
             result.visibility_latency_us += retry_wait
             result.total_latency_us += retry_wait
-            self.batches_applied += 1
-            self.updates_applied += len(updates)
+            self._c_applied.inc()
+            self._c_updates.inc(len(updates))
+            self._h_visibility.observe(result.visibility_latency_us)
+            self.telemetry.clock.advance(result.visibility_latency_us)
+            if tracer is not None:
+                tracer.record(
+                    "batch_commit", component="control_plane",
+                    attempts=attempts, updates=len(updates),
+                    visibility_us=round(result.visibility_latency_us, 3),
+                )
             return result
         assert last_fault is not None
-        self.batches_failed += 1
+        self._c_failed.inc()
+        self.telemetry.clock.advance(retry_wait)
+        if tracer is not None:
+            tracer.record("batch_abort", component="control_plane",
+                          fault=last_fault.kind, attempts=attempts,
+                          applied=any_applied)
         raise UpdateBatchError(
             f"update batch failed after {attempts} attempts"
             f" (last fault: {last_fault.kind})",
@@ -315,7 +385,11 @@ class ControlPlane:
         n_tables += 1 if len(table_updates) < len(updates) else 0
         op_kind = _dominant_op(table_updates) if table_updates else "modify"
         nominal = _batch_latency_us(n_tables, op_kind, self._rng)
-        return nominal * (TIMEOUT_MULTIPLE if kind == "timeout" else 1.0)
+        timeout_multiple = (
+            self.retry.timeout_multiple if self.retry is not None
+            else TIMEOUT_MULTIPLE
+        )
+        return nominal * (timeout_multiple if kind == "timeout" else 1.0)
 
 
 def _dominant_op(updates: List[StateUpdate]) -> str:

@@ -37,6 +37,9 @@ class SwitchStateAdapter:
         self.tables = tables
         self.registers = registers
         self._access_counts: Dict[str, int] = {}
+        #: Optional :class:`repro.telemetry.PacketTracer` (``None`` when
+        #: tracing is off; the interpreter picks it up via ``state.tracer``).
+        self.tracer = None
 
     def begin_traversal(self) -> None:
         self._access_counts = {}
@@ -55,7 +58,11 @@ class SwitchStateAdapter:
         table = self.tables.get(name)
         if table is None:
             raise DataPlaneViolation(f"lookup on unknown table {name!r}")
-        return table.lookup(keys)
+        found, value = table.lookup(keys)
+        if self.tracer is not None:
+            self.tracer.record("table_lookup", name=name, key=keys,
+                               hit=found, value=value)
+        return found, value
 
     def vector_get(self, name: str, index: int) -> int:
         self._count(name)
@@ -63,21 +70,33 @@ class SwitchStateAdapter:
         if table is None:
             raise DataPlaneViolation(f"lookup on unknown table {name!r}")
         found, value = table.lookup((index,))
-        return value if found else 0
+        value = value if found else 0
+        if self.tracer is not None:
+            self.tracer.record("vector_get", name=name, index=index,
+                               value=value)
+        return value
 
     def load_scalar(self, name: str) -> int:
         self._count(name)
         register = self.registers.get(name)
         if register is None:
             raise DataPlaneViolation(f"read of unknown register {name!r}")
-        return register.read()
+        value = register.read()
+        if self.tracer is not None:
+            self.tracer.record("register_read", name=name, value=value)
+        return value
 
     def rmw_scalar(self, name: str, op, operand: int, width: int) -> int:
         self._count(name)
         register = self.registers.get(name)
         if register is None:
             raise DataPlaneViolation(f"RMW of unknown register {name!r}")
-        return register.rmw(op, operand)
+        old = register.rmw(op, operand)
+        if self.tracer is not None:
+            self.tracer.record("register_rmw", name=name,
+                               op=getattr(op, "name", str(op)).lower(),
+                               old=old, new=register.value)
+        return old
 
     # -- operations the data plane cannot do -----------------------------------
 

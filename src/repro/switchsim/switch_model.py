@@ -25,6 +25,7 @@ from repro.codegen.headers import (
 from repro.ir.interp import PacketView
 from repro.net.headers import ETHERTYPE_GALLIUM, ETHERTYPE_IPV4
 from repro.net.packet import RawPacket
+from repro.sim.clock import PARSE_US, SWITCH_INSTR_US
 from repro.switchsim.control_plane import ControlPlane
 from repro.switchsim.pipeline import (
     PipelineExecutor,
@@ -62,11 +63,15 @@ class SwitchModel:
         server_port: int = 3,
         port_pairs: Optional[Dict[int, int]] = None,
         seed: int = 0,
+        telemetry=None,
     ):
+        from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
+
         self.program = program
         self.server_port = server_port
         #: middlebox wiring: ingress side -> default egress side
         self.port_pairs = port_pairs or {1: 2, 2: 1}
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.tables: Dict[str, ExactMatchTable] = {
             name: ExactMatchTable(name, spec.key_widths, spec.value_width,
                                   spec.size)
@@ -76,19 +81,43 @@ class SwitchModel:
             name: Register(name, spec.width_bits)
             for name, spec in program.registers.items()
         }
-        self.control_plane = ControlPlane(self.tables, self.registers, seed=seed)
-        adapter = SwitchStateAdapter(self.tables, self.registers)
+        self.control_plane = ControlPlane(
+            self.tables, self.registers, seed=seed, telemetry=self.telemetry
+        )
+        self.adapter = SwitchStateAdapter(self.tables, self.registers)
+        self.adapter.tracer = self.telemetry.active_tracer
         self._pre = PipelineExecutor(
-            program.pre, adapter, program.needs_server_reg
+            program.pre, self.adapter, program.needs_server_reg
         )
         self._post = PipelineExecutor(
-            program.post, adapter, program.needs_server_reg
+            program.post, self.adapter, program.needs_server_reg
         )
-        # Counters.
-        self.fast_path_packets = 0
-        self.punted_packets = 0
-        self.post_packets = 0
-        self.dropped_packets = 0
+        # Counters (views over the deployment's metrics registry).
+        metrics = self.telemetry.metrics
+        self._c_fast = metrics.counter("switch.fast_path_packets")
+        self._c_punted = metrics.counter("switch.punted_packets")
+        self._c_post = metrics.counter("switch.post_packets")
+        self._c_dropped = metrics.counter("switch.dropped_packets")
+        self._h_pre = metrics.histogram("switch.pre_instructions",
+                                        INSTRUCTION_BOUNDS)
+        self._h_post = metrics.histogram("switch.post_instructions",
+                                         INSTRUCTION_BOUNDS)
+
+    @property
+    def fast_path_packets(self) -> int:
+        return self._c_fast.value
+
+    @property
+    def punted_packets(self) -> int:
+        return self._c_punted.value
+
+    @property
+    def post_packets(self) -> int:
+        return self._c_post.value
+
+    @property
+    def dropped_packets(self) -> int:
+        return self._c_dropped.value
 
     # -- packet handling -------------------------------------------------------
 
@@ -101,25 +130,45 @@ class SwitchModel:
     def _receive_from_network(
         self, packet: RawPacket, ingress_port: int
     ) -> SwitchOutput:
+        tracer = self.adapter.tracer
+        clock = self.telemetry.clock
         view = PacketView(packet)
+        if tracer is not None:
+            tracer.set_component("switch.parser")
+            tracer.record(
+                "parse", ingress_port=ingress_port,
+                eth_type=packet.eth.ethertype,
+                saddr=str(packet.ip.saddr) if packet.ip else None,
+                daddr=str(packet.ip.daddr) if packet.ip else None,
+                proto=packet.ip.protocol if packet.ip else None,
+            )
+            tracer.set_component("switch.pre")
+        clock.advance(PARSE_US)
         result = self._pre.run(view)
+        clock.advance(result.instructions * SWITCH_INSTR_US)
+        self._h_pre.observe(result.instructions)
         if result.verdict == "send":
-            self.fast_path_packets += 1
+            self._c_fast.inc()
             port = self._resolve_egress(result.egress_port, ingress_port)
+            if tracer is not None:
+                tracer.record("verdict", verdict="send",
+                              port=result.egress_port or 0)
             return SwitchOutput(
                 emitted=[(port, packet)],
                 fast_path=True,
                 pipeline_instructions=result.instructions,
             )
         if result.verdict == "drop":
-            self.fast_path_packets += 1
-            self.dropped_packets += 1
+            self._c_fast.inc()
+            self._c_dropped.inc()
+            if tracer is not None:
+                tracer.record("verdict", verdict="drop", port=0)
             return SwitchOutput(
                 fast_path=True, dropped=True,
                 pipeline_instructions=result.instructions,
             )
         # Fell off the end: punt to the server with the to-server shim.
-        self.punted_packets += 1
+        self._c_punted.inc()
         values = {"__ingress_port": ingress_port}
         for shim_field in self.program.shim_to_server.fields:
             if shim_field.name.startswith("__"):
@@ -127,6 +176,9 @@ class SwitchModel:
             values[shim_field.name] = result.env.get(shim_field.name, 0)
         packet.metadata[SHIM_KEY] = self.program.shim_to_server.encode(values)
         packet.metadata[SHIM_DIR_KEY] = "to_server"
+        if tracer is not None:
+            tracer.record("punt", reason="needs_server",
+                          shim_bytes=len(packet.metadata[SHIM_KEY]))
         return SwitchOutput(
             emitted=[(self.server_port, packet)],
             punted=True,
@@ -134,19 +186,28 @@ class SwitchModel:
         )
 
     def _receive_from_server(self, packet: RawPacket) -> SwitchOutput:
+        tracer = self.adapter.tracer
         shim_bytes = packet.metadata.pop(SHIM_KEY, b"")
         packet.metadata.pop(SHIM_DIR_KEY, None)
         values = self.program.shim_to_switch.decode(shim_bytes)
-        self.post_packets += 1
+        self._c_post.inc()
         verdict_flag = values.get("__verdict", FLAG_VERDICT_NONE)
         original_ingress = values.get("__ingress_port", 1)
+        if tracer is not None:
+            tracer.set_component("switch.post")
         if verdict_flag == FLAG_VERDICT_DROP:
-            self.dropped_packets += 1
+            self._c_dropped.inc()
+            # The verdict was decided (and traced) server-side; the switch
+            # only applies it, so this is not a second semantic verdict.
+            if tracer is not None:
+                tracer.record("apply_verdict", verdict="drop")
             return SwitchOutput(dropped=True)
         if verdict_flag == FLAG_VERDICT_SEND:
             port = self._resolve_egress(
                 values.get("__egress_port") or None, original_ingress
             )
+            if tracer is not None:
+                tracer.record("apply_verdict", verdict="send", port=port)
             return SwitchOutput(emitted=[(port, packet)])
         # No verdict yet: run the post-processing pipeline with the
         # packet's original ingress annotation restored.
@@ -158,19 +219,28 @@ class SwitchModel:
             if not name.startswith("__")
         }
         result = self._post.run(view, initial_env=env)
+        self.telemetry.clock.advance(result.instructions * SWITCH_INSTR_US)
+        self._h_post.observe(result.instructions)
         if result.verdict == "drop":
-            self.dropped_packets += 1
+            self._c_dropped.inc()
+            if tracer is not None:
+                tracer.record("verdict", verdict="drop", port=0)
             return SwitchOutput(
                 dropped=True, pipeline_instructions=result.instructions
             )
         if result.verdict == "send":
             port = self._resolve_egress(result.egress_port, original_ingress)
+            if tracer is not None:
+                tracer.record("verdict", verdict="send",
+                              port=result.egress_port or 0)
             return SwitchOutput(
                 emitted=[(port, packet)],
                 pipeline_instructions=result.instructions,
             )
         # Defensive: a packet with no verdict anywhere is dropped.
-        self.dropped_packets += 1
+        self._c_dropped.inc()
+        if tracer is not None:
+            tracer.record("defensive_drop")
         return SwitchOutput(
             dropped=True, pipeline_instructions=result.instructions
         )

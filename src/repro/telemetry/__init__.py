@@ -1,0 +1,73 @@
+"""Pipeline telemetry: per-packet tracing, metrics, and trace diffing.
+
+One :class:`Telemetry` object is threaded through a deployment (switch
+model, control plane, server runtime, cache, degradation accounting) and
+bundles the three observability pieces:
+
+* a shared simulated clock (:class:`repro.sim.clock.SimClock`) so every
+  event carries a reproducible timestamp,
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` that absorbs the
+  components' counters/gauges/histograms, and
+* a :class:`~repro.telemetry.tracer.PacketTracer` recording per-packet
+  pipeline provenance (disabled by default; zero overhead when off —
+  components hold ``None`` instead of a disabled tracer).
+
+:func:`~repro.telemetry.diff.diff_traces` compares two deployments'
+traces and pinpoints the first divergent effect; the difftest and fault
+oracles use it to attach provenance to every failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import SimClock
+from repro.telemetry.diff import TraceDiff, diff_traces
+from repro.telemetry.metrics import (
+    INSTRUCTION_BOUNDS,
+    LATENCY_BOUNDS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import (
+    EFFECT_KINDS,
+    READ_KINDS,
+    PacketTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "EFFECT_KINDS",
+    "Gauge",
+    "Histogram",
+    "INSTRUCTION_BOUNDS",
+    "LATENCY_BOUNDS_US",
+    "MetricsRegistry",
+    "PacketTracer",
+    "READ_KINDS",
+    "SimClock",
+    "Telemetry",
+    "TraceDiff",
+    "TraceEvent",
+    "diff_traces",
+]
+
+
+class Telemetry:
+    """Clock + metrics + tracer bundle for one deployment side."""
+
+    def __init__(self, tracing: bool = False, deep: bool = False,
+                 clock: Optional[SimClock] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = PacketTracer(self.clock, enabled=tracing, deep=deep)
+
+    @property
+    def active_tracer(self) -> Optional[PacketTracer]:
+        """The tracer when tracing is on, else ``None`` (components store
+        this, keeping the disabled fast path to one ``is not None``)."""
+        return self.tracer if self.tracer.enabled else None

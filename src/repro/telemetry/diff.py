@@ -1,0 +1,257 @@
+"""Side-by-side trace diffing for divergence provenance.
+
+Given the traces of two deployments driven by the same packets, find the
+first *effect* on which they disagree.  Effects (state writes, packet
+field writes, verdicts — :data:`~repro.telemetry.tracer.EFFECT_KINDS`)
+are compared per semantic stream rather than by raw interleaving:
+
+* state-member writes are compared in per-member order (the dependency
+  analysis preserves per-member write order across the partition, but
+  writes to *independent* members may interleave differently);
+* packet-field writes and verdicts are compared per packet;
+* reads are never compared — a cache miss legitimately re-reads state on
+  the server that the switch already consulted — but they are shown as
+  context around the divergence.
+
+The result pinpoints the first event where the deployments' observable
+behaviour forked, which is exactly the statement the compiler (or fault
+recovery) got wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.tracer import EFFECT_KINDS, TraceEvent
+
+#: Context events shown before the divergent event on each side.
+_CONTEXT_BEFORE = 6
+#: Context events shown after it.
+_CONTEXT_AFTER = 2
+
+
+@dataclass
+class TraceDiff:
+    """First divergent effect between two traces, with context."""
+
+    lhs_label: str
+    rhs_label: str
+    divergent: bool
+    #: Human description of the semantic stream that diverged.
+    stream: Optional[str] = None
+    #: Index of the divergent effect within that stream.
+    position: Optional[int] = None
+    lhs_event: Optional[dict] = None
+    rhs_event: Optional[dict] = None
+    lhs_context: List[dict] = field(default_factory=list)
+    rhs_context: List[dict] = field(default_factory=list)
+    lhs_events_total: int = 0
+    rhs_events_total: int = 0
+
+    def render(self) -> str:
+        width = max(len(self.lhs_label), len(self.rhs_label))
+        if not self.divergent:
+            return (
+                f"trace diff ({self.lhs_label} vs {self.rhs_label}):"
+                " all effect events agree"
+                f" ({self.lhs_events_total}/{self.rhs_events_total} events)"
+            )
+        lines = [
+            f"trace diff ({self.lhs_label} vs {self.rhs_label}):"
+            " first divergent effect",
+            f"  stream   : {self.stream} (effect #{self.position})",
+            f"  {self.lhs_label:<{width}s} : "
+            + (_format_event_dict(self.lhs_event)
+               if self.lhs_event is not None else "<no such event>"),
+            f"  {self.rhs_label:<{width}s} : "
+            + (_format_event_dict(self.rhs_event)
+               if self.rhs_event is not None else "<no such event>"),
+        ]
+        for label, context in ((self.lhs_label, self.lhs_context),
+                               (self.rhs_label, self.rhs_context)):
+            if context:
+                lines.append(f"  --- {label} context ---")
+                lines.extend("  " + _format_event_dict(event)
+                             for event in context)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "lhs_label": self.lhs_label,
+            "rhs_label": self.rhs_label,
+            "divergent": self.divergent,
+            "stream": self.stream,
+            "position": self.position,
+            "lhs_event": self.lhs_event,
+            "rhs_event": self.rhs_event,
+            "lhs_context": self.lhs_context,
+            "rhs_context": self.rhs_context,
+            "lhs_events_total": self.lhs_events_total,
+            "rhs_events_total": self.rhs_events_total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceDiff":
+        return cls(
+            lhs_label=data.get("lhs_label", "lhs"),
+            rhs_label=data.get("rhs_label", "rhs"),
+            divergent=bool(data.get("divergent", False)),
+            stream=data.get("stream"),
+            position=data.get("position"),
+            lhs_event=data.get("lhs_event"),
+            rhs_event=data.get("rhs_event"),
+            lhs_context=list(data.get("lhs_context", [])),
+            rhs_context=list(data.get("rhs_context", [])),
+            lhs_events_total=int(data.get("lhs_events_total", 0)),
+            rhs_events_total=int(data.get("rhs_events_total", 0)),
+        )
+
+
+Event = Union[TraceEvent, dict]
+
+
+def diff_traces(
+    lhs: Sequence[Event],
+    rhs: Sequence[Event],
+    lhs_label: str = "baseline",
+    rhs_label: str = "deployment",
+) -> TraceDiff:
+    """Compare two traces; return the first divergent effect (if any).
+
+    Each side may be a :class:`~repro.telemetry.tracer.PacketTracer`, a
+    sequence of :class:`TraceEvent`, or a sequence of event dicts.
+    """
+    lhs = getattr(lhs, "events", lhs)
+    rhs = getattr(rhs, "events", rhs)
+    lhs_dicts = [_as_dict(event) for event in lhs]
+    rhs_dicts = [_as_dict(event) for event in rhs]
+    lhs_streams = _group_effects(lhs_dicts)
+    rhs_streams = _group_effects(rhs_dicts)
+
+    best: Optional[Tuple[float, tuple, int]] = None
+    for key in set(lhs_streams) | set(rhs_streams):
+        left = lhs_streams.get(key, [])
+        right = rhs_streams.get(key, [])
+        length = max(len(left), len(right))
+        for index in range(length):
+            l_event = left[index] if index < len(left) else None
+            r_event = right[index] if index < len(right) else None
+            if _normalize(l_event) == _normalize(r_event):
+                continue
+            # Order candidate divergences by where they appear in the
+            # deployment's (rhs) trace, falling back to the baseline's.
+            if r_event is not None:
+                order = float(r_event["seq"])
+            elif l_event is not None:
+                order = float(l_event["seq"]) + 0.5
+            else:  # pragma: no cover - both None never mismatches
+                order = float("inf")
+            if best is None or order < best[0]:
+                best = (order, key, index)
+            break  # only the first mismatch per stream matters
+
+    diff = TraceDiff(
+        lhs_label=lhs_label,
+        rhs_label=rhs_label,
+        divergent=best is not None,
+        lhs_events_total=len(lhs_dicts),
+        rhs_events_total=len(rhs_dicts),
+    )
+    if best is None:
+        return diff
+    _, key, index = best
+    left = lhs_streams.get(key, [])
+    right = rhs_streams.get(key, [])
+    diff.stream = _describe_key(key)
+    diff.position = index
+    diff.lhs_event = left[index] if index < len(left) else None
+    diff.rhs_event = right[index] if index < len(right) else None
+    diff.lhs_context = _context(lhs_dicts, diff.lhs_event,
+                                left[index - 1] if index else None)
+    diff.rhs_context = _context(rhs_dicts, diff.rhs_event,
+                                right[index - 1] if index else None)
+    return diff
+
+
+def _as_dict(event: Event) -> dict:
+    return event.to_dict() if isinstance(event, TraceEvent) else event
+
+
+def _group_effects(events: List[dict]) -> Dict[tuple, List[dict]]:
+    streams: Dict[tuple, List[dict]] = {}
+    for event in events:
+        key = _stream_key(event)
+        if key is not None:
+            streams.setdefault(key, []).append(event)
+    return streams
+
+
+def _stream_key(event: dict) -> Optional[tuple]:
+    kind = event["kind"]
+    if kind not in EFFECT_KINDS:
+        return None
+    detail = event.get("detail", {})
+    if kind == "verdict":
+        return ("verdict", event.get("packet"))
+    if kind == "packet_write":
+        return ("packet", event.get("packet"),
+                detail.get("region"), detail.get("field"))
+    return ("state", detail.get("name"))
+
+
+def _describe_key(key: tuple) -> str:
+    if key[0] == "verdict":
+        return f"verdict for packet {key[1]}"
+    if key[0] == "packet":
+        return f"packet {key[1]} field {key[2]}.{key[3]}"
+    return f"state member '{key[1]}'"
+
+
+def _normalize(event: Optional[dict]) -> Optional[tuple]:
+    if event is None:
+        return None
+    detail = event.get("detail", {})
+    return (event["kind"], tuple(sorted(
+        (str(k), _freeze(v)) for k, v in detail.items()
+    )))
+
+
+def _freeze(value: Any):
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _context(events: List[dict], anchor: Optional[dict],
+             previous: Optional[dict]) -> List[dict]:
+    """Events (all kinds) surrounding the divergent effect on one side."""
+    if anchor is not None:
+        center = anchor["seq"]
+    elif previous is not None:
+        center = previous["seq"] + 1
+    else:
+        center = len(events)
+    lo = max(0, center - _CONTEXT_BEFORE)
+    hi = min(len(events), center + _CONTEXT_AFTER + 1)
+    return events[lo:hi]
+
+
+def _format_event_dict(event: dict) -> str:
+    packet = event.get("packet")
+    packet_label = "-" if packet is None else str(packet)
+    detail = " ".join(
+        f"{key}={_format_value(value)}"
+        for key, value in sorted(event.get("detail", {}).items())
+    )
+    return (f"[{event.get('time_us', 0.0):10.3f}us] p{packet_label:>3s}"
+            f" {event.get('component', '?'):<16s}"
+            f" {event['kind']:<14s} {detail}").rstrip()
+
+
+def _format_value(value) -> str:
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_format_value(item) for item in value) + ")"
+    return str(value)

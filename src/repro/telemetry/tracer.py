@@ -1,0 +1,170 @@
+"""Per-packet pipeline tracer.
+
+A :class:`PacketTracer` records the provenance of every packet as it
+flows through the system — parser extraction, table applies with matched
+key and chosen action, register reads/writes with old/new values, the
+punt decision, degradation drops, server-side execution, cache activity,
+and control-plane batch windows — each event stamped with the simulated
+time (:mod:`repro.sim.clock`) and the component that produced it.
+
+The tracer is zero-overhead when disabled: components hold ``None``
+instead of a disabled tracer (wired statically at construction), so the
+fast path pays exactly one ``is not None`` test per potential event.
+Tracing never consumes randomness and timestamps come only from the
+deterministic simulated clock, so a re-run under the same seeds produces
+a byte-identical trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.clock import SimClock
+
+#: Event kinds that describe a *state or packet effect* — the kinds the
+#: trace differ compares across deployments.  Reads are recorded too, but
+#: only effects are comparable: a cache miss legitimately re-reads state
+#: the switch already consulted, and partitioning may reorder reads of
+#: independent members, while the per-member write order is preserved by
+#: the dependency analysis.
+EFFECT_KINDS = frozenset({
+    "register_write",
+    "register_rmw",
+    "map_insert",
+    "map_erase",
+    "vector_push",
+    "packet_write",
+    "verdict",
+})
+
+#: Read-side state kinds (shown as context around a divergence).
+READ_KINDS = frozenset({
+    "table_lookup",
+    "register_read",
+    "vector_get",
+    "vector_len",
+})
+
+
+@dataclass
+class TraceEvent:
+    """One provenance event: what happened, where, when, to which packet."""
+
+    seq: int
+    time_us: float
+    component: str
+    kind: str
+    packet: Optional[int]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "time_us": round(self.time_us, 3),
+            "component": self.component,
+            "kind": self.kind,
+            "packet": self.packet,
+            "detail": {key: _jsonable(value)
+                       for key, value in sorted(self.detail.items())},
+        }
+
+    def format(self) -> str:
+        packet = "-" if self.packet is None else str(self.packet)
+        detail = " ".join(
+            f"{key}={_format_value(value)}"
+            for key, value in sorted(self.detail.items())
+        )
+        return (f"[{self.time_us:10.3f}us] p{packet:>3s}"
+                f" {self.component:<16s} {self.kind:<14s} {detail}").rstrip()
+
+
+def _jsonable(value):
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, (tuple, list)):
+        return "(" + ",".join(_format_value(item) for item in value) + ")"
+    return str(value)
+
+
+class PacketTracer:
+    """Accumulates :class:`TraceEvent` records for one deployment side.
+
+    ``deep`` additionally records one ``exec`` event per interpreted IR
+    statement.  ``only_packet`` filters recording to a single packet
+    index (used by divergence provenance to isolate the failing packet).
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 enabled: bool = False, deep: bool = False):
+        self.clock = clock if clock is not None else SimClock()
+        self.enabled = enabled
+        self.deep = deep
+        self.component = "init"
+        self.packet: Optional[int] = None
+        self.only_packet: Optional[int] = None
+        self.events: List[TraceEvent] = []
+
+    # -- recording ---------------------------------------------------
+
+    def begin_packet(self, index: int) -> None:
+        self.packet = index
+
+    def set_component(self, component: str) -> None:
+        self.component = component
+
+    def record(self, kind: str, component: Optional[str] = None,
+               **detail) -> None:
+        if not self.enabled:
+            return
+        if self.only_packet is not None and self.packet != self.only_packet:
+            return
+        self.events.append(TraceEvent(
+            seq=len(self.events),
+            time_us=self.clock.now_us,
+            component=component if component is not None else self.component,
+            kind=kind,
+            packet=self.packet,
+            detail=detail,
+        ))
+
+    # -- transactional discard ---------------------------------------
+
+    def mark(self) -> int:
+        """Position token for :meth:`rollback_effects`."""
+        return len(self.events)
+
+    def rollback_effects(self, mark: int) -> None:
+        """Drop *effect* events recorded since ``mark``.
+
+        Used when the work they describe was rolled back (a failed
+        write-back restores the server snapshot; a cache miss discards
+        the switch's speculative pre-pipeline run) so discarded effects
+        never count as divergences.  Read/context events are kept.
+        """
+        if not self.enabled or mark >= len(self.events):
+            return
+        kept = self.events[:mark]
+        for event in self.events[mark:]:
+            if event.kind not in EFFECT_KINDS:
+                event.seq = len(kept)
+                kept.append(event)
+        self.events = kept
+
+    # -- output ------------------------------------------------------
+
+    def to_dicts(self) -> List[dict]:
+        return [event.to_dict() for event in self.events]
+
+    def format(self) -> str:
+        return "\n".join(event.format() for event in self.events)

@@ -1,0 +1,69 @@
+"""CLI-level tests for ``repro trace`` / ``repro metrics``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.schema import load_schema, validate
+
+
+class TestTraceCommand:
+    def test_human_output(self, capsys):
+        assert main(["trace", "mazunat", "--packets", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "mazunat [gallium]" in out
+        assert "switch.parser" in out and "punt" in out
+
+    def test_json_matches_schema(self, capsys):
+        assert main(["trace", "mazunat", "--packets", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("trace")) == []
+        assert payload["deployment"] == "gallium"
+        assert payload["packets"] == 4
+        assert payload["events"]
+
+    def test_deep_flag_recorded_in_payload(self, capsys):
+        assert main(["trace", "minilb", "--packets", "2", "--deep",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deep"] is True
+        assert any(e["kind"] == "exec" for e in payload["events"])
+
+    def test_baseline_deployment(self, capsys):
+        assert main(["trace", "firewall", "--packets", "3",
+                     "--deployment", "baseline", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("trace")) == []
+        assert payload["deployment"] == "baseline"
+
+    def test_unknown_middlebox_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "nope"])
+
+    def test_uncacheable_middlebox_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "mazunat", "--deployment", "cached"])
+
+
+class TestMetricsCommand:
+    def test_human_output(self, capsys):
+        assert main(["metrics", "minilb", "--packets", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "switch.punted_packets" in out
+
+    def test_json_matches_schema(self, capsys):
+        assert main(["metrics", "minilb", "--packets", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("metrics")) == []
+        metrics = payload["metrics"]
+        assert metrics["counters"]["switch.punted_packets"] >= 1
+        assert "switch.pre_instructions" in metrics["histograms"]
+
+    def test_cached_deployment(self, capsys):
+        assert main(["metrics", "minilb", "--packets", "8",
+                     "--deployment", "cached", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("metrics")) == []
+        assert "cache.hits" in payload["metrics"]["counters"]

@@ -1,0 +1,85 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.telemetry import (
+    INSTRUCTION_BOUNDS,
+    LATENCY_BOUNDS_US,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("punt.served")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_counter_value_helper(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(7)
+        assert registry.counter_value("a") == 7
+        assert registry.counter_value("missing") == 0
+
+    def test_counters_with_prefix_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("drops.by_reason.server_down").inc()
+        registry.counter("drops.by_reason.punt_lost").inc(2)
+        registry.counter("other").inc()
+        found = registry.counters_with_prefix("drops.by_reason.")
+        assert [counter.name for counter in found] == [
+            "drops.by_reason.punt_lost",
+            "drops.by_reason.server_down",
+        ]
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue.depth")
+        gauge.set(12.5)
+        assert gauge.value == 12.5
+        gauge.set(3)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_fixed_buckets_and_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", (10.0, 100.0))
+        for value in (5.0, 50.0, 500.0, 7.0):
+            hist.observe(value)
+        snapshot = hist.to_dict()
+        assert snapshot["count"] == 4
+        assert snapshot["buckets"] == [2, 1, 1]
+        assert snapshot["sum"] == pytest.approx(562.0)
+
+    def test_shared_bound_constants(self):
+        assert LATENCY_BOUNDS_US[0] < LATENCY_BOUNDS_US[-1]
+        assert INSTRUCTION_BOUNDS == tuple(sorted(INSTRUCTION_BOUNDS))
+
+
+class TestRegistry:
+    def test_cross_type_name_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_to_dict_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", (1.0,)).observe(0.5)
+        snapshot = registry.to_dict()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"]["g"] == 1.5
+        assert snapshot["histograms"]["h"]["count"] == 1

@@ -1,0 +1,70 @@
+"""Tests for the self-contained JSON-schema validator and the checked-in
+trace/metrics schemas."""
+
+import json
+
+import pytest
+
+from repro.telemetry.schema import load_schema, main, validate
+
+
+class TestValidator:
+    def test_type_mismatch(self):
+        assert validate(3, {"type": "string"})
+        assert validate("x", {"type": "string"}) == []
+
+    def test_bool_is_not_integer(self):
+        assert validate(True, {"type": "integer"})
+
+    def test_union_types(self):
+        schema = {"type": ["integer", "null"]}
+        assert validate(None, schema) == []
+        assert validate(5, schema) == []
+        assert validate("x", schema)
+
+    def test_required_and_nested_properties(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer", "minimum": 2}},
+        }
+        assert validate({}, schema)
+        assert validate({"a": 1}, schema)
+        assert validate({"a": 3}, schema) == []
+
+    def test_enum_and_items(self):
+        schema = {"type": "array", "items": {"enum": ["x", "y"]}}
+        assert validate(["x", "y"], schema) == []
+        errors = validate(["x", "z"], schema)
+        assert errors and "[1]" in errors[0]
+
+
+class TestCheckedInSchemas:
+    def test_schemas_load(self):
+        for name in ("trace", "metrics"):
+            schema = load_schema(name)
+            assert schema["type"] == "object"
+            assert "version" in schema["required"]
+
+    def test_rejects_bad_deployment_enum(self):
+        payload = {
+            "version": 1, "middlebox": "x", "deployment": "hardware",
+            "seed": 0, "packets": 0, "deep": False, "events": [],
+        }
+        errors = validate(payload, load_schema("trace"))
+        assert any("deployment" in error for error in errors)
+
+    def test_cli_entry_point(self, tmp_path, capsys):
+        good = {
+            "version": 1, "middlebox": "x", "deployment": "gallium",
+            "seed": 0, "packets": 0,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(good))
+        assert main(["metrics", str(path)]) == 0
+        capsys.readouterr()
+        del good["metrics"]
+        path.write_text(json.dumps(good))
+        assert main(["metrics", str(path)]) == 1
+        assert "missing required key" in capsys.readouterr().err

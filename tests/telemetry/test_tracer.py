@@ -1,0 +1,123 @@
+"""Unit tests for the per-packet tracer and the trace differ."""
+
+from repro.sim.clock import SimClock
+from repro.telemetry import PacketTracer, Telemetry, diff_traces
+
+
+def make_tracer(**kwargs) -> PacketTracer:
+    return PacketTracer(SimClock(), enabled=True, **kwargs)
+
+
+class TestPacketTracer:
+    def test_disabled_records_nothing(self):
+        tracer = PacketTracer(SimClock(), enabled=False)
+        tracer.record("register_write", name="x", value=1)
+        assert tracer.events == []
+
+    def test_active_tracer_is_none_when_disabled(self):
+        assert Telemetry().active_tracer is None
+        telemetry = Telemetry(tracing=True)
+        assert telemetry.active_tracer is telemetry.tracer
+
+    def test_records_component_packet_and_time(self):
+        tracer = make_tracer()
+        tracer.clock.advance(2.5)
+        tracer.begin_packet(3)
+        tracer.set_component("switch.pre")
+        tracer.record("register_read", name="ctr", value=7)
+        tracer.record("punt", component="switch.parser", reason="miss")
+        first, second = tracer.events
+        assert (first.seq, first.packet, first.component) == (0, 3, "switch.pre")
+        assert first.time_us == 2.5
+        assert second.component == "switch.parser"
+        assert second.detail == {"reason": "miss"}
+
+    def test_only_packet_filters(self):
+        tracer = make_tracer()
+        tracer.only_packet = 1
+        tracer.begin_packet(0)
+        tracer.record("verdict", verdict="send")
+        tracer.begin_packet(1)
+        tracer.record("verdict", verdict="drop")
+        assert [event.packet for event in tracer.events] == [1]
+
+    def test_rollback_effects_keeps_reads_and_renumbers(self):
+        tracer = make_tracer()
+        tracer.record("register_read", name="a", value=0)
+        mark = tracer.mark()
+        tracer.record("register_write", name="a", value=1)
+        tracer.record("table_lookup", name="t", hit=False)
+        tracer.record("map_insert", name="m", key=(1,))
+        tracer.rollback_effects(mark)
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == ["register_read", "table_lookup"]
+        assert [event.seq for event in tracer.events] == [0, 1]
+
+    def test_to_dicts_sorts_detail_and_jsonifies_tuples(self):
+        tracer = make_tracer()
+        tracer.record("map_insert", value=9, key=(1, 2), name="m")
+        payload = tracer.to_dicts()[0]
+        assert list(payload["detail"]) == ["key", "name", "value"]
+        assert payload["detail"]["key"] == [1, 2]
+
+
+class TestDiffTraces:
+    def _effect(self, tracer, name, value):
+        tracer.record("register_write", name=name, value=value)
+
+    def test_identical_traces_agree(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        for tracer in (lhs, rhs):
+            self._effect(tracer, "a", 1)
+            tracer.record("register_read", name="a", value=1)
+        diff = diff_traces(lhs, rhs)
+        assert not diff.divergent
+        assert "agree" in diff.render()
+
+    def test_reads_are_never_compared(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        self._effect(lhs, "a", 1)
+        self._effect(rhs, "a", 1)
+        # The rhs re-reads state (a cache miss would); still equivalent.
+        rhs.record("register_read", name="a", value=1)
+        rhs.record("table_lookup", name="t", hit=False)
+        assert not diff_traces(lhs, rhs).divergent
+
+    def test_first_divergent_value_pinpointed(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        self._effect(lhs, "a", 1)
+        self._effect(lhs, "a", 2)
+        self._effect(rhs, "a", 1)
+        self._effect(rhs, "a", 99)
+        diff = diff_traces(lhs, rhs, "baseline", "gallium")
+        assert diff.divergent
+        assert diff.stream == "state member 'a'"
+        assert diff.position == 1
+        assert diff.lhs_event["detail"]["value"] == 2
+        assert diff.rhs_event["detail"]["value"] == 99
+
+    def test_missing_event_renders_no_such_event(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        self._effect(lhs, "a", 1)
+        diff = diff_traces(lhs, rhs)
+        assert diff.divergent
+        assert diff.rhs_event is None
+        assert "<no such event>" in diff.render()
+
+    def test_independent_stream_interleaving_tolerated(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        self._effect(lhs, "a", 1)
+        self._effect(lhs, "b", 2)
+        self._effect(rhs, "b", 2)
+        self._effect(rhs, "a", 1)
+        assert not diff_traces(lhs, rhs).divergent
+
+    def test_roundtrip_dict(self):
+        lhs, rhs = make_tracer(), make_tracer()
+        self._effect(lhs, "a", 1)
+        self._effect(rhs, "a", 2)
+        diff = diff_traces(lhs, rhs)
+        from repro.telemetry import TraceDiff
+
+        clone = TraceDiff.from_dict(diff.to_dict())
+        assert clone.render() == diff.render()
