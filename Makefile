@@ -3,7 +3,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: help test verify lint difftest difftest-smoke faults faults-smoke \
-	telemetry-smoke benchmarks
+	failover-smoke telemetry-smoke benchmarks
 
 help:
 	@echo "Targets:"
@@ -14,6 +14,7 @@ help:
 	@echo "  difftest-smoke  fixed-seed ~60s gauntlet slice"
 	@echo "  faults          full fault campaign (500 scenarios)"
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
+	@echo "  failover-smoke  fixed-seed ~60s active-standby failover campaign"
 	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
 	@echo "  benchmarks      regenerate every paper table/figure"
 
@@ -56,6 +57,13 @@ faults:
 # Fixed-seed smoke slice bounded to ~60 seconds of wall clock.
 faults-smoke:
 	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60
+
+# Active-standby failover campaign: switch crashes (packet-boundary and
+# mid-batch), stale standbys, and the base fault mix, replayed against
+# the failover-aware oracle.  Fixed seed, ~60 seconds.
+failover-smoke:
+	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60 \
+		--failover
 
 # Telemetry smoke: trace + metrics JSON on two example middleboxes, each
 # validated against the checked-in schemas (same flow CI runs).

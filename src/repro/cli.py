@@ -41,6 +41,7 @@ from repro.compiler import compile_source
 from repro.eval import render_table
 from repro.eval.experiments import (
     EVAL_MIDDLEBOXES,
+    failover_recovery,
     fault_recovery,
     figure7_throughput,
     figure8_workloads,
@@ -161,6 +162,9 @@ def cmd_experiments(args) -> int:
         print("Fault recovery — punt-path outage timelines")
         print(render_table(*fault_recovery()))
         print()
+        print("Failover — standby promotion window cost")
+        print(render_table(*failover_recovery()))
+        print()
     return 0
 
 
@@ -184,6 +188,10 @@ def cmd_difftest(args) -> int:
 def cmd_faults(args) -> int:
     from repro.faults import run_campaign
 
+    if args.cached and args.failover:
+        raise SystemExit(
+            "error: --cached and --failover are mutually exclusive"
+        )
     stats, failures = run_campaign(
         runs=args.runs,
         seed=args.seed,
@@ -194,6 +202,7 @@ def cmd_faults(args) -> int:
         shrink_failures=args.shrink,
         cached=args.cached,
         cache_entries=args.cache_entries,
+        failover=args.failover,
         log=print,  # streams progress and each failure report as found
     )
     print(stats.summary())
@@ -201,7 +210,8 @@ def cmd_faults(args) -> int:
 
 
 def _build_observed_deployment(name, deployment, seed, cache_entries,
-                               tracing, deep):
+                               tracing, deep, sample_every=None,
+                               punted_only=False):
     """Deploy one bundled middlebox with a telemetry bundle attached."""
     from repro.middleboxes import load
     from repro.telemetry import Telemetry
@@ -211,7 +221,9 @@ def _build_observed_deployment(name, deployment, seed, cache_entries,
             f"error: {name!r} is not a bundled middlebox"
             f" ({', '.join(MIDDLEBOX_NAMES)})"
         )
-    telemetry = Telemetry(tracing=tracing, deep=deep)
+    telemetry = Telemetry(tracing=tracing, deep=deep,
+                          sample_every=sample_every,
+                          punted_only=punted_only)
     bundle = load(name)
     if deployment == "baseline":
         from repro.runtime.baseline import FastClickRuntime
@@ -234,6 +246,15 @@ def _build_observed_deployment(name, deployment, seed, cache_entries,
             )
         except CacheConfigurationError as exc:
             raise SystemExit(f"error: {exc}")
+    elif deployment == "failover":
+        from repro.runtime.deployment import compile_middlebox
+        from repro.runtime.failover import FailoverDeployment
+
+        plan, program = compile_middlebox(bundle.lowered)
+        middlebox = FailoverDeployment(
+            plan, program, config=bundle.config, seed=seed,
+            telemetry=telemetry,
+        )
     else:
         from repro.runtime.deployment import (
             GalliumMiddlebox,
@@ -266,11 +287,15 @@ def _drive_stream(middlebox, name: str, packets: int) -> int:
 def cmd_trace(args) -> int:
     import json
 
+    if args.sample_every is not None and args.sample_every < 1:
+        raise SystemExit("error: --sample-every must be >= 1")
     middlebox, telemetry = _build_observed_deployment(
         args.target, args.deployment, args.seed, args.cache_entries,
         tracing=True, deep=args.deep,
+        sample_every=args.sample_every, punted_only=args.punted_only,
     )
     count = _drive_stream(middlebox, args.target, args.packets)
+    telemetry.tracer.flush()
     if args.json:
         payload = {
             "version": 1,
@@ -440,13 +465,18 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--cache-entries", type=int, default=2,
                                help="cache bound per replicated table"
                                " (with --cached)")
+    faults_parser.add_argument("--failover", action="store_true",
+                               help="run scenarios on the active-standby"
+                               " failover deployment (adds switch-crash,"
+                               " crash-during-batch and stale-standby"
+                               " fault kinds)")
     faults_parser.set_defaults(func=cmd_faults)
 
     def _add_observe_args(observe_parser):
         observe_parser.add_argument("target", help="bundled middlebox name")
         observe_parser.add_argument(
             "--deployment", default="gallium",
-            choices=["gallium", "cached", "baseline"],
+            choices=["gallium", "cached", "baseline", "failover"],
             help="which runtime to observe",
         )
         observe_parser.add_argument("--packets", type=int, default=25,
@@ -467,6 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--deep", action="store_true",
                               help="also record one event per executed IR"
                               " instruction")
+    trace_parser.add_argument("--sample-every", type=int, default=None,
+                              metavar="N",
+                              help="record only every Nth packet's events"
+                              " (whole-packet sampling; the result is a"
+                              " subsequence of the full trace)")
+    trace_parser.add_argument("--punted-only", action="store_true",
+                              help="record only packets that took the"
+                              " slow path")
     trace_parser.set_defaults(func=cmd_trace)
 
     metrics_parser = sub.add_parser(

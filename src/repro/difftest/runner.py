@@ -219,7 +219,8 @@ def _shrink_failure(
         return True
 
     try:
-        return shrink_case(program, stream, predicate)
+        return shrink_case(program, stream, predicate,
+                           trace_diff=result.trace_diff)
     except ValueError:
         # Non-reproducible under re-run (should not happen: everything is
         # seeded); keep the original case rather than lose the report.

@@ -14,13 +14,22 @@ the interesting behaviour (usually "the oracle still reports the same
 divergence class") persists.  ``shrink_case`` guarantees the returned
 pair satisfies the predicate — it never returns a non-diverging
 candidate.
+
+When the failure carries divergence provenance (the first-divergent-event
+:class:`~repro.telemetry.diff.TraceDiff` the oracle attaches), pass it as
+``trace_diff``: the shrinker then tries candidates the divergent stream
+never touched *first* — truncating the packet stream right after the
+divergent packet, and deleting statements that don't mention the
+divergent state members — before falling back to blind bisection, which
+converges in fewer oracle calls.
 """
 
 from __future__ import annotations
 
 import copy
 import re
-from typing import Callable, List, Tuple
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.difftest.generator import GenProgram, MapLookup, If, Stmt
 from repro.difftest.oracle import StreamSpec
@@ -30,6 +39,58 @@ Predicate = Callable[[GenProgram, StreamSpec], bool]
 _INT_RE = re.compile(r"\b(0[xX][0-9a-fA-F]+|\d+)\b")
 
 
+@dataclass(frozen=True)
+class ShrinkHints:
+    """Candidate-ordering guidance distilled from a failure's trace diff.
+
+    ``packet`` is the index of the packet the first divergent effect
+    belongs to (later packets cannot have caused it); ``names`` are the
+    state members appearing in the divergent event and its context
+    (statements never touching them are the likeliest dead weight).
+    Empty hints degrade every guided pass to its blind behaviour.
+    """
+
+    packet: Optional[int] = None
+    names: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def from_trace_diff(cls, diff) -> "ShrinkHints":
+        if diff is None:
+            return cls()
+        data = diff.to_dict() if hasattr(diff, "to_dict") else dict(diff)
+        if not data.get("divergent"):
+            return cls()
+        packets: List[int] = []
+        names = set()
+        events = [data.get("lhs_event"), data.get("rhs_event")]
+        events += list(data.get("lhs_context", []))
+        events += list(data.get("rhs_context", []))
+        for event in events:
+            if not event:
+                continue
+            if event.get("packet") is not None:
+                packets.append(int(event["packet"]))
+            name = event.get("detail", {}).get("name")
+            if name:
+                names.add(str(name))
+        return cls(
+            packet=max(packets) if packets else None,
+            names=frozenset(names),
+        )
+
+    def mentions(self, stmt: "Stmt") -> bool:
+        if not self.names:
+            return False
+        text = "\n".join(stmt.lines(0))
+        return any(
+            re.search(rf"\b{re.escape(name)}\b", text) is not None
+            for name in self.names
+        )
+
+
+_NO_HINTS = ShrinkHints()
+
+
 def _try(predicate: Predicate, program: GenProgram, stream: StreamSpec) -> bool:
     try:
         return bool(predicate(program, stream))
@@ -37,8 +98,16 @@ def _try(predicate: Predicate, program: GenProgram, stream: StreamSpec) -> bool:
         return False
 
 
-def _shrink_stream(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> StreamSpec:
+def _shrink_stream(program: GenProgram, stream: StreamSpec,
+                   predicate: Predicate,
+                   hints: ShrinkHints = _NO_HINTS) -> StreamSpec:
     """Truncate the packet stream as far as the divergence allows."""
+    # Guided first cut: everything after the divergent packet is noise.
+    if hints.packet is not None and hints.packet + 1 < stream.count:
+        candidate = StreamSpec(stream.seed, hints.packet + 1,
+                               stream.udp_ratio)
+        if _try(predicate, program, candidate):
+            stream = candidate
     while stream.count > 1:
         for count in (1, stream.count // 2, stream.count - 1):
             if count < 1 or count >= stream.count:
@@ -52,14 +121,28 @@ def _shrink_stream(program: GenProgram, stream: StreamSpec, predicate: Predicate
     return stream
 
 
-def _drop_one_statement(program: GenProgram, stream: StreamSpec, predicate: Predicate) -> bool:
-    for block_index, block in enumerate(program.all_blocks()):
-        for stmt_index in range(len(block)):
-            candidate = copy.deepcopy(program)
-            del candidate.all_blocks()[block_index][stmt_index]
-            if _try(predicate, candidate, stream):
-                del block[stmt_index]
-                return True
+def _drop_one_statement(program: GenProgram, stream: StreamSpec,
+                        predicate: Predicate,
+                        hints: ShrinkHints = _NO_HINTS) -> bool:
+    blocks = program.all_blocks()
+    candidates = [
+        (block_index, stmt_index)
+        for block_index, block in enumerate(blocks)
+        for stmt_index in range(len(block))
+    ]
+    if hints.names:
+        # Statements never touching the divergent state members are the
+        # likeliest dead weight — try deleting those first (stable sort,
+        # so the blind order is preserved within each class).
+        candidates.sort(
+            key=lambda pos: hints.mentions(blocks[pos[0]][pos[1]])
+        )
+    for block_index, stmt_index in candidates:
+        candidate = copy.deepcopy(program)
+        del candidate.all_blocks()[block_index][stmt_index]
+        if _try(predicate, candidate, stream):
+            del blocks[block_index][stmt_index]
+            return True
     return False
 
 
@@ -150,18 +233,22 @@ def shrink_case(
     stream: StreamSpec,
     predicate: Predicate,
     max_rounds: int = 500,
+    trace_diff=None,
 ) -> Tuple[GenProgram, StreamSpec]:
     """Reduce ``(program, stream)`` while ``predicate`` keeps holding.
 
-    Raises ``ValueError`` if the initial pair does not satisfy the
-    predicate (nothing to shrink).
+    ``trace_diff`` (a :class:`~repro.telemetry.diff.TraceDiff` or its
+    dict form) orders candidates by the first-divergent-event stream —
+    see the module docstring.  Raises ``ValueError`` if the initial pair
+    does not satisfy the predicate (nothing to shrink).
     """
+    hints = ShrinkHints.from_trace_diff(trace_diff)
     program = copy.deepcopy(program)
     if not _try(predicate, program, stream):
         raise ValueError("shrink_case: initial case does not satisfy the predicate")
-    stream = _shrink_stream(program, stream, predicate)
+    stream = _shrink_stream(program, stream, predicate, hints)
     for _ in range(max_rounds):
-        if _drop_one_statement(program, stream, predicate):
+        if _drop_one_statement(program, stream, predicate, hints):
             continue
         if _unwrap_one_branch(program, stream, predicate):
             continue

@@ -15,6 +15,8 @@ from repro.eval.experiments import (
     figure7_throughput,
     figure8_workloads,
     figure9_fct,
+    fault_recovery,
+    failover_recovery,
 )
 from repro.eval.reporting import render_table
 
@@ -29,5 +31,7 @@ __all__ = [
     "figure7_throughput",
     "figure8_workloads",
     "figure9_fct",
+    "fault_recovery",
+    "failover_recovery",
     "render_table",
 ]

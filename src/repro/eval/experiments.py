@@ -437,3 +437,95 @@ def fault_recovery(
                 )
                 metrics.counter(f"{prefix}.dropped").inc(timeline.dropped)
     return header, rows
+
+
+def failover_recovery(
+    name: str = "mazunat",
+    packet_size: int = 1500,
+    incident_window_s: float = 1.0,
+    metrics=None,
+) -> Tuple[List[str], List[List]]:
+    """Throughput cost of promoting the standby after a primary crash.
+
+    The failover deployment (:mod:`repro.runtime.failover`) keeps a warm
+    standby switch whose tables track every committed batch, so promotion
+    needs no bulk reprogram — only crash *detection* plus one
+    authoritative state resync from the server.  During that promotion
+    window every packet is punted to the server's fallback interpreter,
+    which runs the whole program in software: the deployment temporarily
+    degrades from Gallium throughput to single-core baseline throughput.
+
+    This table prices the window through the capacity model.  Detection
+    time is swept (supervisor heartbeat intervals); the resync cost comes
+    from the Table-3 batch-latency model over the program's actual
+    switch-resident tables.  *Effective Gbps* time-weights the degraded
+    window against the normal rate over a ``incident_window_s`` incident,
+    and *Shed Gbps·ms* is the capacity lost while the window is open —
+    the traffic the server either queues or drops.
+
+    Pass a :class:`repro.telemetry.MetricsRegistry` as ``metrics`` to
+    additionally publish the cells as ``failover.detect_<ms>ms.*``.
+    """
+    from repro.runtime.deployment import compile_middlebox
+    from repro.switchsim.control_plane import expected_batch_latency_us
+
+    bundle = load(name)
+    plan, _program = compile_middlebox(bundle.lowered)
+    switch_tables = sum(
+        1
+        for placement in plan.placements.values()
+        if placement.on_switch and placement.member.kind in ("map", "vector")
+    )
+
+    workload = IperfWorkload(packet_size=packet_size)
+    profile = profile_middlebox(name, middlebox_stream(name, workload))
+    capacity = CapacityModel()
+    normal = capacity.gallium_throughput(
+        profile.slow_fraction,
+        profile.server_instructions_per_punt,
+        packet_size,
+        shim_bytes=profile.shim_to_server_bytes,
+    ).gbps
+    # Promotion window: the full program runs on one server core (the
+    # fallback interpreter), exactly as in a punt-everything deployment.
+    window = capacity.baseline_throughput(
+        profile.baseline_instructions_per_packet, packet_size, cores=1
+    ).gbps
+    # Resync = clear + re-install every switch-resident table from the
+    # server's authoritative copy, one bulk insert batch.
+    resync_us = expected_batch_latency_us(switch_tables, "insert")
+
+    if metrics is not None:
+        metrics.gauge("failover.normal_gbps").set(round(normal, 3))
+        metrics.gauge("failover.window_gbps").set(round(window, 3))
+        metrics.gauge("failover.resync_us").set(round(resync_us, 3))
+
+    header = [
+        "Scenario", "Resync (µs)", "Window (ms)",
+        "Normal Gbps", "Window Gbps", "Shed Gbps·ms", "Effective Gbps",
+    ]
+    rows = []
+    incident_ms = incident_window_s * 1000.0
+    for detect_ms in (1.0, 10.0, 50.0):
+        window_ms = detect_ms + resync_us / 1000.0
+        shed = max(0.0, normal - window) * window_ms
+        effective = normal - (normal - window) * min(
+            1.0, window_ms / incident_ms
+        )
+        rows.append([
+            f"detect={detect_ms:g}ms tables={switch_tables}",
+            round(resync_us, 1),
+            round(window_ms, 3),
+            round(normal, 2),
+            round(window, 2),
+            round(shed, 2),
+            round(effective, 2),
+        ])
+        if metrics is not None:
+            prefix = f"failover.detect_{detect_ms:g}ms"
+            metrics.gauge(f"{prefix}.window_ms").set(round(window_ms, 4))
+            metrics.gauge(f"{prefix}.effective_gbps").set(
+                round(effective, 3)
+            )
+            metrics.gauge(f"{prefix}.shed_gbps_ms").set(round(shed, 3))
+    return header, rows

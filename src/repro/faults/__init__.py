@@ -39,12 +39,17 @@ from repro.faults.oracle import (
 from repro.faults.shrink import shrink_fault_case, shrink_plan
 from repro.faults.plan import (
     ALL_FAULT_KINDS,
+    BASE_FAULT_KINDS,
+    FAILOVER_FAULT_KINDS,
     BatchFault,
+    CrashDuringBatch,
     FaultPlan,
     LinkFault,
+    PrimarySwitchCrash,
     PuntReorder,
     ServerCrash,
     StaleReplication,
+    StandbyStaleReplay,
     SwitchReprogram,
     WritebackOverflow,
     generate_plan,
@@ -52,8 +57,11 @@ from repro.faults.plan import (
 
 __all__ = [
     "ALL_FAULT_KINDS",
+    "BASE_FAULT_KINDS",
+    "FAILOVER_FAULT_KINDS",
     "BatchFault",
     "CampaignStats",
+    "CrashDuringBatch",
     "FaultFailure",
     "FaultInjector",
     "FaultOracleResult",
@@ -61,9 +69,11 @@ __all__ = [
     "FaultPlan",
     "FaultViolation",
     "LinkFault",
+    "PrimarySwitchCrash",
     "PuntReorder",
     "ServerCrash",
     "StaleReplication",
+    "StandbyStaleReplay",
     "SwitchReprogram",
     "WritebackOverflow",
     "derive_fault_seeds",

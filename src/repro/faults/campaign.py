@@ -79,6 +79,7 @@ class FaultFailure:
     deployment_seed: int
     result: FaultOracleResult
     cached: bool = False
+    failover: bool = False
     minimized_program: Optional[GenProgram] = None
     minimized_stream: Optional[StreamSpec] = None
     minimized_plan: Optional[FaultPlan] = None
@@ -101,7 +102,8 @@ class FaultFailure:
             f"outcome      : {self.result.outcome.value}",
             "reproduce    : python -m repro faults --runs 1"
             f" --seed-override {self.program_seed}"
-            + (" --cached" if self.cached else ""),
+            + (" --cached" if self.cached else "")
+            + (" --failover" if self.failover else ""),
         ]
         if self.result.violation is not None:
             lines.append(f"violation    : {self.result.violation}")
@@ -152,6 +154,7 @@ class FaultFailure:
             description=description,
             found_by_seed=self.program_seed,
             cached=self.cached,
+            failover=self.failover,
             trace_diff=(
                 self.result.trace_diff.to_dict()
                 if self.result.trace_diff is not None else None
@@ -229,15 +232,22 @@ def run_campaign(
     shrink_failures: bool = False,
     cached: bool = False,
     cache_entries: int = 2,
+    failover: bool = False,
 ) -> Tuple[CampaignStats, List[FaultFailure]]:
     """Run the fault campaign; returns ``(stats, failures)``.
 
     ``cached`` drives every scenario on the bounded-table cache
     deployment instead of the full-replication one (scenarios whose
     programs cannot run in cache mode count as rejected);
-    ``shrink_failures`` delta-debugs each failure — fault plan, program,
-    and stream — before it is reported or written to the corpus.
+    ``failover`` drives every scenario on the active-standby
+    :class:`~repro.runtime.failover.FailoverDeployment` under
+    failover-specific fault plans (primary crashes, stale standby
+    replays); ``shrink_failures`` delta-debugs each failure — fault
+    plan, program, and stream — before it is reported or written to the
+    corpus.
     """
+    if cached and failover:
+        raise ValueError("cached and failover campaigns are exclusive")
     stats = CampaignStats()
     failures: List[FaultFailure] = []
     started = time.monotonic()
@@ -257,7 +267,7 @@ def run_campaign(
         program = generate_program(program_seed)
         stream = StreamSpec(seed=stream_seed, count=packets)
         scenario_rng = random.Random(plan_seed)
-        fault_plan = generate_plan(scenario_rng, packets)
+        fault_plan = generate_plan(scenario_rng, packets, failover=failover)
         policy = random_policy(scenario_rng)
         result = run_fault_oracle(
             program.source(),
@@ -269,12 +279,14 @@ def run_campaign(
             limits=limits,
             cached=cached,
             cache_entries=cache_entries,
+            failover=failover,
         )
         stats.record(fault_plan, result)
         if result.outcome in (FaultOutcome.VIOLATION, FaultOutcome.CRASH):
             failure = FaultFailure(
                 index, program_seed, stream, program, fault_plan, policy,
                 injector_seed, deploy_seed, result, cached=cached,
+                failover=failover,
             )
             if shrink_failures:
                 (
@@ -283,7 +295,7 @@ def run_campaign(
                     failure.minimized_plan,
                 ) = _shrink_failure(
                     failure, limits, cached=cached,
-                    cache_entries=cache_entries,
+                    cache_entries=cache_entries, failover=failover,
                 )
                 if failure.minimized_program is not None:
                     # Re-collect provenance on the minimized scenario so
@@ -298,6 +310,7 @@ def run_campaign(
                         limits=limits,
                         cached=cached,
                         cache_entries=cache_entries,
+                        failover=failover,
                     )
                     if replay.trace_diff is not None:
                         failure.result.trace_diff = replay.trace_diff
@@ -319,6 +332,7 @@ def _shrink_failure(
     limits: Optional[SwitchResources],
     cached: bool = False,
     cache_entries: int = 2,
+    failover: bool = False,
 ):
     """Minimize (fault plan, program, stream) preserving the outcome class
     and, for violations, the violation kind."""
@@ -346,6 +360,7 @@ def _shrink_failure(
             limits=limits,
             cached=cached,
             cache_entries=cache_entries,
+            failover=failover,
             provenance=False,
         )
         if replay.outcome is not want_outcome:
@@ -358,7 +373,8 @@ def _shrink_failure(
 
     try:
         return shrink_fault_case(
-            failure.program, failure.stream, failure.fault_plan, predicate
+            failure.program, failure.stream, failure.fault_plan, predicate,
+            trace_diff=failure.result.trace_diff,
         )
     except ValueError:
         # Non-reproducible under re-run (should not happen: everything is

@@ -44,6 +44,8 @@ class FaultCorpusEntry:
     found_by_seed: Optional[int] = None
     #: replay on the bounded-cache deployment instead of full replication
     cached: bool = False
+    #: replay on the active-standby failover deployment
+    failover: bool = False
     #: serialized :class:`repro.telemetry.diff.TraceDiff` captured when
     #: the bug was found — the first divergent semantic event between the
     #: reference and the faulty deployment, kept as historical provenance.
@@ -56,6 +58,7 @@ class FaultCorpusEntry:
             "found_by_seed": self.found_by_seed,
             "expect": self.expect,
             "cached": self.cached,
+            "failover": self.failover,
             "stream": self.stream.to_dict(),
             "fault_plan": self.fault_plan.to_dict(),
             "policy": self.policy.to_dict(),
@@ -84,6 +87,7 @@ class FaultCorpusEntry:
             description=data.get("description", ""),
             found_by_seed=data.get("found_by_seed"),
             cached=bool(data.get("cached", False)),
+            failover=bool(data.get("failover", False)),
             trace_diff=data.get("trace_diff"),
         )
 
@@ -114,4 +118,5 @@ def replay_entry(entry: FaultCorpusEntry) -> FaultOracleResult:
         injector_seed=entry.injector_seed,
         deployment_seed=entry.deployment_seed,
         cached=entry.cached,
+        failover=entry.failover,
     )

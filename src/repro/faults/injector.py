@@ -6,13 +6,22 @@ every campaign scenario is a reproducer.  The deployment queries it at
 well-defined points (punt emission, batch attempts, window checks) and the
 injector answers from one seeded RNG, counting everything it injects.
 
-Transient batch faults are bounded so they compose soundly with the retry
-machinery: a "timeout" is never injected on a batch's final permitted
-attempt (an exhausted timeout would leave the switch updated and the
-server rolled back — exactly the silent divergence this harness exists to
-rule out; the runtime's reconciliation path for that case is exercised
-directly by unit tests instead).  "Doomed" batches — which exhaust every
-retry — always use the veto-style "fail" so the abort is clean.
+Transient batch faults compose soundly with the retry machinery because
+the control plane is transactional: every attempt is journaled in an undo
+log, so an exhausted "timeout" (updates landed, confirmation lost) rolls
+*forward* from the log's high-water mark and an exhausted "fail" or
+"crash" rolls the switch back byte-exactly.  Timeouts may therefore fire
+on any attempt, including the final one — the historical restriction that
+spared the last permitted attempt is gone.  "Doomed" batches — which
+exhaust every retry — still use the veto-style "fail" so the abort is
+clean.
+
+Failover plans add three queries: :meth:`switch_down` also honours
+``switch_crash`` windows and the dynamic promotion window a mid-batch
+crash opens, :meth:`batch_fault` can answer ``"crash"`` (sticky for the
+rest of that batch: the control-plane connection is gone), and
+:meth:`standby_replay_dropped` decides whether a committed batch's replay
+to the warm standby is lost.
 """
 
 from __future__ import annotations
@@ -44,6 +53,17 @@ class FaultInjector:
         self._cleared = False
         self._batch_doomed = False
         self._restart_loses_state = False
+        #: a mid-batch crash fired for the current batch (sticky: every
+        #: remaining attempt of that batch sees the dead connection)
+        self._batch_crash_active = False
+        #: a fired crash awaiting consumption by the failover deployment
+        self._batch_crash_pending = False
+        #: promotion window the pending crash will open once consumed
+        self._batch_crash_window = 0
+        #: each failover plan crashes the primary at most once
+        self._primary_crashed = False
+        #: [start, stop) switch outage opened by a consumed mid-batch crash
+        self._dynamic_switch_outage: Optional[tuple] = None
         #: injected-fault counters by label (for campaign coverage stats)
         self.injected: Dict[str, int] = {}
 
@@ -55,6 +75,7 @@ class FaultInjector:
     def begin_packet(self, index: int) -> None:
         self._index = index
         self._batch_doomed = False
+        self._batch_crash_active = False
 
     def clear(self) -> None:
         """All faults off (recovery phase): every query is benign."""
@@ -82,9 +103,28 @@ class FaultInjector:
     def switch_down(self, index: int) -> bool:
         if self._cleared:
             return False
+        if self._dynamic_switch_outage is not None:
+            lo, hi = self._dynamic_switch_outage
+            if lo <= index < hi:
+                return True
         return any(
-            spec.active(index) for spec in self.plan.by_kind("reprogram")
+            spec.active(index)
+            for kind in ("reprogram", "switch_crash")
+            for spec in self.plan.by_kind(kind)
         )
+
+    def take_batch_crash(self) -> bool:
+        """Consume a mid-batch primary crash (the failover deployment's
+        hook): opens the promotion-window switch outage starting at the
+        *next* packet — the data plane keeps forwarding until the
+        supervisor declares the primary dead at the packet boundary."""
+        if not self._batch_crash_pending:
+            return False
+        self._batch_crash_pending = False
+        self._dynamic_switch_outage = (
+            self._index + 1, self._index + 1 + self._batch_crash_window,
+        )
+        return True
 
     # -- punt-path link faults ---------------------------------------------------
 
@@ -121,8 +161,24 @@ class FaultInjector:
         """
         if self._cleared:
             return None
+        if self._batch_crash_active:
+            # The control-plane connection died earlier in this batch;
+            # every further attempt sees the same dead connection.
+            return "crash"
         if attempt == 1:
             self._batch_doomed = False
+            for spec in self.plan.by_kind("crash_batch"):
+                if (
+                    not self._primary_crashed
+                    and spec.active(self._index)
+                    and self._rng.random() < spec.probability
+                ):
+                    self._primary_crashed = True
+                    self._batch_crash_active = True
+                    self._batch_crash_pending = True
+                    self._batch_crash_window = spec.promotion_window
+                    self._count("crash_during_batch")
+                    return "crash"
             for spec in self.plan.by_kind("overflow"):
                 if spec.active(self._index) and (
                     self._rng.random() < spec.probability
@@ -141,11 +197,24 @@ class FaultInjector:
             if not spec.active(self._index):
                 continue
             if self._rng.random() < spec.probability:
-                if spec.mode == "timeout" and attempt >= self.max_attempts:
-                    continue  # see module docstring
                 self._count(f"batch_{spec.mode}")
                 return spec.mode
         return None
+
+    # -- standby replication (failover deployments) -------------------------------
+
+    def standby_replay_dropped(self) -> bool:
+        """Whether the current committed batch's replay to the warm
+        standby is lost on the replication path."""
+        if self._cleared:
+            return False
+        for spec in self.plan.by_kind("standby_stale"):
+            if spec.active(self._index) and (
+                self._rng.random() < spec.probability
+            ):
+                self._count("standby_replay_dropped")
+                return True
+        return False
 
     # -- replication lag ----------------------------------------------------------
 

@@ -60,6 +60,7 @@ from repro.runtime.deployment import (
     PuntCompletion,
     compile_middlebox,
 )
+from repro.runtime.failover import FailoverDeployment
 from repro.switchsim.program import SwitchProgramError
 from repro.switchsim.switch_model import SwitchOutput
 
@@ -124,6 +125,10 @@ class FaultOracleResult:
     fault_kinds: Tuple[str, ...] = ()
     #: True when the scenario ran the bounded-cache deployment
     cached_mode: bool = False
+    #: True when the scenario ran the active-standby failover deployment
+    failover_mode: bool = False
+    #: whether the failover DUT actually promoted its standby
+    promoted: bool = False
     #: side-by-side trace provenance for a VIOLATION outcome: the scenario
     #: re-ran with tracing on both the DUT and the reference and the first
     #: divergent semantic event was pinpointed
@@ -191,6 +196,7 @@ def run_fault_oracle(
     verify_packets: int = 12,
     cached: bool = False,
     cache_entries: int = 2,
+    failover: bool = False,
     provenance: bool = True,
     _telemetry: Optional[tuple] = None,
 ) -> FaultOracleResult:
@@ -201,6 +207,12 @@ def run_fault_oracle(
     cannot run in cache mode (no replicated tables, or a register-mutating
     switch pipeline) are REJECTED, mirroring the compile-time refusals.
 
+    With ``failover`` the deployment under test is the active-standby
+    :class:`FailoverDeployment`; the reference stays a clean single-switch
+    deployment, and the ``("promote",)`` effect-log tag replays as a
+    no-op — the promotion resync leaves the pair exactly where a healthy
+    single switch would be, which is precisely the property under test.
+
     With ``provenance`` (the default), a VIOLATION outcome re-runs the
     whole scenario with per-packet tracing on both deployments (the run is
     fully seeded, so it reproduces exactly) and attaches the trace diff
@@ -210,6 +222,8 @@ def run_fault_oracle(
     pair threaded into the two deployments.
     """
     policy = policy or DegradationPolicy()
+    if cached and failover:
+        raise ValueError("cached and failover modes are mutually exclusive")
     dut_telemetry = _telemetry[0] if _telemetry is not None else None
     ref_telemetry = _telemetry[1] if _telemetry is not None else None
     try:
@@ -229,11 +243,16 @@ def run_fault_oracle(
         max_attempts=policy.retry.max_attempts,
     )
 
-    def deploy(**kwargs) -> GalliumMiddlebox:
+    def deploy(failover_dut: bool = False, **kwargs) -> GalliumMiddlebox:
         if cached:
             box = CachedGalliumMiddlebox(
                 plan, program, cache_entries=cache_entries,
                 port_pairs=dict(DEFAULT_PORT_PAIRS),
+                config=config, seed=deployment_seed, **kwargs,
+            )
+        elif failover_dut:
+            box = FailoverDeployment(
+                plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
                 config=config, seed=deployment_seed, **kwargs,
             )
         else:
@@ -245,8 +264,8 @@ def run_fault_oracle(
         return box
 
     try:
-        dut = deploy(policy=policy, injector=injector,
-                     telemetry=dut_telemetry)
+        dut = deploy(failover_dut=failover, policy=policy,
+                     injector=injector, telemetry=dut_telemetry)
         reference = deploy(telemetry=ref_telemetry)
     except CacheConfigurationError as exc:
         return FaultOracleResult(
@@ -301,6 +320,8 @@ def run_fault_oracle(
             injected=dict(injector.injected),
             fault_kinds=fault_plan.kinds(),
             cached_mode=cached,
+            failover_mode=failover,
+            promoted=bool(getattr(dut, "promoted", False)),
         )
 
     violation = _check_accounting(dut, records, len(packets))
@@ -340,7 +361,7 @@ def run_fault_oracle(
             source_or_lowered, stream, fault_plan, policy=policy,
             injector_seed=injector_seed, deployment_seed=deployment_seed,
             limits=limits, config=config, verify_packets=verify_packets,
-            cached=cached, cache_entries=cache_entries,
+            cached=cached, cache_entries=cache_entries, failover=failover,
         )
     return result
 
@@ -508,6 +529,14 @@ def _replay_reference(
                 # deterministically from authoritative state; mirror it so
                 # the two caches re-converge at the same point.
                 reference.sync_all_state()
+        elif tag == "promote":
+            # The DUT promoted its standby and bulk-resynced it from the
+            # server's authoritative copy.  The reference needs no action:
+            # replicated state equality follows from the batch applies it
+            # already mirrored, and switch-authoritative registers line up
+            # because the DUT's per-packet checkpoint fed the fallback
+            # window the same values the reference's live switch held.
+            pass
         else:  # pragma: no cover - log tags are closed
             raise AssertionError(f"unknown fault-log tag {tag!r}")
     if held:

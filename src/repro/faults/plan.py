@@ -35,6 +35,24 @@ Fault classes
     (replication lag); output commit stretches, semantics must not.
 :class:`PuntReorder`
     Punts buffered during an outage drain in a shuffled order.
+
+Failover fault classes (active-standby deployments only)
+--------------------------------------------------------
+:class:`PrimarySwitchCrash`
+    The primary switch dies at a packet boundary; the deployment serves
+    a promotion window on the server, then promotes the warm standby.
+:class:`CrashDuringBatch`
+    The primary's control-plane connection dies *mid batch*: the batch
+    resolves transactionally from the undo log (roll forward or back),
+    then the supervisor declares the primary dead from the next packet.
+:class:`StandbyStaleReplay`
+    Committed batches are probabilistically dropped on the replication
+    path to the standby, so promotion must repair a stale standby via
+    the bulk resync.
+
+Failover plans are generated with ``generate_plan(..., failover=True)``
+and never mix in server crashes, switch reprogramming, or punt
+reordering — those assume a single-switch deployment.
 """
 
 from __future__ import annotations
@@ -122,6 +140,40 @@ class PuntReorder:
         return True
 
 
+@dataclass(frozen=True)
+class PrimarySwitchCrash:
+    kind = "switch_crash"
+    at_packet: int = 5
+    #: packets served on the server before the standby is promoted
+    promotion_window: int = 3
+
+    def active(self, index: int) -> bool:
+        return self.at_packet <= index < self.at_packet + self.promotion_window
+
+
+@dataclass(frozen=True)
+class CrashDuringBatch:
+    kind = "crash_batch"
+    probability: float = 0.5
+    promotion_window: int = 3
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class StandbyStaleReplay:
+    kind = "standby_stale"
+    probability: float = 0.3
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+
 def _in_window(index: int, start: int, stop: Optional[int]) -> bool:
     return index >= start and (stop is None or index < stop)
 
@@ -132,11 +184,29 @@ FAULT_KINDS: Dict[str, Type] = {
     for cls in (
         LinkFault, BatchFault, WritebackOverflow, ServerCrash,
         SwitchReprogram, StaleReplication, PuntReorder,
+        PrimarySwitchCrash, CrashDuringBatch, StandbyStaleReplay,
     )
 }
 
 #: every fault-class tag, in campaign-coverage order.
 ALL_FAULT_KINDS: Tuple[str, ...] = tuple(FAULT_KINDS)
+
+#: kinds the single-switch campaign draws from.  Kept separate from
+#: ``ALL_FAULT_KINDS`` so registering the failover kinds did not change
+#: the shuffle below — base-campaign scenarios stay seed-stable.
+BASE_FAULT_KINDS: Tuple[str, ...] = (
+    "link", "batch", "overflow", "crash", "reprogram", "stale", "reorder",
+)
+
+#: kinds exclusive to active-standby failover plans.
+FAILOVER_FAULT_KINDS: Tuple[str, ...] = (
+    "switch_crash", "crash_batch", "standby_stale",
+)
+
+#: base kinds a failover plan may additionally mix in.  Server crashes,
+#: reprogramming windows, and punt reordering are excluded: they assume a
+#: single-switch deployment (and the reference replay models them so).
+FAILOVER_EXTRA_KINDS: Tuple[str, ...] = ("link", "batch", "stale", "overflow")
 
 
 @dataclass(frozen=True)
@@ -212,6 +282,21 @@ def _describe(spec) -> str:
         return f"stale replication +{spec.extra_us}µs p={spec.probability}"
     if isinstance(spec, PuntReorder):
         return "punt reorder on drain"
+    if isinstance(spec, PrimarySwitchCrash):
+        return (
+            f"primary switch crash @{spec.at_packet}"
+            f"+{spec.promotion_window}"
+        )
+    if isinstance(spec, CrashDuringBatch):
+        return (
+            f"crash during batch p={spec.probability}"
+            f" window={spec.promotion_window} [{spec.start},{spec.stop})"
+        )
+    if isinstance(spec, StandbyStaleReplay):
+        return (
+            f"standby stale replay p={spec.probability}"
+            f" [{spec.start},{spec.stop})"
+        )
     return repr(spec)
 
 
@@ -220,15 +305,54 @@ def _describe(spec) -> str:
 # ---------------------------------------------------------------------------
 
 
-def generate_plan(rng: random.Random, stream_len: int) -> FaultPlan:
+def _draw_link(rng: random.Random, stream_len: int) -> LinkFault:
+    start = rng.randrange(0, max(1, stream_len // 2))
+    return LinkFault(
+        direction=rng.choice(["to_server", "to_switch"]),
+        mode=rng.choice(["loss", "loss", "corrupt"]),
+        probability=rng.choice([0.05, 0.15, 0.3]),
+        start=start,
+        stop=rng.choice([None, start + rng.randint(3, stream_len)]),
+    )
+
+
+def _draw_batch(rng: random.Random) -> BatchFault:
+    return BatchFault(
+        mode=rng.choice(["fail", "timeout"]),
+        probability=rng.choice([0.1, 0.25, 0.5]),
+        doom_probability=rng.choice([0.0, 0.0, 0.1]),
+    )
+
+
+def _draw_overflow(rng: random.Random) -> WritebackOverflow:
+    return WritebackOverflow(probability=rng.choice([0.05, 0.15]))
+
+
+def _draw_stale(rng: random.Random) -> StaleReplication:
+    return StaleReplication(
+        extra_us=rng.choice([500.0, 2_000.0, 10_000.0]),
+        probability=rng.choice([0.25, 0.75]),
+    )
+
+
+def generate_plan(
+    rng: random.Random, stream_len: int, failover: bool = False,
+) -> FaultPlan:
     """Draw a random, internally consistent fault schedule.
 
     Picks 1–3 fault classes.  Crash and reprogram windows are placed
     inside the stream and never overlap each other (overlap is the
     degenerate total-outage case, exercised separately by the runtime's
     defensive path, not worth most of the budget).
+
+    With ``failover=True`` the plan targets an active-standby pair:
+    exactly one primary-crash kind (clean boundary crash or mid-batch
+    connection crash), an optional stale-standby replay fault, and up to
+    two extra kinds from :data:`FAILOVER_EXTRA_KINDS`.
     """
-    choices = list(ALL_FAULT_KINDS)
+    if failover:
+        return _generate_failover_plan(rng, stream_len)
+    choices = list(BASE_FAULT_KINDS)
     rng.shuffle(choices)
     picked = choices[: rng.randint(1, 3)]
     specs: List = []
@@ -245,24 +369,11 @@ def generate_plan(rng: random.Random, stream_len: int) -> FaultPlan:
 
     for kind in picked:
         if kind == "link":
-            start = rng.randrange(0, max(1, stream_len // 2))
-            specs.append(LinkFault(
-                direction=rng.choice(["to_server", "to_switch"]),
-                mode=rng.choice(["loss", "loss", "corrupt"]),
-                probability=rng.choice([0.05, 0.15, 0.3]),
-                start=start,
-                stop=rng.choice([None, start + rng.randint(3, stream_len)]),
-            ))
+            specs.append(_draw_link(rng, stream_len))
         elif kind == "batch":
-            specs.append(BatchFault(
-                mode=rng.choice(["fail", "timeout"]),
-                probability=rng.choice([0.1, 0.25, 0.5]),
-                doom_probability=rng.choice([0.0, 0.0, 0.1]),
-            ))
+            specs.append(_draw_batch(rng))
         elif kind == "overflow":
-            specs.append(WritebackOverflow(
-                probability=rng.choice([0.05, 0.15]),
-            ))
+            specs.append(_draw_overflow(rng))
         elif kind == "crash":
             outage = rng.randint(2, max(3, stream_len // 4))
             at = place_window(outage)
@@ -277,10 +388,7 @@ def generate_plan(rng: random.Random, stream_len: int) -> FaultPlan:
             if at is not None:
                 specs.append(SwitchReprogram(at_packet=at, duration=duration))
         elif kind == "stale":
-            specs.append(StaleReplication(
-                extra_us=rng.choice([500.0, 2_000.0, 10_000.0]),
-                probability=rng.choice([0.25, 0.75]),
-            ))
+            specs.append(_draw_stale(rng))
         elif kind == "reorder":
             specs.append(PuntReorder())
             # Reorder only matters when something queues punts: pair it
@@ -293,4 +401,41 @@ def generate_plan(rng: random.Random, stream_len: int) -> FaultPlan:
                         at_packet=at, outage=outage,
                         lose_state=rng.random() < 0.5,
                     ))
+    return FaultPlan(faults=tuple(specs))
+
+
+def _generate_failover_plan(rng: random.Random, stream_len: int) -> FaultPlan:
+    """Failover schedule: exactly one primary-crash kind, plus optional
+    stale-standby replay and up to two benign extras."""
+    specs: List = []
+    window = rng.randint(2, max(3, stream_len // 4))
+    if rng.random() < 0.5:
+        # Clean packet-boundary crash with a placed promotion window.
+        at = rng.randrange(1, max(2, stream_len - 1))
+        specs.append(PrimarySwitchCrash(at_packet=at, promotion_window=window))
+    else:
+        # Mid-batch control-plane connection crash; fires on the first
+        # punted batch the probability hits inside the window.
+        start = rng.randrange(0, max(1, stream_len // 2))
+        specs.append(CrashDuringBatch(
+            probability=rng.choice([0.25, 0.5, 1.0]),
+            promotion_window=window,
+            start=start,
+            stop=rng.choice([None, start + rng.randint(3, stream_len)]),
+        ))
+    if rng.random() < 0.6:
+        specs.append(StandbyStaleReplay(
+            probability=rng.choice([0.25, 0.5, 1.0]),
+        ))
+    extras = list(FAILOVER_EXTRA_KINDS)
+    rng.shuffle(extras)
+    for kind in extras[: rng.randint(0, 2)]:
+        if kind == "link":
+            specs.append(_draw_link(rng, stream_len))
+        elif kind == "batch":
+            specs.append(_draw_batch(rng))
+        elif kind == "stale":
+            specs.append(_draw_stale(rng))
+        elif kind == "overflow":
+            specs.append(_draw_overflow(rng))
     return FaultPlan(faults=tuple(specs))

@@ -22,10 +22,12 @@ from typing import Callable, List, Tuple
 
 from repro.difftest.generator import GenProgram
 from repro.difftest.oracle import StreamSpec
-from repro.difftest.shrink import shrink_case
+from repro.difftest.shrink import ShrinkHints, shrink_case
 from repro.faults.plan import FaultPlan
 
 FaultPredicate = Callable[[GenProgram, StreamSpec, FaultPlan], bool]
+
+_NO_HINTS = ShrinkHints()
 
 #: Probability floor below which halving stops (a fault that fires with
 #: p < 1% on a 25-packet stream is effectively off, and the predicate
@@ -45,13 +47,30 @@ def _try(
         return False
 
 
+def _spec_covers(spec, packet: int) -> bool:
+    active = getattr(spec, "active", None)
+    if active is None:
+        return True
+    try:
+        return bool(active(packet))
+    except Exception:
+        return True
+
+
 def _drop_one_spec(
     program: GenProgram,
     stream: StreamSpec,
     plan: FaultPlan,
     predicate: FaultPredicate,
+    hints: ShrinkHints = _NO_HINTS,
 ) -> Tuple[FaultPlan, bool]:
-    for index in range(len(plan.faults)):
+    order = list(range(len(plan.faults)))
+    if hints.packet is not None:
+        # Specs that were not even active at the divergent packet are the
+        # likeliest dead weight — try dropping those first (stable sort
+        # keeps the blind order within each class).
+        order.sort(key=lambda i: _spec_covers(plan.faults[i], hints.packet))
+    for index in order:
         candidate = FaultPlan(
             faults=plan.faults[:index] + plan.faults[index + 1:]
         )
@@ -112,10 +131,13 @@ def shrink_plan(
     plan: FaultPlan,
     predicate: FaultPredicate,
     max_rounds: int = 200,
+    trace_diff=None,
 ) -> FaultPlan:
     """Minimize the fault plan alone, program and stream held fixed."""
+    hints = ShrinkHints.from_trace_diff(trace_diff)
     for _ in range(max_rounds):
-        plan, dropped = _drop_one_spec(program, stream, plan, predicate)
+        plan, dropped = _drop_one_spec(program, stream, plan, predicate,
+                                       hints)
         if dropped:
             continue
         plan, narrowed = _shrink_one_spec(program, stream, plan, predicate)
@@ -130,11 +152,16 @@ def shrink_fault_case(
     plan: FaultPlan,
     predicate: FaultPredicate,
     max_rounds: int = 500,
+    trace_diff=None,
 ) -> Tuple[GenProgram, StreamSpec, FaultPlan]:
     """Reduce ``(program, stream, fault_plan)`` while ``predicate`` holds.
 
-    Raises ``ValueError`` if the initial triple does not satisfy the
-    predicate (nothing to shrink).
+    ``trace_diff`` (the failure's first-divergent-event provenance)
+    orders candidates on every axis: fault specs inactive at the
+    divergent packet are dropped first, the stream is truncated right
+    after it, and statements never touching the divergent state members
+    are deleted first.  Raises ``ValueError`` if the initial triple does
+    not satisfy the predicate (nothing to shrink).
     """
     program = copy.deepcopy(program)
     if not _try(predicate, program, stream, plan):
@@ -143,14 +170,17 @@ def shrink_fault_case(
         )
     # Plan first: fewer active faults usually lets far more of the program
     # be deleted in the second phase.
-    plan = shrink_plan(program, stream, plan, predicate)
+    plan = shrink_plan(program, stream, plan, predicate,
+                       trace_diff=trace_diff)
 
     def fixed_plan_predicate(p: GenProgram, s: StreamSpec) -> bool:
         return _try(predicate, p, s, plan)
 
     program, stream = shrink_case(
-        program, stream, fixed_plan_predicate, max_rounds=max_rounds
+        program, stream, fixed_plan_predicate, max_rounds=max_rounds,
+        trace_diff=trace_diff,
     )
     # A shorter stream may admit narrower windows; one more plan pass.
-    plan = shrink_plan(program, stream, plan, predicate)
+    plan = shrink_plan(program, stream, plan, predicate,
+                       trace_diff=trace_diff)
     return program, stream, plan

@@ -25,6 +25,19 @@ from repro.switchsim.control_plane import (
     RetryPolicy,
     expected_batch_latency_us,
 )
+from repro.telemetry.metrics import Histogram
+
+#: Bucket bounds (µs) for the outage-latency histogram — punt latencies
+#: range from one service slot (~hundreds of µs) up to the longest outage
+#: plus drain (~tens of ms).
+TIMELINE_BOUNDS_US = (
+    100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0,
+    10_000.0, 20_000.0, 50_000.0, 100_000.0,
+)
+
+
+def _latency_histogram() -> Histogram:
+    return Histogram("timeline.latency_us", TIMELINE_BOUNDS_US)
 
 
 @dataclass
@@ -62,17 +75,10 @@ class RecoveryTimeline:
     max_queue: int = 0
     #: µs after the server returned until the backlog first emptied
     recovery_us: float = 0.0
-    #: per-served-punt latency (completion − arrival), µs
-    latencies_us: List[float] = field(default_factory=list)
-
-    def latency_percentile(self, fraction: float) -> float:
-        if not self.latencies_us:
-            return 0.0
-        ordered = sorted(self.latencies_us)
-        index = min(
-            len(ordered) - 1, int(round(fraction * (len(ordered) - 1)))
-        )
-        return ordered[index]
+    #: per-served-punt latency distribution (completion − arrival, µs) —
+    #: a registry histogram, so the percentile math lives in one place
+    #: (:meth:`repro.telemetry.metrics.Histogram.percentile`).
+    latency: Histogram = field(default_factory=_latency_histogram)
 
     @property
     def baseline_latency_us(self) -> float:
@@ -80,7 +86,7 @@ class RecoveryTimeline:
         return self.scenario.service_us
 
     def added_p99_us(self) -> float:
-        return max(0.0, self.latency_percentile(0.99) - self.baseline_latency_us)
+        return max(0.0, self.latency.percentile(0.99) - self.baseline_latency_us)
 
 
 def simulate_outage(scenario: OutageScenario) -> RecoveryTimeline:
@@ -99,7 +105,7 @@ def simulate_outage(scenario: OutageScenario) -> RecoveryTimeline:
 
         def complete() -> None:
             timeline.served += 1
-            timeline.latencies_us.append(sim.now - arrival_time)
+            timeline.latency.observe(sim.now - arrival_time)
             state["busy"] = False
             pump()
 

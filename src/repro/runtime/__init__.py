@@ -6,6 +6,9 @@
 * :class:`~repro.runtime.deployment.GalliumMiddlebox` — the switch+server
   pair: fast path on the switch, punted packets through the server, state
   synchronization with output commit (§4.3.3),
+* :class:`~repro.runtime.failover.FailoverDeployment` — the switch+server
+  pair over an active-standby switch pair: warm standby kept in sync by
+  batch replay, promoted after a primary crash,
 * :class:`~repro.runtime.baseline.FastClickRuntime` — the unpartitioned
   baseline the paper compares against.
 """
@@ -13,6 +16,7 @@
 from repro.runtime.server import ServerRuntime, ServerResult
 from repro.runtime.degradation import DegradationPolicy, DropAccounting
 from repro.runtime.deployment import GalliumMiddlebox, PacketJourney, compile_middlebox
+from repro.runtime.failover import FailoverDeployment
 from repro.runtime.baseline import FastClickRuntime, BaselineResult
 
 __all__ = [
@@ -20,6 +24,7 @@ __all__ = [
     "ServerResult",
     "DegradationPolicy",
     "DropAccounting",
+    "FailoverDeployment",
     "GalliumMiddlebox",
     "PacketJourney",
     "compile_middlebox",

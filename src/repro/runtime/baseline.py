@@ -51,6 +51,14 @@ class FastClickRuntime:
         self._h_instructions = self.telemetry.metrics.histogram(
             "baseline.instructions_per_packet", INSTRUCTION_BOUNDS
         )
+        # End-to-end latency distribution (nominal composition from the
+        # sim latency model, no jitter) — `metrics --json` carries it.
+        from repro.sim.latency import LatencyModel
+
+        self._latency_model = LatencyModel()
+        self._h_latency = self.telemetry.metrics.histogram(
+            "latency.end_to_end_us"
+        )
 
     @classmethod
     def from_source(cls, source: str, **kwargs) -> "FastClickRuntime":
@@ -80,6 +88,9 @@ class FastClickRuntime:
         self.telemetry.clock.advance(
             result.instructions_executed * SERVER_INSTR_US
         )
+        self._h_latency.observe(self._latency_model.baseline_us(
+            result.instructions_executed, packet.wire_length()
+        ))
         verdict = result.verdict or "drop"
         if tracer is not None:
             tracer.record(

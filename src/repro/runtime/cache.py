@@ -171,8 +171,11 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         self.telemetry.clock.advance(PACKET_GAP_US)
         if tracer is not None:
             tracer.begin_packet(index)
+        wire_bytes = packet.wire_length()
         if self.faults_armed:
-            return self._process_with_faults(packet, ingress_port, index)
+            journey = self._process_with_faults(packet, ingress_port, index)
+            self._observe_latency(journey, wire_bytes)
+            return journey
         pristine = packet.copy()  # the switch's clone, taken at ingress
         mark = tracer.mark() if tracer is not None else 0
         first = self.switch.receive(packet, ingress_port)
@@ -180,12 +183,14 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
             self.stats.hits += 1
             if tracer is not None:
                 tracer.record("cache_hit", component="cache")
-            return PacketJourney(
+            journey = PacketJourney(
                 verdict="drop" if first.dropped else "send",
                 emitted=first.emitted,
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
+            self._observe_latency(journey, wire_bytes)
+            return journey
         if tracer is not None:
             # The pre pipeline's work is speculative on a miss: the server
             # reruns the whole program, so its traced effects are dropped.
@@ -194,7 +199,7 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         completion = self.complete_punt(pristine)
         # The caller's packet handle reflects the full run's rewrites.
         packet.adopt(pristine)
-        return PacketJourney(
+        journey = PacketJourney(
             verdict=completion.verdict,
             emitted=[(port, packet) for port, _ in completion.emitted],
             fast_path=False,
@@ -204,6 +209,8 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
             sync_wait_us=completion.sync_wait_us,
             sync_tables=completion.sync_tables,
         )
+        self._observe_latency(journey, wire_bytes)
+        return journey
 
     def _punt_frame(
         self, first: SwitchOutput, pristine: RawPacket, ingress_port: int
@@ -251,21 +258,17 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         stale_wait = 0.0
         if updates:
             try:
-                batch = self.switch.control_plane.apply_batch(updates)
-            except UpdateBatchError as exc:
-                if not exc.applied:
-                    self._restore_fifo(fifo_snapshot)
-                    raise
-                # Final attempt timed out after the batch landed; proceed
-                # with the retry latency charged (see base class).
-                sync_wait = exc.retry_wait_us
-                retries = exc.attempts - 1
-                retry_wait = exc.retry_wait_us
-            else:
-                sync_wait = batch.visibility_latency_us
-                sync_tables = batch.tables_touched
-                retries = batch.attempts - 1
-                retry_wait = batch.retry_wait_us
+                batch = self._apply_update_batch(updates)
+            except UpdateBatchError:
+                # The switch rolled back byte-exactly from the undo log;
+                # roll the FIFO bookkeeping back too and let the caller
+                # roll the server state back.
+                self._restore_fifo(fifo_snapshot)
+                raise
+            sync_wait = batch.visibility_latency_us
+            sync_tables = batch.tables_touched
+            retries = batch.attempts - 1
+            retry_wait = batch.retry_wait_us
             if self.faults_armed:
                 stale_wait = self.injector.stale_extra_us()
                 sync_wait += stale_wait

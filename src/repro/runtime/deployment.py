@@ -187,6 +187,14 @@ class GalliumMiddlebox:
         self._h_sync_wait = self.telemetry.metrics.histogram(
             "punt.sync_wait_us", LATENCY_BOUNDS_US
         )
+        # End-to-end latency distribution (nominal composition from the
+        # sim latency model, no jitter) — `metrics --json` carries it.
+        from repro.sim.latency import LatencyModel
+
+        self._latency_model = LatencyModel()
+        self._h_latency = self.telemetry.metrics.histogram(
+            "latency.end_to_end_us", LATENCY_BOUNDS_US
+        )
         #: ordered effect log the fault oracle replays (see module doc)
         self.fault_log: List[tuple] = []
         self._punt_queue: List[tuple] = []
@@ -234,13 +242,18 @@ class GalliumMiddlebox:
         table is cleared first (a stale switch entry the server deleted
         meanwhile must not survive the resync).
         """
+        self._sync_switch_state(self.switch)
+
+    def _sync_switch_state(self, switch) -> None:
+        """Rebuild one switch's state from the server's authoritative
+        copy (the failover deployment also aims this at its standby)."""
         for name, placement in self.plan.placements.items():
             if not placement.on_switch:
                 continue
             member = placement.member
             if member.kind == "map":
-                self.switch.control_plane.clear_table(name)
-                self.switch.control_plane.install_entries(
+                switch.control_plane.clear_table(name)
+                switch.control_plane.install_entries(
                     name, dict(self.state.maps[name])
                 )
             elif member.kind == "vector":
@@ -248,10 +261,10 @@ class GalliumMiddlebox:
                     (index,): value
                     for index, value in enumerate(self.state.vectors[name])
                 }
-                self.switch.control_plane.clear_table(name)
-                self.switch.control_plane.install_entries(name, entries)
+                switch.control_plane.clear_table(name)
+                switch.control_plane.install_entries(name, entries)
             else:
-                self.switch.control_plane.write_register(
+                switch.control_plane.write_register(
                     name, self.state.scalars[name]
                 )
 
@@ -263,20 +276,25 @@ class GalliumMiddlebox:
         self.telemetry.clock.advance(PACKET_GAP_US)
         if self._tracer is not None:
             self._tracer.begin_packet(index)
+        wire_bytes = packet.wire_length()
         if self.faults_armed:
-            return self._process_with_faults(packet, ingress_port, index)
+            journey = self._process_with_faults(packet, ingress_port, index)
+            self._observe_latency(journey, wire_bytes)
+            return journey
         first = self.switch.receive(packet, ingress_port)
         if not first.punted:
-            return PacketJourney(
+            journey = PacketJourney(
                 verdict="drop" if first.dropped else "send",
                 emitted=first.emitted,
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
+            self._observe_latency(journey, wire_bytes)
+            return journey
         # Slow path: server handles the punted packet.
         assert first.emitted and first.emitted[0][0] == self.server_port
         completion = self.complete_punt(first.emitted[0][1])
-        return PacketJourney(
+        journey = PacketJourney(
             verdict=completion.verdict,
             emitted=completion.emitted,
             fast_path=False,
@@ -287,6 +305,23 @@ class GalliumMiddlebox:
             sync_wait_us=completion.sync_wait_us,
             sync_tables=completion.sync_tables,
         )
+        self._observe_latency(journey, wire_bytes)
+        return journey
+
+    def _observe_latency(self, journey: "PacketJourney",
+                         wire_bytes: int) -> None:
+        """Record the journey's nominal end-to-end latency (sim latency
+        model composition, jitter-free so snapshots stay deterministic)."""
+        if journey.fast_path:
+            latency = self._latency_model.fast_path_us(wire_bytes)
+        else:
+            latency = self._latency_model.slow_path_us(
+                journey.server_instructions,
+                wire_bytes,
+                sync_wait_us=journey.sync_wait_us,
+                shim_bytes=self.program.shim_to_server.byte_size,
+            )
+        self._h_latency.observe(latency)
 
     def complete_punt(self, punted_packet: RawPacket) -> PuntCompletion:
         """Finish one punted packet: server run, state sync, return leg.
@@ -303,26 +338,17 @@ class GalliumMiddlebox:
         retry_wait = 0.0
         stale_wait = 0.0
         if server_result.updates:
-            try:
-                batch = self.switch.control_plane.apply_batch(
-                    server_result.updates
-                )
-            except UpdateBatchError as exc:
-                if not exc.applied:
-                    raise
-                # The final attempt timed out *after* the batch landed on
-                # the switch; the control plane reconciles by re-reading
-                # switch state, so the packet proceeds (with the full
-                # retry latency charged to its output-commit wait).
-                sync_wait = exc.retry_wait_us
-                retries = exc.attempts - 1
-                retry_wait = exc.retry_wait_us
-            else:
-                # Output commit: the packet is held until visibility.
-                sync_wait = batch.visibility_latency_us
-                sync_tables = batch.tables_touched
-                retries = batch.attempts - 1
-                retry_wait = batch.retry_wait_us
+            # Transactional: apply_batch either commits (possibly rolling
+            # forward from the undo log when the final attempt's
+            # confirmation was lost) or rolls the switch back byte-exactly
+            # and raises — the caller then rolls the server back too, so
+            # "whichever side won" cannot happen.
+            batch = self._apply_update_batch(server_result.updates)
+            # Output commit: the packet is held until visibility.
+            sync_wait = batch.visibility_latency_us
+            sync_tables = batch.tables_touched
+            retries = batch.attempts - 1
+            retry_wait = batch.retry_wait_us
             if self.faults_armed:
                 stale_wait = self.injector.stale_extra_us()
                 sync_wait += stale_wait
@@ -354,6 +380,15 @@ class GalliumMiddlebox:
             retry_wait_us=retry_wait,
             stale_wait_us=stale_wait,
         )
+
+    def _apply_update_batch(self, updates):
+        """Apply one punt's state updates to the switch control plane.
+
+        Hook: the failover deployment overrides this to replay committed
+        batches onto the warm standby and to turn a mid-batch switch
+        crash into a promotion.
+        """
+        return self.switch.control_plane.apply_batch(updates)
 
     # -- the packet path under faults ----------------------------------------
 
@@ -568,7 +603,7 @@ class GalliumMiddlebox:
         deferred; the window ends with a bulk state resync."""
         if not self._fallback_active:
             self._fallback_active = True
-            self._pull_switch_registers()
+            self._enter_fallback()
         self.fault_log.append(("fallback", index, ingress_port))
         self.accounting.fallback_packets += 1
         if self._tracer is not None:
@@ -600,6 +635,29 @@ class GalliumMiddlebox:
             server_instructions=result.instructions_executed,
             packet_index=index,
         )
+
+    def _enter_fallback(self) -> None:
+        """One-time work at the start of a fallback window.
+
+        Hook: the base deployment pulls switch-authoritative registers
+        from the (still reachable, merely reprogramming) switch; the
+        failover deployment recovers them from its per-packet checkpoint
+        instead — the crashed primary cannot be read.
+        """
+        self._pull_switch_registers()
+
+    def _exit_fallback(self) -> None:
+        """End a fallback window: bulk resync, effect-log entry, stats.
+
+        Hook: the failover deployment promotes the standby first, so the
+        resync (and everything after) targets the new active switch.
+        """
+        self.sync_all_state()
+        self.fault_log.append(("resync",))
+        self.accounting.switch_resyncs += 1
+        self._fallback_active = False
+        if self._tracer is not None:
+            self._tracer.record("switch_resync", component="deployment")
 
     def _pull_switch_registers(self) -> None:
         """Copy switch-authoritative register values into server state
@@ -662,12 +720,7 @@ class GalliumMiddlebox:
         ``index``: switch reprogram completion and server restart."""
         injector = self.injector
         if self._fallback_active and not injector.switch_down(index):
-            self.sync_all_state()
-            self.fault_log.append(("resync",))
-            self.accounting.switch_resyncs += 1
-            self._fallback_active = False
-            if self._tracer is not None:
-                self._tracer.record("switch_resync", component="deployment")
+            self._exit_fallback()
         server_down = injector.server_down(index)
         if server_down and not self._server_was_down:
             self._server_was_down = True

@@ -1,0 +1,202 @@
+"""Active-standby switch failover (the robustness story §5 leaves out).
+
+A :class:`FailoverDeployment` runs the paper's deployment model on a
+*pair* of programmable switches:
+
+* the **primary** carries traffic exactly like the single-switch
+  :class:`~repro.runtime.deployment.GalliumMiddlebox`;
+* the **standby** is programmed with the same P4 artifact at install
+  time and kept warm by replaying every *committed* control-plane batch
+  (replays ride a server→standby replication channel and can be lost —
+  the ``standby_stale`` fault — or refused for capacity skew; both are
+  repaired by the promotion resync);
+* switch-authoritative data-plane registers are continuously
+  **checkpointed** to the server (piggybacked on the punt channel, one
+  checkpoint per completed packet), because a crashed primary cannot be
+  read back the way a merely-reprogramming switch can.
+
+When the primary crashes — at a packet boundary (``switch_crash``) or
+mid-batch on the control-plane connection (``crash_batch``, resolved
+transactionally by the undo log first) — the deployment rides the
+existing fallback machinery for the *promotion window*: punted packets
+run entirely on the server, with register state recovered from the
+checkpoint.  At the window's end the standby is promoted: it becomes
+``self.switch``, receives a bulk resync from the server's authoritative
+copy (the inverse of ``crash_resync``), and the effect log records
+``("promote",)`` so the fault oracle can mirror the transition.
+
+The standby shares the deployment's telemetry bundle: batch replays are
+modeled as synchronous replication (they advance the simulated clock and
+land in the shared control-plane metrics), which keeps promotion free —
+the promoted switch is already wired to the deployment's clock, metrics,
+and tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.partition.plan import PlacementKind
+from repro.runtime.deployment import GalliumMiddlebox
+from repro.switchsim.control_plane import UpdateBatchError
+from repro.switchsim.switch_model import SwitchModel
+
+#: XOR'd into the deployment seed to derive the standby's jitter seed.
+_STANDBY_SALT = 0x57B1
+
+
+class FailoverDeployment(GalliumMiddlebox):
+    """Gallium deployment over an active-standby switch pair."""
+
+    def __init__(self, plan, program, **kwargs):
+        super().__init__(plan, program, **kwargs)
+        self.standby = SwitchModel(
+            program,
+            server_port=self.server_port,
+            port_pairs=dict(self.switch.port_pairs),
+            seed=self.seed ^ _STANDBY_SALT,
+            telemetry=self.telemetry,
+        )
+        #: the crashed primary, kept for post-mortem introspection
+        self.failed_primary = None
+        self._promoted = False
+        #: per-packet checkpoint of switch-authoritative register values
+        self._register_checkpoint: Dict[str, int] = {}
+        metrics = self.telemetry.metrics
+        self._c_promotions = metrics.counter("failover.promotions")
+        self._c_replayed = metrics.counter(
+            "failover.standby_batches_replayed"
+        )
+        self._c_replay_dropped = metrics.counter(
+            "failover.standby_replay_dropped"
+        )
+        self._c_window_packets = metrics.counter(
+            "failover.promotion_window_packets"
+        )
+
+    @property
+    def promoted(self) -> bool:
+        return self._promoted
+
+    # -- install / resync ------------------------------------------------------
+
+    def sync_all_state(self) -> None:
+        super().sync_all_state()
+        if self.standby is not None:
+            # Keep the warm standby bit-identical after any bulk resync
+            # (install time; there is no reprogram resync in failover
+            # plans).
+            self._sync_switch_state(self.standby)
+
+    # -- the packet path -------------------------------------------------------
+
+    def process_packet(self, packet, ingress_port: int = 1):
+        journey = super().process_packet(packet, ingress_port)
+        if not self._fallback_active:
+            # Checkpoint the active switch's data-plane registers after
+            # every completed packet.  A mid-batch crash still counts:
+            # the data plane keeps forwarding until the supervisor
+            # declares the primary dead at the next packet boundary.
+            self._checkpoint_registers()
+        return journey
+
+    def _checkpoint_registers(self) -> None:
+        for name, placement in self.plan.placements.items():
+            if placement.kind is PlacementKind.SWITCH_REGISTER:
+                self._register_checkpoint[name] = (
+                    self.switch.registers[name].value
+                )
+
+    # -- batch replication -----------------------------------------------------
+
+    def _apply_update_batch(self, updates):
+        try:
+            batch = super()._apply_update_batch(updates)
+        except UpdateBatchError:
+            # Rolled back byte-exactly (possibly because the primary's
+            # control-plane connection just died).  Consume a pending
+            # mid-batch crash so the promotion window opens at the next
+            # packet; nothing is replicated — the server rolls back too.
+            self._take_primary_crash()
+            raise
+        self._take_primary_crash()
+        self._replay_to_standby(updates)
+        return batch
+
+    def _take_primary_crash(self) -> None:
+        if self.faults_armed and self.injector.take_batch_crash():
+            if self._tracer is not None:
+                self._tracer.record(
+                    "primary_crash", component="failover", during="batch"
+                )
+
+    def _replay_to_standby(self, updates) -> None:
+        """Replicate one committed batch to the warm standby."""
+        if self.standby is None or not updates:
+            return
+        if self.faults_armed and self.injector.standby_replay_dropped():
+            self._c_replay_dropped.inc()
+            if self._tracer is not None:
+                self._tracer.record(
+                    "standby_replay_dropped", component="failover"
+                )
+            return
+        try:
+            self.standby.control_plane.apply_batch(list(updates))
+        except UpdateBatchError:
+            # Capacity skew from earlier dropped replays can make a
+            # replay unappliable; treat it as dropped — the promotion
+            # resync rebuilds the standby from scratch anyway.
+            self._c_replay_dropped.inc()
+            return
+        self._c_replayed.inc()
+
+    # -- promotion window ------------------------------------------------------
+
+    def _fallback_process(self, packet, ingress_port: int, index: int):
+        self._c_window_packets.inc()
+        return super()._fallback_process(packet, ingress_port, index)
+
+    def _enter_fallback(self) -> None:
+        # The primary is gone: recover its data-plane registers from the
+        # continuous checkpoint (a dead switch cannot be pulled).
+        for name, placement in self.plan.placements.items():
+            if placement.kind is PlacementKind.SWITCH_REGISTER:
+                if name in self._register_checkpoint:
+                    self.state.scalars[name] = (
+                        self._register_checkpoint[name]
+                    )
+        if self._tracer is not None:
+            self._tracer.record(
+                "failover_window_open", component="failover"
+            )
+
+    def _exit_fallback(self) -> None:
+        self._promote()
+        self.sync_all_state()
+        self.fault_log.append(("promote",))
+        self.accounting.switch_resyncs += 1
+        self._fallback_active = False
+        if self._tracer is not None:
+            self._tracer.record(
+                "failover_promote", component="failover",
+                replays=self._c_replayed.value,
+                dropped=self._c_replay_dropped.value,
+            )
+
+    def _promote(self) -> None:
+        """The standby becomes the active switch."""
+        if self._promoted:
+            return
+        self._promoted = True
+        self._c_promotions.inc()
+        self.failed_primary = self.switch
+        self.switch = self.standby
+        self.standby = None
+        # The promoted switch inherits the deployment's control-plane
+        # policy and fault exposure.
+        self.switch.control_plane.retry = self.policy.retry
+        if self.injector is not None:
+            self.switch.control_plane.fault_hook = self.injector.batch_fault
+        # The checkpoint now tracks the new active switch.
+        self._checkpoint_registers()

@@ -21,9 +21,26 @@ backoff with jitter) when a :class:`ControlPlaneFault` is injected by the
 fault harness (`repro.faults`).  RPC-level "fail" faults veto the attempt
 before any switch state changes; "timeout" faults apply the batch but lose
 the confirmation, so the retry re-applies it — safe because the three-step
-protocol is idempotent for inserts, modifies, deletes and register writes.
-A batch that exhausts its attempts (or hits a write-back overflow) raises
-:class:`UpdateBatchError` and leaves no staged residue behind.
+protocol is idempotent for inserts, modifies, deletes and register writes;
+"crash" faults model the RPC connection dying mid-batch, landing a strict
+prefix of the touched tables.
+
+Every batch is transactional: before the first mutation the control plane
+captures an :class:`UndoLog` with the byte-exact pre-image of every
+touched table entry and register cell, plus a high-water mark of updates
+durably applied by the best attempt so far.  A batch that exhausts its
+attempts deterministically rolls *forward* when the mark covers the whole
+batch (the batch landed during a timed-out attempt; the log confirms it
+and :meth:`ControlPlane.apply_batch` returns a committed result with
+``decision == "rolled_forward"``) or *back* (every pre-image is restored
+and :class:`UpdateBatchError` is raised with ``decision == "rolled_back"``
+and no switch-state change).  There is no read-back reconciliation:
+"whichever side won" can no longer happen.
+
+Per-attempt latency includes an M/M/1-style queueing term: the control
+channel is a FIFO RPC pipe, so an attempt submitted while earlier batches
+are still in flight waits for them to drain first (batch storms slow
+retries).  The wait is deterministic given the simulated clock.
 """
 
 from __future__ import annotations
@@ -107,35 +124,88 @@ class RetryPolicy:
 
 
 class ControlPlaneFault(Exception):
-    """A transient injected fault on one batch attempt (retryable)."""
+    """A transient injected fault on one batch attempt (retryable).
 
-    def __init__(self, kind: str):
+    ``applied_updates`` is how many of the batch's updates the faulted
+    attempt durably applied before dying: the whole batch for a
+    "timeout" (only the confirmation is lost), a strict prefix for a
+    mid-batch "crash", zero for a vetoed "fail".
+    """
+
+    def __init__(self, kind: str, applied_updates: int = 0):
         super().__init__(f"injected control-plane fault: {kind}")
-        self.kind = kind  # "fail" | "timeout"
+        self.kind = kind  # "fail" | "timeout" | "crash"
+        self.applied_updates = applied_updates
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """Byte-exact pre-image of one slot touched by an update batch."""
+
+    kind: str  # "table" | "register"
+    target: str
+    key: Optional[Tuple[int, ...]]  # None for registers
+    existed: bool  # table entry present before the batch (registers: True)
+    value: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "key": list(self.key) if self.key is not None else None,
+            "existed": self.existed,
+            "value": self.value,
+        }
+
+
+@dataclass
+class UndoLog:
+    """Switch-side undo log for one update batch.
+
+    Captured before the batch's first mutation; ``high_water`` tracks the
+    most updates any single attempt durably applied.  An exhausted batch
+    rolls *forward* when the mark covers the whole batch (the log confirms
+    a landed-but-unconfirmed batch) and *back* otherwise (every pre-image
+    restored, leaving the switch byte-identical to its pre-batch state).
+    """
+
+    records: List["UndoRecord"] = field(default_factory=list)
+    high_water: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "high_water": self.high_water,
+            "records": [record.to_dict() for record in self.records],
+        }
 
 
 class UpdateBatchError(Exception):
     """A batch could not be applied (retries exhausted or overflow).
 
     ``kind`` is ``"overflow"`` for write-back capacity (permanent) or the
-    transient fault kind that exhausted its retries.  ``applied`` reports
-    whether the switch state changed: overflows and vetoed RPCs abort
-    cleanly, so the caller can roll the server back and degrade the packet
-    without switch/server divergence.
+    transient fault kind that exhausted its retries.  The control plane
+    has already rolled the switch back byte-exactly from the undo log
+    (``decision == "rolled_back"``), so ``applied`` is always False: the
+    caller rolls the server back and degrades the packet with no
+    switch/server divergence possible.
     """
 
     def __init__(self, message: str, kind: str, attempts: int,
-                 retry_wait_us: float, applied: bool = False):
+                 retry_wait_us: float, applied: bool = False,
+                 decision: str = "rolled_back",
+                 undo: Optional[UndoLog] = None):
         super().__init__(message)
         self.kind = kind
         self.attempts = attempts
         self.retry_wait_us = retry_wait_us
         self.applied = applied
+        self.decision = decision
+        self.undo = undo
 
 
 @dataclass
 class UpdateBatchResult:
-    """Timing of one atomic update batch."""
+    """Timing and transactional outcome of one atomic update batch."""
 
     #: µs until the updates are visible to the data plane (after bit flip).
     visibility_latency_us: float
@@ -147,6 +217,13 @@ class UpdateBatchResult:
     attempts: int = 1
     #: µs spent in failed attempts + backoff before the successful one
     retry_wait_us: float = 0.0
+    #: µs queued behind outstanding RPCs on the control channel
+    queue_wait_us: float = 0.0
+    #: "committed" (an attempt confirmed) or "rolled_forward" (attempts
+    #: exhausted but the undo log's high-water mark covered the batch)
+    decision: str = "committed"
+    #: the batch's undo log (pre-images + high-water mark)
+    undo: Optional[UndoLog] = None
 
 
 class ControlPlane:
@@ -179,9 +256,21 @@ class ControlPlane:
         #: failed batches == server-side rollbacks (the caller restores its
         #: snapshot whenever a batch dies), so one counter serves both.
         self._c_failed = metrics.counter("control_plane.batches_failed")
+        self._c_rolled_forward = metrics.counter(
+            "control_plane.batches_rolled_forward"
+        )
+        self._c_rolled_back = metrics.counter(
+            "control_plane.batches_rolled_back"
+        )
         self._h_visibility = metrics.histogram(
             "control_plane.batch_visibility_us", LATENCY_BOUNDS_US
         )
+        self._h_queue_wait = metrics.histogram(
+            "control_plane.rpc_queue_wait_us", LATENCY_BOUNDS_US
+        )
+        self._g_outstanding = metrics.gauge("control_plane.rpc_outstanding")
+        #: completion times (simulated µs) of RPCs still on the channel
+        self._rpc_inflight: List[float] = []
 
     # Legacy counter attributes, now views over the metrics registry.
     @property
@@ -228,16 +317,20 @@ class ControlPlane:
     # -- atomic per-packet batch (the paper's three-step protocol) -------------
 
     def apply_batch(self, updates: List[StateUpdate]) -> UpdateBatchResult:
-        """Apply one packet's state updates atomically.
+        """Apply one packet's state updates atomically (transactionally).
 
         Returns the latency components; the caller (the Gallium runtime)
         holds the triggering packet until ``visibility_latency_us`` has
         elapsed — the output-commit rule.  Transient injected faults are
-        retried per ``self.retry``; raises :class:`UpdateBatchError` when
-        the batch cannot be applied.
+        retried per ``self.retry``.  An exhausted batch consults its undo
+        log: roll *forward* (return a committed result with
+        ``decision == "rolled_forward"``) when the high-water mark covers
+        the whole batch, roll *back* byte-exactly and raise
+        :class:`UpdateBatchError` otherwise.
         """
         max_attempts = self.retry.max_attempts if self.retry else 1
         retry_wait = 0.0
+        queue_wait = 0.0
         attempts = 0
         tracer = self.telemetry.active_tracer
         if tracer is not None:
@@ -247,44 +340,52 @@ class ControlPlane:
                 tables=sorted({u.target for u in updates}),
             )
         last_fault: Optional[ControlPlaneFault] = None
-        #: True once any attempt mutated the switch (a timed-out attempt
-        #: applies the batch and only loses the confirmation) — exhaustion
-        #: must then report applied=True no matter how later attempts die,
-        #: or the caller would roll the server back while the switch keeps
-        #: the batch: exactly the silent divergence this protocol forbids.
-        any_applied = False
+        undo = self._capture_undo(updates)
         while attempts < max_attempts:
             attempts += 1
             self._c_attempts.inc()
+            # The simulated clock only advances at batch completion, so the
+            # channel sees this attempt at now + wall clock already burned.
+            wait, start = self._rpc_submit(retry_wait + queue_wait)
+            queue_wait += wait
             fault = self.fault_hook(attempts) if self.fault_hook else None
             try:
                 result = self._apply_once(updates, fault)
             except ControlPlaneFault as exc:
                 last_fault = exc
-                if exc.kind == "timeout":
-                    any_applied = True
-                retry_wait += self._attempt_cost_us(updates, exc.kind)
+                undo.high_water = max(undo.high_water, exc.applied_updates)
+                cost = self._attempt_cost_us(updates, exc.kind)
+                self._rpc_inflight.append(start + cost)
+                retry_wait += cost
                 if tracer is not None:
                     tracer.record("batch_attempt", component="control_plane",
-                                  attempt=attempts, fault=exc.kind)
+                                  attempt=attempts, fault=exc.kind,
+                                  high_water=undo.high_water)
                 if attempts < max_attempts:
                     self._c_retried.inc()
                     retry_wait += self.retry.backoff_us(attempts, self._rng)
                 continue
             except TableEntryLimit as exc:
                 self._c_failed.inc()
+                self._c_rolled_back.inc()
+                self._rollback(undo, updates)
                 if tracer is not None:
                     tracer.record("batch_abort", component="control_plane",
                                   fault="overflow", attempts=attempts,
-                                  applied=False)
+                                  decision="rolled_back")
                 raise UpdateBatchError(
                     str(exc), kind="overflow", attempts=attempts,
-                    retry_wait_us=retry_wait,
+                    retry_wait_us=retry_wait + queue_wait,
+                    undo=undo,
                 ) from exc
+            undo.high_water = len(updates)
+            self._rpc_inflight.append(start + result.visibility_latency_us)
             result.attempts = attempts
             result.retry_wait_us = retry_wait
-            result.visibility_latency_us += retry_wait
-            result.total_latency_us += retry_wait
+            result.queue_wait_us = queue_wait
+            result.undo = undo
+            result.visibility_latency_us += retry_wait + queue_wait
+            result.total_latency_us += retry_wait + queue_wait
             self._c_applied.inc()
             self._c_updates.inc(len(updates))
             self._h_visibility.observe(result.visibility_latency_us)
@@ -294,23 +395,126 @@ class ControlPlane:
                     "batch_commit", component="control_plane",
                     attempts=attempts, updates=len(updates),
                     visibility_us=round(result.visibility_latency_us, 3),
+                    decision="committed",
                 )
             return result
         assert last_fault is not None
+        wall_us = retry_wait + queue_wait
+        if updates and undo.high_water >= len(updates):
+            # Roll forward: the whole batch landed during a timed-out
+            # attempt and only the confirmation was lost.  The undo log's
+            # high-water mark is the durable proof, so the batch commits
+            # from the log — no read-back reconciliation, no divergence.
+            self._c_applied.inc()
+            self._c_rolled_forward.inc()
+            self._c_updates.inc(len(updates))
+            self._h_visibility.observe(wall_us)
+            self.telemetry.clock.advance(wall_us)
+            if tracer is not None:
+                tracer.record(
+                    "batch_commit", component="control_plane",
+                    attempts=attempts, updates=len(updates),
+                    visibility_us=round(wall_us, 3),
+                    decision="rolled_forward",
+                )
+            return UpdateBatchResult(
+                visibility_latency_us=wall_us,
+                total_latency_us=wall_us,
+                tables_touched=self._tables_touched(updates),
+                updates_applied=len(updates),
+                attempts=attempts,
+                retry_wait_us=retry_wait,
+                queue_wait_us=queue_wait,
+                decision="rolled_forward",
+                undo=undo,
+            )
+        # Roll back: restore every pre-image byte-exactly; the switch ends
+        # the batch exactly where it started, whatever prefix landed.
         self._c_failed.inc()
-        self.telemetry.clock.advance(retry_wait)
+        self._c_rolled_back.inc()
+        self._rollback(undo, updates)
+        self.telemetry.clock.advance(wall_us)
         if tracer is not None:
             tracer.record("batch_abort", component="control_plane",
                           fault=last_fault.kind, attempts=attempts,
-                          applied=any_applied)
+                          decision="rolled_back")
         raise UpdateBatchError(
             f"update batch failed after {attempts} attempts"
             f" (last fault: {last_fault.kind})",
             kind=last_fault.kind,
             attempts=attempts,
-            retry_wait_us=retry_wait,
-            applied=any_applied,
+            retry_wait_us=wall_us,
+            applied=False,
+            undo=undo,
         )
+
+    # -- the undo log ----------------------------------------------------------
+
+    def _capture_undo(self, updates: List[StateUpdate]) -> UndoLog:
+        """Snapshot the pre-image of every slot the batch touches."""
+        log = UndoLog()
+        seen = set()
+        for update in updates:
+            if update.op == "register":
+                slot = ("register", update.target, None)
+                if slot in seen:
+                    continue
+                seen.add(slot)
+                log.records.append(UndoRecord(
+                    kind="register", target=update.target, key=None,
+                    existed=True,
+                    value=self.registers[update.target].preimage(),
+                ))
+            else:
+                slot = ("table", update.target, update.key)
+                if slot in seen:
+                    continue
+                seen.add(slot)
+                existed, value = self.tables[update.target].entry_preimage(
+                    update.key
+                )
+                log.records.append(UndoRecord(
+                    kind="table", target=update.target, key=update.key,
+                    existed=existed, value=value,
+                ))
+        return log
+
+    def _rollback(self, undo: UndoLog, updates: List[StateUpdate]) -> None:
+        """Byte-exact restore of every touched slot from the undo log."""
+        for name in {u.target for u in updates if u.op != "register"}:
+            self.tables[name].discard_writeback()
+        for record in undo.records:
+            if record.kind == "table":
+                self.tables[record.target].restore_entry(
+                    record.key, record.existed, record.value
+                )
+            else:
+                self.registers[record.target].restore(record.value)
+
+    # -- the RPC channel -------------------------------------------------------
+
+    def _rpc_submit(self, elapsed_us: float) -> Tuple[float, float]:
+        """FIFO wait on the control-plane RPC channel.
+
+        ``elapsed_us`` is wall clock this batch already burned in earlier
+        attempts (the simulated clock advances only at completion).
+        Returns ``(wait_us, start_us)``: how long the attempt queues
+        behind outstanding RPCs and when its own service begins.  The
+        caller appends ``start_us + service`` to the in-flight list once
+        the attempt's service time is known.
+        """
+        now = self.telemetry.clock.now_us + elapsed_us
+        self._rpc_inflight = [t for t in self._rpc_inflight if t > now]
+        self._g_outstanding.set(len(self._rpc_inflight))
+        start = max(self._rpc_inflight) if self._rpc_inflight else now
+        wait = start - now
+        self._h_queue_wait.observe(wait)
+        return wait, start
+
+    def _tables_touched(self, updates: List[StateUpdate]) -> int:
+        table_updates = [u for u in updates if u.op != "register"]
+        n_tables = len({u.target for u in table_updates})
+        return n_tables + (1 if len(table_updates) < len(updates) else 0)
 
     def _apply_once(
         self, updates: List[StateUpdate], fault: Optional[str]
@@ -321,7 +525,9 @@ class ControlPlane:
         ``fault == "overflow"`` models write-back capacity exhaustion (also
         before mutation, so the abort is clean); ``fault == "timeout"``
         applies everything but loses the confirmation, exercising the
-        protocol's idempotence on retry.
+        protocol's idempotence on retry; ``fault == "crash"`` kills the
+        RPC connection mid-batch, durably landing a strict prefix of the
+        touched tables — the case only the undo log can clean up.
         """
         if fault == "fail":
             raise ControlPlaneFault("fail")
@@ -334,6 +540,29 @@ class ControlPlane:
         touched: Dict[str, List[StateUpdate]] = {}
         for update in table_updates:
             touched.setdefault(update.target, []).append(update)
+
+        if fault == "crash":
+            # The connection dies after the first touched table folded
+            # (or after the first register write when the batch is
+            # register-only): a genuinely partial application.
+            applied = 0
+            if touched:
+                first_name, first_ops = next(iter(touched.items()))
+                table = self.tables[first_name]
+                for update in first_ops:
+                    table.stage(
+                        update.key,
+                        None if update.op == "delete" else update.value,
+                    )
+                table.set_visibility(True)
+                table.fold_writeback()
+                table.set_visibility(False)
+                applied = len(first_ops)
+            elif register_updates:
+                first = register_updates[0]
+                self.registers[first.target].control_write(first.value or 0)
+                applied = 1
+            raise ControlPlaneFault("crash", applied_updates=applied)
 
         # Step 1: stage every update in the write-back tables.  A capacity
         # failure aborts the whole batch: discard any staged residue so the
@@ -364,8 +593,9 @@ class ControlPlane:
 
         if fault == "timeout":
             # The batch landed but the confirmation never arrived; the
-            # caller cannot tell and must retry (idempotently).
-            raise ControlPlaneFault("timeout")
+            # caller cannot tell and must retry (idempotently).  The undo
+            # log's high-water mark records the full batch as durable.
+            raise ControlPlaneFault("timeout", applied_updates=len(updates))
 
         n_tables = len(touched) + (1 if register_updates else 0)
         op_kind = _dominant_op(table_updates) if table_updates else "modify"

@@ -37,5 +37,14 @@ class Register:
         self.write_count += 1
         self.value = value & self._mask
 
+    def preimage(self) -> int:
+        """Committed value for undo-log capture (no counter side effects)."""
+        return self.value
+
+    def restore(self, value: int) -> None:
+        """Write the cell back to its pre-image (undo-log rollback; not a
+        data-plane write, so counters stay untouched)."""
+        self.value = value & self._mask
+
     def __repr__(self) -> str:
         return f"<Register {self.name}={self.value} ({self.width_bits}b)>"

@@ -113,6 +113,24 @@ class ExactMatchTable:
                 self._main[key] = value  # type: ignore[assignment]
         self._writeback.clear()
 
+    def entry_preimage(self, key: Key) -> Tuple[bool, int]:
+        """Committed pre-image of one slot, ignoring any staged entry.
+
+        The undo log snapshots this before a batch's first mutation; a
+        byte-exact rollback is ``restore_entry(key, *preimage)``.
+        """
+        if key in self._main:
+            return True, self._main[key]
+        return False, 0
+
+    def restore_entry(self, key: Key, existed: bool, value: int) -> None:
+        """Write one committed slot back to its pre-image (undo-log
+        rollback; bypasses the write-back stage by design)."""
+        if existed:
+            self._main[key] = value
+        else:
+            self._main.pop(key, None)
+
     # -- introspection -------------------------------------------------------------
 
     @property

@@ -61,10 +61,14 @@ class Telemetry:
 
     def __init__(self, tracing: bool = False, deep: bool = False,
                  clock: Optional[SimClock] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 sample_every: Optional[int] = None,
+                 punted_only: bool = False):
         self.clock = clock if clock is not None else SimClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.tracer = PacketTracer(self.clock, enabled=tracing, deep=deep)
+        self.tracer = PacketTracer(self.clock, enabled=tracing, deep=deep,
+                                   sample_every=sample_every,
+                                   punted_only=punted_only)
 
     @property
     def active_tracer(self) -> Optional[PacketTracer]:

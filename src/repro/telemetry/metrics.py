@@ -68,7 +68,8 @@ class Histogram:
     creation so serialized output never depends on observation order.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
+                 "max_observed")
 
     def __init__(self, name: str, bounds: Sequence[float]):
         if not bounds or list(bounds) != sorted(bounds):
@@ -79,11 +80,14 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
+        self.max_observed = 0.0
 
     def observe(self, value: float) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
+        if value > self.max_observed:
+            self.max_observed = value
         for index, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[index] += 1
@@ -93,6 +97,30 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile estimate from the buckets.
+
+        Returns the upper bound of the bucket holding the rank, clamped
+        to the largest observation (so a population narrower than its
+        bucket reports its true maximum, and the overflow bucket doesn't
+        report infinity).  This is the registry's single percentile
+        implementation — components must not keep raw sample lists just
+        to re-derive it.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction {fraction!r} outside [0, 1]")
+        rank = max(1, int(round(fraction * self.count)))
+        seen = 0
+        for index, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return min(self.bounds[index], self.max_observed)
+                return self.max_observed
+        return self.max_observed  # pragma: no cover — seen == count
 
     def to_dict(self) -> dict:
         return {

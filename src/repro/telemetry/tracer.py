@@ -97,31 +97,63 @@ def _format_value(value) -> str:
     return str(value)
 
 
+#: Event kinds that mark a packet as punted (kept by ``punted_only``).
+PUNT_KINDS = frozenset({"punt", "punt_queued"})
+
+
 class PacketTracer:
     """Accumulates :class:`TraceEvent` records for one deployment side.
 
     ``deep`` additionally records one ``exec`` event per interpreted IR
     statement.  ``only_packet`` filters recording to a single packet
     index (used by divergence provenance to isolate the failing packet).
+
+    Sampling (makes always-on tracing affordable for long campaigns):
+
+    * ``sample_every=N`` records only packets whose index is a multiple
+      of N (non-packet events — e.g. configure-time — always recorded),
+    * ``punted_only`` records only packets that took the slow path;
+      events are buffered per packet and kept iff a punt event appears.
+
+    Both filters drop whole packets, never individual events, so a
+    sampled trace is always a subsequence of the full trace (ignoring
+    the re-assigned ``seq`` numbers).
     """
 
     def __init__(self, clock: Optional[SimClock] = None,
-                 enabled: bool = False, deep: bool = False):
+                 enabled: bool = False, deep: bool = False,
+                 sample_every: Optional[int] = None,
+                 punted_only: bool = False):
+        if sample_every is not None and sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.clock = clock if clock is not None else SimClock()
         self.enabled = enabled
         self.deep = deep
+        self.sample_every = sample_every
+        self.punted_only = punted_only
         self.component = "init"
         self.packet: Optional[int] = None
         self.only_packet: Optional[int] = None
         self.events: List[TraceEvent] = []
+        #: current packet's events while ``punted_only`` buffers them
+        self._pending: List[TraceEvent] = []
+        self._pending_keep = False
 
     # -- recording ---------------------------------------------------
 
     def begin_packet(self, index: int) -> None:
+        self.flush()
         self.packet = index
 
     def set_component(self, component: str) -> None:
         self.component = component
+
+    def _sampled_out(self) -> bool:
+        return (
+            self.sample_every is not None
+            and self.packet is not None
+            and self.packet % self.sample_every != 0
+        )
 
     def record(self, kind: str, component: Optional[str] = None,
                **detail) -> None:
@@ -129,14 +161,34 @@ class PacketTracer:
             return
         if self.only_packet is not None and self.packet != self.only_packet:
             return
-        self.events.append(TraceEvent(
+        if self._sampled_out():
+            return
+        event = TraceEvent(
             seq=len(self.events),
             time_us=self.clock.now_us,
             component=component if component is not None else self.component,
             kind=kind,
             packet=self.packet,
             detail=detail,
-        ))
+        )
+        if self.punted_only and self.packet is not None:
+            self._pending.append(event)
+            if kind in PUNT_KINDS:
+                self._pending_keep = True
+            return
+        self.events.append(event)
+
+    def flush(self) -> None:
+        """Finalize the current packet's buffered events (``punted_only``
+        keeps them iff the packet punted).  Called automatically at the
+        next ``begin_packet`` and before any output."""
+        if self._pending:
+            if self._pending_keep:
+                for event in self._pending:
+                    event.seq = len(self.events)
+                    self.events.append(event)
+            self._pending = []
+        self._pending_keep = False
 
     # -- transactional discard ---------------------------------------
 
@@ -152,7 +204,16 @@ class PacketTracer:
         the switch's speculative pre-pipeline run) so discarded effects
         never count as divergences.  Read/context events are kept.
         """
-        if not self.enabled or mark >= len(self.events):
+        if not self.enabled:
+            return
+        if self._pending:
+            # Buffered events all belong to the current packet, and the
+            # mark was taken before its first one — filter them too.
+            self._pending = [
+                event for event in self._pending
+                if event.kind not in EFFECT_KINDS
+            ]
+        if mark >= len(self.events):
             return
         kept = self.events[:mark]
         for event in self.events[mark:]:
@@ -164,7 +225,9 @@ class PacketTracer:
     # -- output ------------------------------------------------------
 
     def to_dicts(self) -> List[dict]:
+        self.flush()
         return [event.to_dict() for event in self.events]
 
     def format(self) -> str:
+        self.flush()
         return "\n".join(event.format() for event in self.events)

@@ -101,3 +101,74 @@ def test_predicate_exception_is_failure():
 
     program, _ = shrink_case(_program(), StreamSpec(seed=1, count=2), predicate)
     assert "ip->ttl" in program.source()
+
+
+class TestTraceGuidedShrinking:
+    """Trace-diff hints order candidates before blind bisection."""
+
+    @staticmethod
+    def _diff(packet=3, name="ctr0"):
+        return {
+            "divergent": True,
+            "stream": f"state member '{name}'",
+            "rhs_event": {
+                "seq": 9, "time_us": 2.0, "component": "server",
+                "kind": "register_write", "packet": packet,
+                "detail": {"name": name},
+            },
+            "lhs_context": [
+                {"seq": 8, "time_us": 1.9, "component": "server",
+                 "kind": "register_read", "packet": packet,
+                 "detail": {"name": name}},
+            ],
+        }
+
+    def test_hints_extracted_from_diff(self):
+        from repro.difftest.shrink import ShrinkHints
+
+        hints = ShrinkHints.from_trace_diff(self._diff())
+        assert hints.packet == 3
+        assert hints.names == frozenset({"ctr0"})
+        # Non-divergent and missing diffs degrade to empty hints.
+        assert ShrinkHints.from_trace_diff(None) == ShrinkHints()
+        assert ShrinkHints.from_trace_diff(
+            {"divergent": False}
+        ) == ShrinkHints()
+
+    def test_guided_stream_cut_lands_after_divergent_packet(self):
+        """With a packet hint the first truncation try is packet+1, so a
+        divergence needing packets 0..3 settles at count=4 in one call
+        instead of walking the blind 1/half/-1 ladder."""
+        calls = []
+
+        def predicate(program, stream):
+            calls.append(stream.count)
+            return stream.count >= 4
+
+        _, stream = shrink_case(
+            _program(), StreamSpec(seed=1, count=25), predicate,
+            trace_diff=self._diff(packet=3),
+        )
+        assert stream.count == 4
+        # First shrink attempt after the initial check was the guided cut.
+        assert calls[1] == 4
+
+    def test_unrelated_statements_dropped_first(self):
+        from repro.difftest.shrink import ShrinkHints, _drop_one_statement
+
+        program = _program()
+        dropped_sources = []
+
+        def reject_all(candidate, stream):
+            dropped_sources.append(candidate.source())
+            return False
+
+        _drop_one_statement(
+            program, StreamSpec(seed=1, count=2), reject_all,
+            ShrinkHints(names=frozenset({"ctr0"})),
+        )
+        # The first candidate deletion kept every ctr0 mention intact —
+        # i.e. the statement tried first does not touch ctr0.
+        assert "ctr0 += 1" in dropped_sources[0]
+        # The ctr0-touching statements were attempted last.
+        assert "ctr0 += 1" not in dropped_sources[-1]

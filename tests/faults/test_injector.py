@@ -74,13 +74,16 @@ class TestBatchFaults:
         injector.begin_packet(0)
         assert [injector.batch_fault(a) for a in (1, 2, 3, 4)] == ["fail"] * 4
 
-    def test_timeout_never_on_final_attempt(self):
+    def test_timeout_can_fire_on_final_attempt(self):
+        """The undo log made exhausted timeouts safe (the control plane
+        rolls forward from the high-water mark), so the injector no
+        longer spares a batch's final permitted attempt."""
         plan = FaultPlan((BatchFault(mode="timeout", probability=1.0),))
         injector = FaultInjector(plan, seed=0, max_attempts=3)
         injector.begin_packet(0)
         assert injector.batch_fault(1) == "timeout"
         assert injector.batch_fault(2) == "timeout"
-        assert injector.batch_fault(3) is None
+        assert injector.batch_fault(3) == "timeout"
 
     def test_doom_resets_per_packet(self):
         plan = FaultPlan((BatchFault(probability=0.0, doom_probability=1.0),))

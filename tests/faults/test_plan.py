@@ -80,7 +80,7 @@ class TestSerialization:
         assert set(ALL_FAULT_KINDS) == set(FAULT_KINDS)
         assert set(ALL_FAULT_KINDS) == {
             "link", "batch", "overflow", "crash", "reprogram", "stale",
-            "reorder",
+            "reorder", "switch_crash", "crash_batch", "standby_stale",
         }
 
 

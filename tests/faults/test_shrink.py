@@ -90,6 +90,100 @@ def test_shrink_fault_case_minimizes_all_three_axes():
     assert link_survives(program, stream, shrunk)
 
 
+class TestTraceGuidedShrinking:
+    """The first-divergent-event stream orders shrink candidates."""
+
+    @staticmethod
+    def _historical_entry():
+        from repro.faults.corpus import load_corpus
+
+        entries = {e.name: e for e in load_corpus()}
+        return entries["timeout_then_fail_exhaustion"]
+
+    @staticmethod
+    def _historical_trace_diff():
+        """The entry's provenance: the divergence was packet 0's update
+        batch (see its description) — the minimal diff dict the campaign
+        would have attached."""
+        return {
+            "divergent": True,
+            "stream": "state member 'nat_out'",
+            "rhs_event": {
+                "seq": 4, "time_us": 1.0, "component": "control_plane",
+                "kind": "map_insert", "packet": 0,
+                "detail": {"name": "nat_out"},
+            },
+        }
+
+    def test_guided_converges_in_fewer_oracle_calls(self):
+        """Replaying the historical corpus scenario (plus the kind of
+        late-window bystander spec the campaign generator attaches),
+        the guided plan shrink reaches the same minimum with strictly
+        fewer oracle invocations than blind ddmin order."""
+        from repro.faults.oracle import FaultOutcome, run_fault_oracle
+
+        entry = self._historical_entry()
+        # The un-minimized shape: the two culprit batch specs plus an
+        # irrelevant fault active long after the packet-0 divergence.
+        plan = FaultPlan(faults=entry.fault_plan.faults + (
+            LinkFault(direction="to_server", mode="loss",
+                      probability=0.3, start=10, stop=14),
+        ))
+
+        class _Source:
+            @staticmethod
+            def source():
+                return entry.source
+
+        def count_calls(counter):
+            def predicate(program, stream, candidate):
+                counter.append(1)
+                replay = run_fault_oracle(
+                    entry.source, stream, candidate,
+                    policy=entry.policy,
+                    injector_seed=entry.injector_seed,
+                    deployment_seed=entry.deployment_seed,
+                    provenance=False,
+                )
+                if replay.outcome is not FaultOutcome.DEGRADED_OK:
+                    return False
+                # Both batch faults must still be firing.
+                return (replay.injected.get("batch_timeout", 0) > 0
+                        and replay.injected.get("batch_fail", 0) > 0)
+            return predicate
+
+        blind_calls, guided_calls = [], []
+        blind = shrink_plan(
+            _Source, entry.stream, plan, count_calls(blind_calls)
+        )
+        guided = shrink_plan(
+            _Source, entry.stream, plan, count_calls(guided_calls),
+            trace_diff=self._historical_trace_diff(),
+        )
+        assert blind == guided  # same minimum either way
+        assert all(spec.kind == "batch" for spec in guided.faults)
+        assert len(guided_calls) < len(blind_calls)
+
+    def test_specs_not_covering_divergent_packet_dropped_first(self):
+        plan = FaultPlan(faults=(
+            BatchFault(probability=1.0, start=0, stop=1),
+            LinkFault(probability=0.5, start=10, stop=15),
+        ))
+        tried = []
+
+        def record_first_candidate(program, stream, candidate):
+            tried.append(tuple(spec.kind for spec in candidate.faults))
+            return False  # nothing droppable; we only observe the order
+
+        from repro.faults.shrink import _drop_one_spec
+        from repro.difftest.shrink import ShrinkHints
+
+        _drop_one_spec(PROGRAM, STREAM, plan, record_first_candidate,
+                       ShrinkHints(packet=0))
+        # First candidate drops the link spec (inactive at packet 0).
+        assert tried[0] == ("batch",)
+
+
 def test_shrink_predicate_turning_flaky_raises_value_error():
     """A predicate that stops reproducing mid-shrink surfaces as the same
     ValueError as a non-reproducing initial case; the campaign catches it

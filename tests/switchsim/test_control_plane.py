@@ -195,19 +195,20 @@ class TestRetryMachinery:
         assert tables["t0"].lookup((1,)) == (False, 0)
         assert control.batches_failed == 1
 
-    def test_timeout_then_fail_exhaustion_reports_applied(self):
-        """Regression for a campaign-found divergence: an early timed-out
-        attempt lands the batch on the switch; if every later attempt is
-        vetoed, exhaustion must still report applied=True so the caller
-        does not roll the server back under a mutated switch."""
-        from repro.switchsim.control_plane import UpdateBatchError
-
+    def test_timeout_then_fail_exhaustion_rolls_forward(self):
+        """An early timed-out attempt lands the batch on the switch; if
+        every later attempt is vetoed, exhaustion rolls *forward* from
+        the undo log's high-water mark: the batch commits, the caller
+        never sees an error, and the server keeps its updates too."""
         control, tables = self.make_retrying(["timeout", "fail", "fail", "fail"])
-        with pytest.raises(UpdateBatchError) as excinfo:
-            control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
-        assert excinfo.value.applied is True
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 5)])
+        assert result.decision == "rolled_forward"
+        assert result.attempts == 4
+        assert result.updates_applied == 1
         # The switch indeed kept the batch from the timed-out attempt.
         assert tables["t0"].lookup((1,)) == (True, 5)
+        assert control.batches_applied == 1
+        assert control.batches_failed == 0
 
     def test_timeout_retry_is_idempotent(self):
         control, tables = self.make_retrying(["timeout", None])
@@ -252,6 +253,211 @@ class TestRetryMachinery:
         assert excinfo.value.kind == "overflow"
         assert not control.tables["tiny"]._writeback
         assert control.tables["tiny"].entry_count == 2
+
+
+class TestUndoLog:
+    """The switch-side undo log: byte-exact rollback, durable roll-forward."""
+
+    def make_crashing(self, fates, max_attempts=4):
+        from repro.switchsim.control_plane import RetryPolicy
+
+        control, tables, registers = make_control()
+        control.retry = RetryPolicy(max_attempts=max_attempts)
+        schedule = iter(fates)
+        control.fault_hook = lambda attempt: next(schedule, None)
+        return control, tables, registers
+
+    def test_undo_log_captures_preimages(self):
+        control, _, _ = self.make_crashing([None])
+        control.install_entries("t0", {(1,): 10})
+        result = control.apply_batch([
+            StateUpdate("modify", "t0", (1,), 99),
+            StateUpdate("insert", "t1", (2,), 22),
+            StateUpdate("register", "r", (), 7),
+        ])
+        undo = result.undo
+        assert undo is not None
+        assert undo.high_water == 3  # the whole batch landed
+        by_target = {(rec.kind, rec.target, rec.key): rec
+                     for rec in undo.records}
+        assert by_target[("table", "t0", (1,))].existed is True
+        assert by_target[("table", "t0", (1,))].value == 10
+        assert by_target[("table", "t1", (2,))].existed is False
+        assert by_target[("register", "r", None)].value == 0
+
+    def test_mid_batch_crash_exhaustion_rolls_back_byte_exactly(self):
+        """Every attempt's connection dies after the first table folded:
+        a durable strict prefix.  Exhaustion must restore both tables
+        (and the register) to their exact pre-batch images."""
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, tables, registers = self.make_crashing(["crash"] * 4)
+        control.install_entries("t0", {(1,): 10})
+        registers["r"].control_write(7)
+        with pytest.raises(UpdateBatchError) as excinfo:
+            control.apply_batch([
+                StateUpdate("modify", "t0", (1,), 99),
+                StateUpdate("insert", "t1", (2,), 22),
+                StateUpdate("register", "r", (), 55),
+            ])
+        assert excinfo.value.decision == "rolled_back"
+        assert excinfo.value.undo.high_water == 1  # the strict prefix
+        assert tables["t0"].lookup((1,)) == (True, 10)
+        assert tables["t1"].lookup((2,)) == (False, 0)
+        assert registers["r"].read() == 7
+        assert not tables["t0"]._writeback
+        assert not tables["t1"]._writeback
+
+    def test_single_table_crash_rolls_forward(self):
+        """When the crash lands the *whole* batch (single touched table)
+        before the connection dies, the high-water mark covers it and
+        exhaustion commits from the log instead of raising."""
+        control, tables, _ = self.make_crashing(["crash"] * 4)
+        result = control.apply_batch([
+            StateUpdate("insert", "t0", (1,), 5),
+            StateUpdate("insert", "t0", (2,), 6),
+        ])
+        assert result.decision == "rolled_forward"
+        assert result.attempts == 4
+        assert tables["t0"].lookup((1,)) == (True, 5)
+        assert tables["t0"].lookup((2,)) == (True, 6)
+
+    def test_rollback_restores_register_only_batch(self):
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, _, registers = self.make_crashing(["fail"] * 4)
+        registers["r"].control_write(7)
+        with pytest.raises(UpdateBatchError):
+            control.apply_batch([StateUpdate("register", "r", (), 99)])
+        assert registers["r"].read() == 7
+
+    def test_rollback_counters(self):
+        from repro.switchsim.control_plane import UpdateBatchError
+
+        control, _, _ = self.make_crashing(["crash"] * 4)
+        with pytest.raises(UpdateBatchError):
+            control.apply_batch([
+                StateUpdate("insert", "t0", (1,), 1),
+                StateUpdate("insert", "t1", (2,), 2),
+            ])
+        metrics = control.telemetry.metrics
+        assert metrics.counter(
+            "control_plane.batches_rolled_back"
+        ).value == 1
+        assert metrics.counter("control_plane.batches_applied").value == 0
+
+
+class TestRpcQueueing:
+    """The control channel is a FIFO RPC pipe: attempts queue behind
+    outstanding batches (the load-dependent latency term)."""
+
+    def make_queued(self, fates, max_attempts=4):
+        from repro.switchsim.control_plane import RetryPolicy
+
+        control, tables, _ = make_control()
+        control.retry = RetryPolicy(
+            max_attempts=max_attempts, jitter_fraction=0.0
+        )
+        schedule = iter(fates)
+        control.fault_hook = lambda attempt: next(schedule, None)
+        return control
+
+    def test_idle_channel_has_no_queue_wait(self):
+        control, _, _ = make_control()
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        assert result.queue_wait_us == 0.0
+
+    def test_channel_drains_between_committed_batches(self):
+        """The simulated clock advances past a batch's visibility at
+        commit, so a healthy (no-retry) workload never queues."""
+        control, _, _ = make_control()
+        for key in range(5):
+            result = control.apply_batch(
+                [StateUpdate("insert", "t0", (key,), key)]
+            )
+            assert result.queue_wait_us == 0.0
+
+    def test_storm_queues_behind_outstanding_rpc(self):
+        """A batch submitted while an earlier RPC is still on the channel
+        (a batch storm: the serial caller's clock has not reached its
+        completion) waits exactly the residual service time — the
+        deterministic M/M/1 FIFO term."""
+        control, _, _ = make_control()
+        now = control.telemetry.clock.now_us
+        control._rpc_inflight = [now + 500.0]
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        assert result.queue_wait_us == pytest.approx(500.0)
+        # The wall-clock result prices the queueing in.
+        assert result.visibility_latency_us > 500.0
+        assert result.retry_wait_us == 0.0  # queueing is not a retry
+
+    def test_queue_wait_grows_with_load(self):
+        """Deeper channel backlog -> longer wait (load dependence): the
+        attempt starts when the *last* outstanding RPC drains."""
+        waits = []
+        for backlog in ([], [200.0], [200.0, 900.0], [200.0, 900.0, 2_500.0]):
+            control, _, _ = make_control()
+            now = control.telemetry.clock.now_us
+            control._rpc_inflight = [now + t for t in backlog]
+            result = control.apply_batch(
+                [StateUpdate("insert", "t0", (1,), 1)]
+            )
+            waits.append(result.queue_wait_us)
+        assert waits == [0.0, 200.0, 900.0, 2_500.0]
+
+    def test_drained_rpcs_do_not_delay(self):
+        """Completions at or before the current clock are dropped from
+        the channel: only genuinely outstanding RPCs delay an attempt."""
+        control, _, _ = make_control()
+        control.telemetry.clock.advance(1_000.0)
+        now = control.telemetry.clock.now_us
+        control._rpc_inflight = [now - 400.0, now]  # both already done
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        assert result.queue_wait_us == 0.0
+
+    def test_serial_exhaustion_drains_exactly(self):
+        """The retry loop's own wall clock (attempt costs + backoff) always
+        covers its failed attempts' service times, so a *serial* caller
+        never queues behind itself — queueing is strictly a concurrency
+        (storm) phenomenon."""
+        control = self.make_queued(["timeout", "fail", None])
+        result = control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        assert result.attempts == 3
+        assert result.queue_wait_us == 0.0
+        assert result.retry_wait_us > 0.0
+
+    def test_queue_metrics_emitted(self):
+        control = self.make_queued(["timeout", None])
+        control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])
+        metrics = control.telemetry.metrics.to_dict()
+        histogram = metrics["histograms"]["control_plane.rpc_queue_wait_us"]
+        assert histogram["count"] == 2  # one observation per attempt
+        assert "control_plane.rpc_outstanding" in metrics["gauges"]
+
+    def test_pinned_channel_and_retry_defaults(self):
+        """Regression-pin the documented defaults: the fault corpus and
+        the Table-3 calibration both assume these exact values."""
+        from repro.switchsim.control_plane import (
+            JITTER_FRACTION,
+            OVERLAP_PER_TABLE_US,
+            RetryPolicy,
+            TIMEOUT_MULTIPLE,
+        )
+
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.base_backoff_us == 200.0
+        assert policy.backoff_multiplier == 2.0
+        assert policy.max_backoff_us == 5_000.0
+        assert policy.jitter_fraction == 0.1
+        assert policy.timeout_multiple == TIMEOUT_MULTIPLE == 3.0
+        assert JITTER_FRACTION == 0.15
+        assert BASE_PER_TABLE_US == {
+            "insert": 135.2, "modify": 128.6, "delete": 131.3,
+        }
+        assert OVERLAP_PER_TABLE_US == {
+            "insert": 50.5, "modify": 52.4, "delete": 51.7,
+        }
 
 
 class TestRetryPolicy:

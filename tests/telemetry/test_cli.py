@@ -67,3 +67,69 @@ class TestMetricsCommand:
         payload = json.loads(capsys.readouterr().out)
         assert validate(payload, load_schema("metrics")) == []
         assert "cache.hits" in payload["metrics"]["counters"]
+
+
+class TestFailoverDeployment:
+    def test_metrics_failover(self, capsys):
+        assert main(["metrics", "mazunat", "--packets", "6",
+                     "--deployment", "failover", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("metrics")) == []
+        assert payload["deployment"] == "failover"
+        counters = payload["metrics"]["counters"]
+        assert counters["failover.standby_batches_replayed"] >= 1
+        assert counters["failover.promotions"] == 0  # no fault, no promotion
+
+    def test_trace_failover(self, capsys):
+        assert main(["trace", "mazunat", "--packets", "3",
+                     "--deployment", "failover", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("trace")) == []
+        assert payload["deployment"] == "failover"
+
+
+class TestEndToEndLatency:
+    """metrics --json carries the end-to-end latency distribution for
+    every deployment flavour (the one histogram implementation)."""
+
+    @pytest.mark.parametrize("deployment", [
+        "gallium", "baseline", "failover",
+    ])
+    def test_histogram_present_and_populated(self, deployment, capsys):
+        assert main(["metrics", "mazunat", "--packets", "6",
+                     "--deployment", deployment, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        histogram = payload["metrics"]["histograms"]["latency.end_to_end_us"]
+        assert histogram["count"] == 6
+        assert histogram["sum"] > 0
+
+    def test_cached_histogram_present(self, capsys):
+        assert main(["metrics", "minilb", "--packets", "8",
+                     "--deployment", "cached", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        histogram = payload["metrics"]["histograms"]["latency.end_to_end_us"]
+        assert histogram["count"] == 8
+
+
+class TestTraceSampling:
+    def test_sample_every_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "mazunat", "--packets", "4", "--sample-every", "0"])
+
+    def test_sample_every_keeps_matching_packets(self, capsys):
+        assert main(["trace", "mazunat", "--packets", "4",
+                     "--sample-every", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("trace")) == []
+        packets = {e["packet"] for e in payload["events"]
+                   if e["packet"] is not None}
+        assert packets == {0, 2}
+
+    def test_punted_only_drops_fast_path(self, capsys):
+        # The iperf stream is one long flow: only packet 0 punts.
+        assert main(["trace", "mazunat", "--packets", "4",
+                     "--punted-only", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        packets = {e["packet"] for e in payload["events"]
+                   if e["packet"] is not None}
+        assert packets == {0}

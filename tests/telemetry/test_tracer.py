@@ -121,3 +121,129 @@ class TestDiffTraces:
 
         clone = TraceDiff.from_dict(diff.to_dict())
         assert clone.render() == diff.render()
+
+
+class TestSampling:
+    """Trace sampling drops whole packets only, so every sampled trace is
+    a subsequence of the full trace from the same deterministic run."""
+
+    def test_sample_every_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_tracer(sample_every=0)
+
+    def test_sample_every_keeps_whole_packets(self):
+        tracer = make_tracer(sample_every=2)
+        for packet in range(4):
+            tracer.begin_packet(packet)
+            tracer.record("verdict", verdict="send")
+            tracer.record("register_write", name="x", value=packet)
+        tracer.flush()
+        assert sorted({e.packet for e in tracer.events}) == [0, 2]
+        # Both events of each sampled packet survive — never a partial cut.
+        assert len(tracer.events) == 4
+
+    def test_punted_only_drops_fast_path_packets(self):
+        tracer = make_tracer(punted_only=True)
+        tracer.begin_packet(0)
+        tracer.record("register_read", name="x", value=1)
+        tracer.record("verdict", verdict="send")  # fast path: no punt
+        tracer.begin_packet(1)
+        tracer.record("register_read", name="x", value=1)
+        tracer.record("punt", reason="miss")
+        tracer.record("verdict", verdict="send")
+        tracer.flush()
+        assert sorted({e.packet for e in tracer.events}) == [1]
+        assert [e.seq for e in tracer.events] == [0, 1, 2]  # renumbered
+
+    def test_punted_only_rollback_filters_pending_effects(self):
+        tracer = make_tracer(punted_only=True)
+        tracer.begin_packet(0)
+        mark = tracer.mark()
+        tracer.record("punt", reason="miss")
+        tracer.record("register_write", name="x", value=1)
+        tracer.record("register_read", name="x", value=1)
+        tracer.rollback_effects(mark)
+        tracer.flush()
+        kinds = [e.kind for e in tracer.events]
+        assert "register_write" not in kinds
+        assert "punt" in kinds and "register_read" in kinds
+
+    def test_to_dicts_flushes_pending(self):
+        tracer = make_tracer(punted_only=True)
+        tracer.begin_packet(0)
+        tracer.record("punt", reason="miss")
+        payloads = tracer.to_dicts()
+        assert [p["kind"] for p in payloads] == ["punt"]
+
+
+class TestSampledSubsequence:
+    """End-to-end determinism: re-running the same seeded deployment with
+    sampling on yields exactly the whole-packet subsequence of the full
+    trace (identical events, times, and details — only seq renumbered)."""
+
+    @staticmethod
+    def _trace(**telemetry_kwargs):
+        from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+        from repro.workloads.packets import make_tcp_packet
+        from tests.conftest import get_bundle
+
+        bundle = get_bundle("mazunat")
+        plan, program = compile_middlebox(bundle.lowered)
+        telemetry = Telemetry(tracing=True, **telemetry_kwargs)
+        box = GalliumMiddlebox(
+            plan, program, config=bundle.config, seed=7, telemetry=telemetry
+        )
+        box.install()
+        # Three flows, two packets each: the first packet of a flow punts
+        # (NAT miss), the second rides the fast path.
+        for index in range(6):
+            flow = index % 3
+            packet = make_tcp_packet(
+                f"192.168.1.{flow + 1}", "8.8.4.4", 1000 + flow, 80
+            )
+            box.process_packet(packet, 1)
+        telemetry.tracer.flush()
+        return telemetry.tracer.to_dicts()
+
+    @staticmethod
+    def _strip_seq(events):
+        return [
+            {key: value for key, value in event.items() if key != "seq"}
+            for event in events
+        ]
+
+    def _assert_subsequence(self, sampled, full):
+        iterator = iter(self._strip_seq(full))
+        for event in self._strip_seq(sampled):
+            for candidate in iterator:
+                if candidate == event:
+                    break
+            else:
+                raise AssertionError(
+                    f"sampled event not found in order in full trace: {event}"
+                )
+
+    def test_sample_every_is_subsequence_of_full(self):
+        full = self._trace()
+        sampled = self._trace(sample_every=3)
+        assert sampled  # non-vacuous
+        assert len(sampled) < len(full)
+        self._assert_subsequence(sampled, full)
+        # And it is exactly the packets the predicate selects (events
+        # outside any packet — install-time configure — are always kept).
+        want = [e for e in self._strip_seq(full)
+                if e["packet"] is None or e["packet"] % 3 == 0]
+        assert self._strip_seq(sampled) == want
+
+    def test_punted_only_is_subsequence_of_full(self):
+        full = self._trace()
+        sampled = self._trace(punted_only=True)
+        assert sampled
+        assert len(sampled) < len(full)
+        self._assert_subsequence(sampled, full)
+        # Each flow's first packet punts, the repeat rides the fast path:
+        # exactly packets 0-2 survive the punted-only filter.
+        punted = {e["packet"] for e in sampled if e["packet"] is not None}
+        assert punted == {0, 1, 2}
