@@ -2,8 +2,9 @@ PYTHON ?= python
 # Tier-1 convention: prepend src/ without clobbering a caller's PYTHONPATH.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test verify lint difftest difftest-smoke faults faults-smoke \
-	failover-smoke telemetry-smoke benchmarks
+.PHONY: help test verify lint difftest difftest-smoke difftest-compiled \
+	faults faults-smoke failover-smoke telemetry-smoke perf perf-smoke \
+	benchmarks
 
 help:
 	@echo "Targets:"
@@ -12,10 +13,13 @@ help:
 	@echo "  lint            ruff + mypy (skipped gracefully if not installed)"
 	@echo "  difftest        full differential gauntlet (1000 programs, --shrink)"
 	@echo "  difftest-smoke  fixed-seed ~60s gauntlet slice"
+	@echo "  difftest-compiled  compiled-engine-vs-interpreter gauntlet (200 programs)"
 	@echo "  faults          full fault campaign (500 scenarios)"
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
 	@echo "  failover-smoke  fixed-seed ~60s active-standby failover campaign"
 	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
+	@echo "  perf            interpreter-vs-compiled timing -> BENCH_6.json"
+	@echo "  perf-smoke      small fixed-seed perf slice + schema + differential check"
 	@echo "  benchmarks      regenerate every paper table/figure"
 
 test:
@@ -50,6 +54,12 @@ difftest:
 difftest-smoke:
 	$(PYTHON) -m repro difftest --runs 100000 --seed 0 --time-budget 60
 
+# Compiled-engine equivalence gate: every generated program runs through
+# both the IR interpreter and the compiled fast path, demanding
+# byte-identical verdicts, environments, journals, and metrics.
+difftest-compiled:
+	$(PYTHON) -m repro difftest --compiled --runs 200 --seed 0
+
 # The full fault campaign: 500 random fault scenarios.
 faults:
 	$(PYTHON) -m repro faults --runs 500 --seed 0
@@ -76,6 +86,23 @@ telemetry-smoke:
 		| $(PYTHON) -m repro.telemetry.schema trace -
 	$(PYTHON) -m repro metrics minilb --packets 20 --deployment cached --json \
 		| $(PYTHON) -m repro.telemetry.schema metrics -
+
+# The tracked perf trajectory: time interpreter vs. compiled engine on a
+# 20k-packet fixed-seed workload, write + schema-check BENCH_6.json.
+# Commit the result so the speedup is diffable PR-over-PR.
+perf:
+	$(PYTHON) -m repro perf --out BENCH_6.json
+
+# CI slice: smaller packet count (ratios are noisier, so the >=3x gate is
+# enforced only by the full `make perf` run), plus a compiled-engine
+# differential slice.  The payload is still schema-checked.
+perf-smoke:
+	$(PYTHON) -m repro perf --packets 2000 --out BENCH_smoke.json || true
+	$(PYTHON) -c "import json; from repro.eval.perf import validate_payload; \
+		errors = validate_payload(json.load(open('BENCH_smoke.json'))); \
+		assert not errors, errors; print('BENCH_smoke.json: schema ok')"
+	$(PYTHON) -m repro difftest --compiled --runs 25 --seed 0
+	rm -f BENCH_smoke.json
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

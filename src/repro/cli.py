@@ -16,19 +16,28 @@ Commands
     Regenerate the paper's tables/figures.
 ``list``
     List the bundled middleboxes.
-``difftest --runs N --seed S [--shrink]``
+``difftest --runs N --seed S [--shrink] [--compiled]``
     Differential-testing gauntlet: generate random middleboxes and compare
     the FastClick baseline against the Gallium (and cached) deployments.
+    ``--compiled`` instead runs every generated program through both the
+    IR interpreter and the compiled fast-path engine, demanding
+    byte-identical verdicts, environments, journals, and metrics.
+``perf [--middlebox M] [--packets N] [--out BENCH_6.json]``
+    Time the interpreter vs. the compiled engine across the bare-engine,
+    FastClick-baseline, and Gallium deployments on a fixed-seed workload;
+    write and schema-check the BENCH payload.
 ``trace <middlebox> [--deployment D] [--packets N] [--deep] [--json]``
     Drive a traffic stream through one deployment with per-packet tracing
     enabled and print the event trace (or the schema-checked JSON payload).
 ``metrics <middlebox> [--deployment D] [--packets N] [--json]``
     Same drive with tracing off; print the metrics-registry snapshot.
-``faults --runs N --seed S``
+``faults --runs N --seed S [--summary-json PATH]``
     Fault-injection campaign: replay generated middleboxes under random
     fault schedules and verify, via the fault-aware oracle, that the
     deployment converges back to equivalence or degrades exactly per its
-    declared policy — never diverging silently.
+    declared policy — never diverging silently.  ``--summary-json``
+    additionally writes a cross-scenario rollup (promotion-window length
+    distributions, rollback rates by fault kind).
 """
 
 from __future__ import annotations
@@ -169,7 +178,20 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_difftest(args) -> int:
-    from repro.difftest import run_gauntlet
+    from repro.difftest import run_compiled_gauntlet, run_gauntlet
+
+    if args.compiled:
+        stats, _failures = run_compiled_gauntlet(
+            runs=args.runs,
+            seed=args.seed,
+            packets=args.packets,
+            max_failures=args.max_failures,
+            time_budget_s=args.time_budget,
+            seed_override=args.seed_override,
+            log=print,  # streams progress and each failure report as found
+        )
+        print(stats.summary())
+        return 1 if stats.failures else 0
 
     stats, failures = run_gauntlet(
         runs=args.runs,
@@ -206,7 +228,35 @@ def cmd_faults(args) -> int:
         log=print,  # streams progress and each failure report as found
     )
     print(stats.summary())
+    if args.summary_json is not None:
+        import json
+
+        out_path = Path(args.summary_json)
+        out_path.write_text(
+            json.dumps(stats.summary_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {out_path}")
     return 1 if stats.failures else 0
+
+
+def cmd_perf(args) -> int:
+    from repro.eval.perf import run_perf, validate_payload, write_payload
+
+    payload = run_perf(
+        middlebox=args.middlebox,
+        packets=args.packets,
+        seed=args.seed,
+        log=print,
+    )
+    errors = validate_payload(payload)
+    if errors:
+        for error in errors:
+            print(f"schema error: {error}", file=sys.stderr)
+        return 1
+    out_path = Path(args.out)
+    write_payload(payload, out_path)
+    print(f"wrote {out_path} (pass={'yes' if payload['pass'] else 'NO'})")
+    return 0 if payload["pass"] else 1
 
 
 def _build_observed_deployment(name, deployment, seed, cache_entries,
@@ -438,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  " (reproduce a reported failure)")
     difftest_parser.add_argument("--time-budget", type=float, default=None,
                                  help="stop early after this many seconds")
+    difftest_parser.add_argument("--compiled", action="store_true",
+                                 help="differential-test the compiled"
+                                 " fast-path engine against the IR"
+                                 " interpreter instead (byte-identical"
+                                 " verdicts, env, journals, metrics)")
     difftest_parser.set_defaults(func=cmd_difftest)
 
     faults_parser = sub.add_parser(
@@ -470,7 +525,24 @@ def build_parser() -> argparse.ArgumentParser:
                                " failover deployment (adds switch-crash,"
                                " crash-during-batch and stale-standby"
                                " fault kinds)")
+    faults_parser.add_argument("--summary-json", default=None, metavar="PATH",
+                               help="write the cross-scenario rollup"
+                               " (window-length distributions, rollback"
+                               " rates by fault kind) as JSON")
     faults_parser.set_defaults(func=cmd_faults)
+
+    perf_parser = sub.add_parser(
+        "perf", help="interpreter-vs-compiled perf trajectory (make perf)"
+    )
+    perf_parser.add_argument("--middlebox", default="mazunat",
+                             help="bundled middlebox to time")
+    perf_parser.add_argument("--packets", type=int, default=20_000,
+                             help="packets per (runtime, engine) cell")
+    perf_parser.add_argument("--seed", type=int, default=0,
+                             help="deployment seed")
+    perf_parser.add_argument("--out", default="BENCH_6.json",
+                             help="BENCH payload output path")
+    perf_parser.set_defaults(func=cmd_perf)
 
     def _add_observe_args(observe_parser):
         observe_parser.add_argument("target", help="bundled middlebox name")

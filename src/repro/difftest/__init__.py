@@ -14,9 +14,18 @@ functional-equivalence claim (paper section 3.1):
 * :mod:`repro.difftest.corpus` — JSON serialization of minimized
   reproducers plus replay, backing ``tests/difftest_corpus/``,
 * :mod:`repro.difftest.runner` — the gauntlet driver behind
-  ``python -m repro difftest``.
+  ``python -m repro difftest``,
+* :mod:`repro.difftest.compiled` — the compiled-vs-interpreter gauntlet
+  behind ``python -m repro difftest --compiled`` (the fast path's
+  equivalence gate).
 """
 
+from repro.difftest.compiled import (
+    CompiledCheckResult,
+    CompiledGauntletStats,
+    check_compiled,
+    run_compiled_gauntlet,
+)
 from repro.difftest.corpus import CorpusEntry, load_corpus, replay_entry, save_entry
 from repro.difftest.generator import GenProgram, ProgramGenerator, generate_program
 from repro.difftest.oracle import Divergence, Outcome, OracleResult, StreamSpec, run_oracle
@@ -24,9 +33,13 @@ from repro.difftest.runner import GauntletStats, run_gauntlet
 from repro.difftest.shrink import shrink_case
 
 __all__ = [
+    "CompiledCheckResult",
+    "CompiledGauntletStats",
     "CorpusEntry",
     "Divergence",
     "GauntletStats",
+    "check_compiled",
+    "run_compiled_gauntlet",
     "GenProgram",
     "Outcome",
     "OracleResult",

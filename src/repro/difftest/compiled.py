@@ -1,0 +1,387 @@
+"""Compiled-vs-interpreter differential gauntlet (``difftest --compiled``).
+
+The compiled engine (:mod:`repro.ir.compile`) claims byte-identical
+semantics to the :class:`~repro.ir.interp.Interpreter`.  This module
+checks that claim the Gauntlet way: every generated program runs both
+ways and any observable difference is a failure.
+
+Two stages per program:
+
+1. **Function-level** (always runs): the lowered ``process`` function is
+   executed per packet by both engines against independent state stores —
+   comparing verdicts, egress ports, instruction counts, executed
+   instruction ids, the final environment, the emitted packet bytes, the
+   drained mutation journals, and the state snapshots.  Crashes must
+   match by exception type and message.
+2. **Deployment-level** (when the program partitions): two
+   :class:`~repro.runtime.deployment.GalliumMiddlebox` deployments with
+   the same seed — one interpreted, one ``fast_path=True`` — process the
+   same stream, comparing per-packet journeys (verdict, punt/fast-path
+   classification, emitted port + bytes), final server state, switch
+   registers and tables, and the full metrics registry.
+
+Zero divergences over a large corpus is the acceptance gate for the
+fast path (the interpreter stays the oracle; the compiled engine never
+replaces it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.difftest.generator import GenProgram, generate_program
+from repro.difftest.oracle import StreamSpec
+from repro.difftest.runner import _STREAM_SALT, derive_seeds
+from repro.ir.compile import compile_function
+from repro.ir.interp import Interpreter, PacketView, StateStore
+from repro.ir.lowering import lower_program
+from repro.lang.parser import parse_program
+from repro.partition.constraints import SwitchResources
+from repro.partition.partitioner import PartitionError
+from repro.runtime.cache import CacheConfigurationError
+from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+from repro.switchsim.program import SwitchProgramError
+
+
+@dataclass
+class CompiledDivergence:
+    stage: str  # "function" | "deployment"
+    kind: str  # "crash" | "verdict" | "egress" | "steps" | "ids" | "env"
+    #         | "packet" | "journal" | "state" | "journey" | "switch"
+    #         | "metrics"
+    packet_index: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        where = (
+            f"packet #{self.packet_index}"
+            if self.packet_index is not None else "final state"
+        )
+        return f"[{self.stage}/{self.kind}] {where}: {self.detail}"
+
+
+@dataclass
+class CompiledCheckResult:
+    outcome: str  # "agree" | "diverge" | "crash"
+    divergence: Optional[CompiledDivergence] = None
+    error: Optional[str] = None
+    packets_run: int = 0
+    #: True when the deployment stage also ran (the program partitioned).
+    deployment_checked: bool = False
+
+
+@dataclass
+class CompiledFailure:
+    index: int
+    program_seed: int
+    stream: StreamSpec
+    program: GenProgram
+    result: CompiledCheckResult
+
+    def report(self) -> str:
+        lines = [
+            f"=== compiled gauntlet failure (run #{self.index}) ===",
+            f"program seed : {self.program_seed}",
+            f"stream       : seed={self.stream.seed}"
+            f" count={self.stream.count}",
+            f"outcome      : {self.result.outcome}",
+            "reproduce    : python -m repro difftest --compiled --runs 1"
+            f" --seed-override {self.program_seed}",
+        ]
+        if self.result.divergence is not None:
+            lines.append(f"divergence   : {self.result.divergence}")
+        if self.result.error:
+            lines.append(f"error        : {self.result.error.rstrip()}")
+        lines.append("--- program source ---")
+        lines.append(self.program.source().rstrip())
+        return "\n".join(lines)
+
+
+@dataclass
+class CompiledGauntletStats:
+    runs: int = 0
+    agree: int = 0
+    diverge: int = 0
+    crash: int = 0
+    deployment_checked: int = 0
+    elapsed_s: float = 0.0
+
+    def record(self, result: CompiledCheckResult) -> None:
+        self.runs += 1
+        if result.outcome == "agree":
+            self.agree += 1
+        elif result.outcome == "diverge":
+            self.diverge += 1
+        else:
+            self.crash += 1
+        if result.deployment_checked:
+            self.deployment_checked += 1
+
+    @property
+    def failures(self) -> int:
+        return self.diverge + self.crash
+
+    def summary(self) -> str:
+        return (
+            f"{self.runs} programs both ways: {self.agree} agree,"
+            f" {self.diverge} diverge, {self.crash} crash"
+            f" ({self.deployment_checked} also compared full deployments)"
+            f" in {self.elapsed_s:.1f}s"
+        )
+
+
+def _run_engine(run_callable, packet_view):
+    """(result, crash) — crash is a (type-name, message) pair."""
+    try:
+        return run_callable(packet_view), None
+    except Exception as exc:  # noqa: BLE001 - crash identity is the oracle
+        return None, (type(exc).__name__, str(exc))
+
+
+def _check_function_level(
+    lowered, stream_packets, divergences_into: CompiledCheckResult
+) -> Optional[CompiledDivergence]:
+    """Stage 1: both engines over the bare ``process`` function."""
+    process = lowered.process
+    compiled = compile_function(process)
+    interp_state = StateStore(lowered.state)
+    compiled_state = StateStore(lowered.state)
+    if lowered.configure is not None:
+        Interpreter(lowered.configure, interp_state).run()
+        Interpreter(lowered.configure, compiled_state).run()
+        interp_state.drain_journal()
+        compiled_state.drain_journal()
+
+    for index, (packet, ingress) in enumerate(stream_packets):
+        p_interp = packet.copy()
+        p_compiled = packet.copy()
+        p_interp.ingress_port = ingress
+        p_compiled.ingress_port = ingress
+        r_interp, c_interp = _run_engine(
+            lambda view: Interpreter(process, interp_state).run(
+                view, collect_ids=True
+            ),
+            PacketView(p_interp),
+        )
+        r_compiled, c_compiled = _run_engine(
+            lambda view: compiled.run(
+                compiled_state, packet=view, collect_ids=True
+            ),
+            PacketView(p_compiled),
+        )
+        divergences_into.packets_run = index + 1
+        if c_interp != c_compiled:
+            return CompiledDivergence(
+                "function", "crash", index,
+                f"interp={c_interp!r} compiled={c_compiled!r}",
+            )
+        if c_interp is not None:
+            # Both engines crashed identically: agreement, but the state
+            # after a partial run is not comparable — stop the stream.
+            return None
+        if r_interp.verdict != r_compiled.verdict:
+            return CompiledDivergence(
+                "function", "verdict", index,
+                f"interp={r_interp.verdict!r}"
+                f" compiled={r_compiled.verdict!r}",
+            )
+        if r_interp.egress_port != r_compiled.egress_port:
+            return CompiledDivergence(
+                "function", "egress", index,
+                f"interp={r_interp.egress_port!r}"
+                f" compiled={r_compiled.egress_port!r}",
+            )
+        if (r_interp.instructions_executed
+                != r_compiled.instructions_executed):
+            return CompiledDivergence(
+                "function", "steps", index,
+                f"interp={r_interp.instructions_executed}"
+                f" compiled={r_compiled.instructions_executed}",
+            )
+        if r_interp.executed_ids != r_compiled.executed_ids:
+            return CompiledDivergence(
+                "function", "ids", index, "executed instruction ids differ"
+            )
+        if r_interp.env != r_compiled.env:
+            keys = sorted(
+                key
+                for key in set(r_interp.env) | set(r_compiled.env)
+                if r_interp.env.get(key) != r_compiled.env.get(key)
+            )
+            return CompiledDivergence(
+                "function", "env", index, f"registers differ: {keys}"
+            )
+        if p_interp.pack() != p_compiled.pack():
+            return CompiledDivergence(
+                "function", "packet", index, "emitted packet bytes differ"
+            )
+        if interp_state.drain_journal() != compiled_state.drain_journal():
+            return CompiledDivergence(
+                "function", "journal", index, "mutation journals differ"
+            )
+        if interp_state.snapshot() != compiled_state.snapshot():
+            return CompiledDivergence(
+                "function", "state", index, "state snapshots differ"
+            )
+    return None
+
+
+def _journey_key(journey) -> tuple:
+    return (
+        journey.verdict,
+        journey.fast_path,
+        journey.punted,
+        journey.fallback,
+        tuple((port, bytes(pkt.pack())) for port, pkt in journey.emitted),
+    )
+
+
+def _check_deployment_level(
+    lowered,
+    stream_packets,
+    limits: Optional[SwitchResources],
+    deployment_seed: int,
+) -> Tuple[Optional[CompiledDivergence], bool]:
+    """Stage 2: interpreted vs fast-path deployments, same seed."""
+    try:
+        plan, program = compile_middlebox(lowered, limits)
+    except (PartitionError, SwitchProgramError, CacheConfigurationError):
+        # The compiler legitimately refused the program; nothing to
+        # compare at deployment level.
+        return None, False
+    interp_dut = GalliumMiddlebox(plan, program, seed=deployment_seed)
+    compiled_dut = GalliumMiddlebox(
+        plan, program, seed=deployment_seed, fast_path=True
+    )
+    interp_dut.install()
+    compiled_dut.install()
+    for index, (packet, ingress) in enumerate(stream_packets):
+        j_interp, c_interp = _run_engine(
+            lambda _p: interp_dut.process_packet(packet.copy(), ingress),
+            None,
+        )
+        j_compiled, c_compiled = _run_engine(
+            lambda _p: compiled_dut.process_packet(packet.copy(), ingress),
+            None,
+        )
+        if c_interp != c_compiled:
+            return CompiledDivergence(
+                "deployment", "crash", index,
+                f"interp={c_interp!r} compiled={c_compiled!r}",
+            ), True
+        if c_interp is not None:
+            return None, True  # identical crash: stop, like stage 1
+        if _journey_key(j_interp) != _journey_key(j_compiled):
+            return CompiledDivergence(
+                "deployment", "journey", index,
+                f"interp={_journey_key(j_interp)!r}"
+                f" compiled={_journey_key(j_compiled)!r}",
+            ), True
+    if interp_dut.state.snapshot() != compiled_dut.state.snapshot():
+        return CompiledDivergence(
+            "deployment", "state", None, "server state snapshots differ"
+        ), True
+    for name, register in interp_dut.switch.registers.items():
+        if register.value != compiled_dut.switch.registers[name].value:
+            return CompiledDivergence(
+                "deployment", "switch", None,
+                f"register {name!r}: interp={register.value}"
+                f" compiled={compiled_dut.switch.registers[name].value}",
+            ), True
+    for name, table in interp_dut.switch.tables.items():
+        if table.snapshot() != compiled_dut.switch.tables[name].snapshot():
+            return CompiledDivergence(
+                "deployment", "switch", None, f"table {name!r} differs"
+            ), True
+    interp_metrics = json.dumps(
+        interp_dut.telemetry.metrics.to_dict(), sort_keys=True
+    )
+    compiled_metrics = json.dumps(
+        compiled_dut.telemetry.metrics.to_dict(), sort_keys=True
+    )
+    if interp_metrics != compiled_metrics:
+        return CompiledDivergence(
+            "deployment", "metrics", None, "metrics registries differ"
+        ), True
+    return None, True
+
+
+def check_compiled(
+    source: str,
+    stream: StreamSpec,
+    limits: Optional[SwitchResources] = None,
+    deployment_seed: int = 0,
+) -> CompiledCheckResult:
+    """Run one program through both engines at both levels."""
+    result = CompiledCheckResult(outcome="agree")
+    try:
+        lowered = lower_program(parse_program(source))
+        stream_packets = stream.build()
+        divergence = _check_function_level(lowered, stream_packets, result)
+        if divergence is None:
+            divergence, checked = _check_deployment_level(
+                lowered, stream_packets, limits, deployment_seed
+            )
+            result.deployment_checked = checked
+    except Exception as exc:  # noqa: BLE001 - harness boundary
+        import traceback
+
+        result.outcome = "crash"
+        result.error = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        return result
+    if divergence is not None:
+        result.outcome = "diverge"
+        result.divergence = divergence
+    return result
+
+
+def run_compiled_gauntlet(
+    runs: int,
+    seed: int,
+    packets: int = 25,
+    limits: Optional[SwitchResources] = None,
+    max_failures: int = 10,
+    time_budget_s: Optional[float] = None,
+    seed_override: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> tuple:
+    """Drive the compiled-vs-interpreter gauntlet; ``(stats, failures)``."""
+    stats = CompiledGauntletStats()
+    failures: List[CompiledFailure] = []
+    started = time.monotonic()
+    for index in range(runs):
+        if (time_budget_s is not None
+                and time.monotonic() - started > time_budget_s):
+            break
+        if seed_override is not None:
+            program_seed = seed_override + index
+            stream_seed = program_seed ^ _STREAM_SALT
+        else:
+            program_seed, stream_seed = derive_seeds(seed, index)
+        program = generate_program(program_seed)
+        stream = StreamSpec(seed=stream_seed, count=packets)
+        result = check_compiled(
+            program.source(), stream, limits=limits,
+            deployment_seed=program_seed,
+        )
+        stats.record(result)
+        if result.outcome != "agree":
+            failure = CompiledFailure(
+                index, program_seed, stream, program, result
+            )
+            failures.append(failure)
+            if log is not None:
+                log(failure.report())
+            if len(failures) >= max_failures:
+                if log is not None:
+                    log(f"stopping after {max_failures} failures")
+                break
+        elif log is not None and (index + 1) % 100 == 0:
+            log(f"... {index + 1}/{runs} ({stats.summary()})")
+    stats.elapsed_s = time.monotonic() - started
+    return stats, failures

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 # -- the field universe ------------------------------------------------------
 
@@ -63,7 +63,7 @@ UDP_WRITE = ["sport", "dport", "check"]
 INTERESTING_CONSTANTS = [
     0, 1, 2, 3, 5, 7, 8, 15, 16, 63, 64, 127, 128, 255, 256,
     4095, 32768, 65535, 65536, 0xDEAD, 0xDEADBEEF, 0x7FFFFFFF,
-    0x80000000, 0xFFFFFFFF,
+    0x80000000, 0xFFFFFFFF, 0x100000000,
 ]
 
 ARITH_OPS = ["+", "-", "*", "&", "|", "^"]
@@ -296,6 +296,9 @@ class GenProgram:
     use_udp: bool = False
     body: List[Stmt] = field(default_factory=list)
     seed: Optional[int] = None
+    #: declared width per scalar (bits); absent -> 32.  Narrow counters
+    #: pin the width-wrap semantics (stores mask to the member width).
+    scalar_widths: Dict[str, int] = field(default_factory=dict)
 
     def source(self) -> str:
         lines: List[str] = []
@@ -309,7 +312,8 @@ class GenProgram:
                 f" uint{spec.value_width}_t> {spec.name};"
             )
         for scalar in self.scalars:
-            lines.append(f"{_INDENT}uint32_t {scalar};")
+            width = self.scalar_widths.get(scalar, 32)
+            lines.append(f"{_INDENT}uint{width}_t {scalar};")
         lines.append("")
         lines.append(f"{_INDENT}void process(Packet *pkt) {{")
         lines.append(f"{_INDENT * 2}iphdr *ip = pkt->network_header();")
@@ -624,7 +628,11 @@ class ProgramGenerator:
         for index in range(rng.choice([0, 1, 1, 1, 2, 2, 3])):
             program.maps.append(self._make_map(index))
         for index in range(rng.choice([0, 0, 1, 1, 2])):
-            program.scalars.append(f"ctr{index}")
+            name = f"ctr{index}"
+            program.scalars.append(name)
+            # Mostly 32-bit, but narrow counters keep the width-wrap
+            # (store masks to member width) semantics under test.
+            program.scalar_widths[name] = rng.choice([8, 16, 32, 32, 32])
         program.body = self.block(_Ctx(), 0, terminate=True)
         return program
 

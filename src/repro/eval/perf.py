@@ -1,0 +1,195 @@
+"""``make perf``: the tracked interpreter-vs-compiled perf trajectory.
+
+Times three runtime levels, each with both execution engines, on one
+fixed-seed iperf workload:
+
+* ``engine``   — the bare lowered ``process`` function per packet
+  (:class:`~repro.ir.interp.Interpreter` vs the compiled engine), the
+  purest view of the dispatch overhead being removed;
+* ``baseline`` — :class:`~repro.runtime.baseline.FastClickRuntime`, the
+  full unpartitioned server path with telemetry attached;
+* ``gallium``  — :class:`~repro.runtime.deployment.GalliumMiddlebox`,
+  the deployed switch+server pair (mostly switch fast-path traversals
+  on this workload).
+
+Packets are generated and copied *outside* the timed region, so the
+timings measure execution, not workload synthesis.  The result is
+written to ``BENCH_6.json`` at the repo root — committed, so the
+speedup (and any regression) is diffable PR-over-PR — and validated
+against ``benchmarks/perf/bench_schema.json`` by the CI smoke job.
+
+Numbers are wall-clock packets/sec on whatever machine runs them; the
+*ratios* are the tracked quantity, the absolute throughputs are context.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from itertools import islice
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ir.compile import compile_function
+from repro.ir.externs import ExternHost
+from repro.ir.interp import Interpreter, PacketView, StateStore
+from repro.workloads import IperfWorkload, middlebox_stream
+
+#: The ≥3× acceptance gate for the compiled engine over the interpreter.
+MIN_SPEEDUP = 3.0
+
+#: Benchmark index in the PR-over-PR trajectory (BENCH_<n>.json).
+BENCH_INDEX = 6
+
+DEFAULT_MIDDLEBOX = "mazunat"
+DEFAULT_PACKETS = 20_000
+
+SCHEMA_NAME = "bench"
+#: checked-in schema, resolved from the repo root (src/repro/eval/ -> root)
+SCHEMA_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks" / "perf" / "bench_schema.json"
+)
+
+
+def _workload(name: str, packets: int) -> List[Tuple[object, int]]:
+    """``packets`` (packet, ingress_port) pairs of the fixed workload."""
+    per_connection = max(50, packets // 10 + 3)
+    workload = IperfWorkload(
+        connections=10, packets_per_connection=per_connection
+    )
+    stream = list(islice(middlebox_stream(name, workload), packets))
+    if len(stream) < packets:
+        raise ValueError(
+            f"workload for {name!r} produced {len(stream)} packets,"
+            f" wanted {packets}"
+        )
+    return stream
+
+
+def _timed_loop(stream, process: Callable) -> float:
+    """Copy the stream (outside the timer), then time ``process`` per
+    packet."""
+    fresh = [(packet.copy(), port) for packet, port in stream]
+    started = time.perf_counter()
+    for packet, port in fresh:
+        process(packet, port)
+    return time.perf_counter() - started
+
+
+def _run_engine(lowered, stream, fast_path: bool) -> float:
+    state = StateStore(lowered.state)
+    externs = ExternHost()
+    if lowered.configure is not None:
+        Interpreter(lowered.configure, state, externs).run()
+    state.drain_journal()
+    process = lowered.process
+    if fast_path:
+        compiled = compile_function(process)
+
+        def step(packet, port):
+            packet.ingress_port = port
+            compiled.run(state, externs, packet=PacketView(packet))
+            state.journal.clear()
+    else:
+
+        def step(packet, port):
+            packet.ingress_port = port
+            Interpreter(process, state, externs).run(PacketView(packet))
+            state.journal.clear()
+
+    return _timed_loop(stream, step)
+
+
+def _run_baseline(lowered, stream, fast_path: bool) -> float:
+    from repro.runtime.baseline import FastClickRuntime
+
+    runtime = FastClickRuntime(lowered, fast_path=fast_path)
+    runtime.install()
+    return _timed_loop(stream, runtime.process_packet)
+
+
+def _run_gallium(lowered, stream, seed: int, fast_path: bool) -> float:
+    from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+
+    plan, program = compile_middlebox(lowered)
+    deployment = GalliumMiddlebox(
+        plan, program, seed=seed, fast_path=fast_path
+    )
+    deployment.install()
+    return _timed_loop(stream, deployment.process_packet)
+
+
+def run_perf(
+    middlebox: str = DEFAULT_MIDDLEBOX,
+    packets: int = DEFAULT_PACKETS,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run every (runtime, engine) pair; return the BENCH payload."""
+    from repro.middleboxes import load
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    lowered = load(middlebox).lowered
+    stream = _workload(middlebox, packets)
+    runners: List[Tuple[str, Callable[[bool], float]]] = [
+        ("engine", lambda fp: _run_engine(lowered, stream, fp)),
+        ("baseline", lambda fp: _run_baseline(lowered, stream, fp)),
+        ("gallium", lambda fp: _run_gallium(lowered, stream, seed, fp)),
+    ]
+    rows: List[dict] = []
+    elapsed: Dict[Tuple[str, str], float] = {}
+    for runtime_name, runner in runners:
+        for engine, fast_path in (("interpreter", False), ("compiled", True)):
+            seconds = runner(fast_path)
+            elapsed[(runtime_name, engine)] = seconds
+            pps = packets / seconds if seconds else 0.0
+            rows.append({
+                "runtime": runtime_name,
+                "engine": engine,
+                "packets": packets,
+                "elapsed_s": round(seconds, 4),
+                "pps": round(pps, 1),
+            })
+            say(f"{runtime_name:>8s} / {engine:<11s}"
+                f" {pps:>12,.0f} pps ({seconds:.2f}s)")
+    speedups = {
+        runtime_name: round(
+            elapsed[(runtime_name, "interpreter")]
+            / elapsed[(runtime_name, "compiled")],
+            2,
+        )
+        for runtime_name, _ in runners
+    }
+    payload = {
+        "bench": BENCH_INDEX,
+        "version": 1,
+        "middlebox": middlebox,
+        "packets": packets,
+        "seed": seed,
+        "workload": "iperf",
+        "rows": rows,
+        "speedups": speedups,
+        "thresholds": {"min_speedup": MIN_SPEEDUP},
+        "pass": speedups["engine"] >= MIN_SPEEDUP
+        and speedups["baseline"] >= MIN_SPEEDUP,
+    }
+    say("speedups: " + ", ".join(
+        f"{name}={ratio:.2f}x" for name, ratio in speedups.items()
+    ))
+    return payload
+
+
+def validate_payload(payload: dict, schema_path: Path = SCHEMA_PATH) -> list:
+    """Schema-check a BENCH payload; returns the list of errors."""
+    from repro.telemetry.schema import validate
+
+    schema = json.loads(Path(schema_path).read_text())
+    return validate(payload, schema)
+
+
+def write_payload(payload: dict, out_path: Path) -> None:
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -162,6 +162,21 @@ class FaultFailure:
         )
 
 
+#: spec attribute holding the fault's window length, per fault kind.
+#: Kinds absent here are probabilistic (no bounded window to measure).
+_WINDOW_ATTRS = {
+    "crash": "outage",
+    "reprogram": "duration",
+    "switch_crash": "promotion_window",
+    "crash_batch": "promotion_window",
+}
+
+
+def _window_length(spec) -> Optional[int]:
+    attr = _WINDOW_ATTRS.get(spec.kind)
+    return getattr(spec, attr) if attr is not None else None
+
+
 @dataclass
 class CampaignStats:
     runs: int = 0
@@ -179,9 +194,30 @@ class CampaignStats:
     degraded_packets: int = 0
     delivered_packets: int = 0
     elapsed_s: float = 0.0
+    #: scenarios whose plan contained the kind (regardless of outcome)
+    scenarios_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: control-plane batches rolled back, campaign-wide
+    rollbacks: int = 0
+    #: scenarios per fault kind that saw at least one rollback
+    rollback_scenarios_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: fault-window lengths (packets) drawn per kind, campaign-wide
+    window_lengths: Dict[str, List[int]] = field(default_factory=dict)
 
     def record(self, plan: FaultPlan, result: FaultOracleResult) -> None:
         self.runs += 1
+        self.rollbacks += result.rollbacks
+        for kind in plan.kinds():
+            self.scenarios_by_kind[kind] = (
+                self.scenarios_by_kind.get(kind, 0) + 1
+            )
+            if result.rollbacks:
+                self.rollback_scenarios_by_kind[kind] = (
+                    self.rollback_scenarios_by_kind.get(kind, 0) + 1
+                )
+        for spec in plan.faults:
+            length = _window_length(spec)
+            if length is not None:
+                self.window_lengths.setdefault(spec.kind, []).append(length)
         if result.outcome is FaultOutcome.CLEAN:
             self.clean += 1
         elif result.outcome is FaultOutcome.DEGRADED_OK:
@@ -204,6 +240,58 @@ class CampaignStats:
     @property
     def failures(self) -> int:
         return self.violations + self.crashes
+
+    def summary_dict(self) -> dict:
+        """Deterministic cross-scenario rollup for ``--summary-json``:
+        outcome counts, per-kind scenario coverage, the distribution of
+        fault-window lengths drawn per kind (promotion windows, outages,
+        reprogram durations), and rollback rates by fault kind."""
+        windows = {
+            kind: {
+                "count": len(lengths),
+                "min": min(lengths),
+                "max": max(lengths),
+                "mean": round(sum(lengths) / len(lengths), 3),
+                "total_packets": sum(lengths),
+            }
+            for kind, lengths in sorted(self.window_lengths.items())
+        }
+        rollback_rates = {
+            kind: {
+                "scenarios": scenarios,
+                "with_rollbacks": self.rollback_scenarios_by_kind.get(
+                    kind, 0
+                ),
+                "rate": round(
+                    self.rollback_scenarios_by_kind.get(kind, 0) / scenarios,
+                    3,
+                ),
+            }
+            for kind, scenarios in sorted(self.scenarios_by_kind.items())
+        }
+        return {
+            "runs": self.runs,
+            "outcomes": {
+                "clean": self.clean,
+                "degraded_ok": self.degraded_ok,
+                "violations": self.violations,
+                "crashes": self.crashes,
+                "rejected": self.rejected,
+            },
+            "packets": {
+                "delivered": self.delivered_packets,
+                "degraded": self.degraded_packets,
+            },
+            "coverage": dict(sorted(self.coverage.items())),
+            "injected": dict(sorted(self.injected.items())),
+            "scenarios_by_kind": dict(sorted(self.scenarios_by_kind.items())),
+            "promotion_windows": windows,
+            "rollbacks": {
+                "total": self.rollbacks,
+                "by_kind": rollback_rates,
+            },
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
 
     def summary(self) -> str:
         covered = ", ".join(

@@ -129,6 +129,9 @@ class FaultOracleResult:
     failover_mode: bool = False
     #: whether the failover DUT actually promoted its standby
     promoted: bool = False
+    #: control-plane batches the DUT rolled back during the scenario
+    #: (the ``control_plane.batches_rolled_back`` counter at finish)
+    rollbacks: int = 0
     #: side-by-side trace provenance for a VIOLATION outcome: the scenario
     #: re-ran with tracing on both the DUT and the reference and the first
     #: divergent semantic event was pinpointed
@@ -322,6 +325,9 @@ def run_fault_oracle(
             cached_mode=cached,
             failover_mode=failover,
             promoted=bool(getattr(dut, "promoted", False)),
+            rollbacks=dut.telemetry.metrics.counter_value(
+                "control_plane.batches_rolled_back"
+            ),
         )
 
     violation = _check_accounting(dut, records, len(packets))

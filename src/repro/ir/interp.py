@@ -169,6 +169,12 @@ class StateStore:
         self.maps: Dict[str, Dict[tuple, int]] = {}
         self.vectors: Dict[str, List[int]] = {}
         self.scalars: Dict[str, int] = {}
+        #: Scalar member -> value mask, resolved once from the declared
+        #: member width.  Every scalar write path (store, RMW) masks with
+        #: it, mirroring :class:`repro.switchsim.registers.Register`, which
+        #: masks to ``width_bits`` on every write — the two sides must wrap
+        #: identically or replication diverges.
+        self._scalar_masks: Dict[str, int] = {}
         for name, member in members.items():
             if member.kind == "map":
                 self.maps[name] = {}
@@ -176,6 +182,12 @@ class StateStore:
                 self.vectors[name] = []
             else:
                 self.scalars[name] = 0
+                try:
+                    width = member.member_type.bit_width()
+                except Exception:
+                    width = 0
+                if width > 0:
+                    self._scalar_masks[name] = (1 << width) - 1
         #: Mutation journal: (op, member, keys, value) tuples appended by
         #: every write; the Gallium runtime drains it to replicate updates to
         #: the switch (paper §4.3.3).
@@ -259,16 +271,39 @@ class StateStore:
             self.tracer.record("register_read", name=name, value=value)
         return value
 
+    def _scalar_mask(self, name: str) -> int:
+        """The member's write mask; missing/zero widths are a hard error —
+        never a silent 32-bit fallback."""
+        mask = self._scalar_masks.get(name)
+        if mask is None:
+            raise InterpreterError(
+                f"scalar {name!r} has no resolvable width;"
+                " refusing an unmasked write"
+            )
+        return mask
+
     def store_scalar(self, name: str, value: int) -> None:
+        # Mask to the member width, like Register.control_write: a stored
+        # value >= 2**width must wrap the same way on the server as it
+        # does in the replicated switch register.
+        value &= self._scalar_mask(name)
         self.scalars[name] = value
         self.journal.append(("store", name, (), value))
         if self.tracer is not None:
             self.tracer.record("register_write", name=name, value=value)
 
-    def rmw_scalar(self, name: str, op, operand: int, width: int) -> int:
+    def rmw_scalar(self, name: str, op, operand: int,
+                   width: Optional[int] = None) -> int:
+        mask = self._scalar_mask(name)
+        if width:
+            member_width = mask.bit_length()
+            if width != member_width:
+                raise InterpreterError(
+                    f"register {name!r}: RMW width {width} does not match"
+                    f" the member width {member_width}"
+                )
         old = self.scalars[name]
         new = _apply_binop(op, old, operand)
-        mask = (1 << width) - 1 if width else 0xFFFFFFFF
         self.scalars[name] = new & mask
         self.journal.append(("store", name, (), self.scalars[name]))
         if self.tracer is not None:

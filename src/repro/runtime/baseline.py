@@ -35,12 +35,19 @@ class FastClickRuntime:
         config: Optional[Dict[int, list]] = None,
         clock=None,
         telemetry=None,
+        fast_path: bool = False,
     ):
         from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
 
         self.lowered = lowered
         self.state = StateStore(lowered.state)
         self.externs = ExternHost(config=config, clock=clock)
+        self.fast_path = fast_path
+        self._engine = None
+        if fast_path:
+            from repro.runtime.compiled import CompiledServerExecutor
+
+            self._engine = CompiledServerExecutor(lowered.process)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.state.tracer = self.telemetry.active_tracer
         self.packets_processed = 0
@@ -80,7 +87,12 @@ class FastClickRuntime:
             tracer.set_component("server")
         packet.ingress_port = ingress_port
         view = PacketView(packet)
-        result = Interpreter(self.lowered.process, self.state, self.externs).run(view)
+        if self._engine is not None:
+            result = self._engine.run(self.state, self.externs, packet=view)
+        else:
+            result = Interpreter(
+                self.lowered.process, self.state, self.externs
+            ).run(view)
         self.packets_processed += 1
         self.instructions_total += result.instructions_executed
         self._c_packets.inc()

@@ -241,9 +241,14 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         self.state.drain_journal()
         self.state.read_log.clear()
         ingress_port = punted_packet.ingress_port
-        result = Interpreter(
-            self.plan.middlebox.process, self.state, self.externs
-        ).run(PacketView(punted_packet))
+        if self._fallback_engine is not None:
+            result = self._fallback_engine.run(
+                self.state, self.externs, packet=PacketView(punted_packet)
+            )
+        else:
+            result = Interpreter(
+                self.plan.middlebox.process, self.state, self.externs
+            ).run(PacketView(punted_packet))
         self.telemetry.clock.advance(
             result.instructions_executed * SERVER_INSTR_US
         )

@@ -1,0 +1,51 @@
+"""Compiled server-side execution: the runtimes' fast path.
+
+:class:`CompiledServerExecutor` wraps one IR function compiled via
+:func:`repro.ir.compile.compile_function` behind the same calling shape
+the runtimes use for per-packet interpretation (state + externs + packet
+view + seeded environment).  It is used by
+
+* :class:`repro.runtime.baseline.FastClickRuntime` for the whole
+  ``process`` function,
+* :class:`repro.runtime.server.ServerRuntime` for the non-offloaded
+  partition of punted packets, and
+* :class:`repro.runtime.deployment.GalliumMiddlebox` for the
+  interpreted-fallback path,
+
+all selected with ``fast_path=True``.  The state store is passed per
+call, not captured at construction, so state swaps (``crash_resync``
+builds a fresh :class:`StateStore`) keep working.
+
+``install()``/``configure`` stays interpreted everywhere: it runs once
+per deployment, and keeping it on the oracle engine means the compiled
+engine only ever executes the per-packet functions it is benchmarked
+and differentially tested on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.compile import CompiledFunction, compile_function
+from repro.ir.externs import ExternHost
+from repro.ir.function import Function
+from repro.ir.interp import ExecutionResult, PacketView
+
+
+class CompiledServerExecutor:
+    """One compiled IR function, runnable against any state store."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._compiled: CompiledFunction = compile_function(function)
+
+    def run(
+        self,
+        state,
+        externs: Optional[ExternHost] = None,
+        packet: Optional[PacketView] = None,
+        initial_env: Optional[Dict[str, int]] = None,
+    ) -> ExecutionResult:
+        return self._compiled.run(
+            state, externs, packet=packet, initial_env=initial_env
+        )

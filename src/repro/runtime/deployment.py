@@ -150,19 +150,24 @@ class GalliumMiddlebox:
         policy: Optional[DegradationPolicy] = None,
         injector=None,
         telemetry: Optional[Telemetry] = None,
+        fast_path: bool = False,
     ):
         self.plan = plan
         self.program = program
         #: deployment-level seed; threads into the control plane's
         #: jitter/backoff RNG through :class:`SwitchModel`.
         self.seed = seed
+        #: compiled-engine flag, threaded into every per-packet execution
+        #: path (switch pipelines, punt handling, fallback windows).
+        #: ``install()``/``configure`` always stays interpreted.
+        self.fast_path = fast_path
         #: observability bundle (clock + metrics + tracer) shared by every
         #: component of this deployment side.
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._tracer = self.telemetry.active_tracer
         self.switch = SwitchModel(
             program, server_port=server_port, port_pairs=port_pairs,
-            seed=seed, telemetry=self.telemetry,
+            seed=seed, telemetry=self.telemetry, fast_path=fast_path,
         )
         self.state = StateStore(plan.middlebox.state)
         self.state.tracer = self._tracer
@@ -174,7 +179,15 @@ class GalliumMiddlebox:
             program.shim_to_switch,
             self.externs,
             telemetry=self.telemetry,
+            fast_path=fast_path,
         )
+        self._fallback_engine = None
+        if fast_path:
+            from repro.runtime.compiled import CompiledServerExecutor
+
+            self._fallback_engine = CompiledServerExecutor(
+                plan.middlebox.process
+            )
         self.server_port = server_port
         self.packets_processed = 0
         # -- graceful degradation (active when an injector is attached) ----
@@ -611,9 +624,14 @@ class GalliumMiddlebox:
             self._tracer.record("fallback", ingress_port=ingress_port)
         self.state.drain_journal()
         packet.ingress_port = ingress_port
-        result = Interpreter(
-            self.plan.middlebox.process, self.state, self.externs
-        ).run(PacketView(packet))
+        if self._fallback_engine is not None:
+            result = self._fallback_engine.run(
+                self.state, self.externs, packet=PacketView(packet)
+            )
+        else:
+            result = Interpreter(
+                self.plan.middlebox.process, self.state, self.externs
+            ).run(PacketView(packet))
         self.state.drain_journal()  # bulk resync covers replication
         self.telemetry.clock.advance(
             result.instructions_executed * SERVER_INSTR_US

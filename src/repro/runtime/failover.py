@@ -56,6 +56,7 @@ class FailoverDeployment(GalliumMiddlebox):
             port_pairs=dict(self.switch.port_pairs),
             seed=self.seed ^ _STANDBY_SALT,
             telemetry=self.telemetry,
+            fast_path=self.fast_path,
         )
         #: the crashed primary, kept for post-mortem introspection
         self.failed_primary = None

@@ -51,6 +51,7 @@ class ServerRuntime:
         shim_to_switch: ShimLayout,
         externs: Optional[ExternHost] = None,
         telemetry=None,
+        fast_path: bool = False,
     ):
         from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
 
@@ -59,6 +60,12 @@ class ServerRuntime:
         self.shim_to_server = shim_to_server
         self.shim_to_switch = shim_to_switch
         self.externs = externs or ExternHost()
+        self.fast_path = fast_path
+        self._engine = None
+        if fast_path:
+            from repro.runtime.compiled import CompiledServerExecutor
+
+            self._engine = CompiledServerExecutor(plan.non_offloaded)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._replicated = {
             name
@@ -90,10 +97,14 @@ class ServerRuntime:
         if tracer is not None:
             tracer.set_component("server")
         view = PacketView(packet)
-        interpreter = Interpreter(
-            self.plan.non_offloaded, self.state, self.externs
-        )
-        result = interpreter.run(view, initial_env=env)
+        if self._engine is not None:
+            result = self._engine.run(
+                self.state, self.externs, packet=view, initial_env=env
+            )
+        else:
+            result = Interpreter(
+                self.plan.non_offloaded, self.state, self.externs
+            ).run(view, initial_env=env)
         self.packets_handled += 1
         self.instructions_total += result.instructions_executed
         self._c_punts.inc()

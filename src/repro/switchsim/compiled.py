@@ -1,0 +1,65 @@
+"""Compiled pipeline execution: the switch's fast path.
+
+:class:`CompiledPipelineExecutor` is a drop-in replacement for
+:class:`repro.switchsim.pipeline.PipelineExecutor` that runs the pre/post
+``Function`` through :func:`repro.ir.compile.compile_function` instead of
+the instruction-at-a-time interpreter.  All state accesses still go
+through the same :class:`~repro.switchsim.pipeline.SwitchStateAdapter`,
+so the data-plane restrictions (no mutations, one access per stateful
+element per traversal) and the tracer hooks behave identically — only
+the per-instruction dispatch disappears.
+
+Selected with ``SwitchModel(..., fast_path=True)``; the interpreter
+remains the differential oracle (``difftest --compiled``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.ir.compile import compile_function
+from repro.ir.function import Function
+from repro.ir.interp import PacketView
+from repro.switchsim.pipeline import (
+    PipelineExecutor,
+    SwitchStateAdapter,
+    TraversalResult,
+)
+
+
+class CompiledPipelineExecutor:
+    """Executes pre/post traversals through the compiled engine."""
+
+    def __init__(self, function: Function, adapter: SwitchStateAdapter,
+                 needs_server_reg: str):
+        self.function = function
+        self.adapter = adapter
+        self.needs_server_reg = needs_server_reg
+        self._compiled = compile_function(function)
+
+    def run(self, packet: PacketView,
+            initial_env: Optional[Dict[str, int]] = None) -> TraversalResult:
+        self.adapter.begin_traversal()
+        result = self._compiled.run(
+            self.adapter, packet=packet, initial_env=initial_env
+        )
+        needs_server = bool(result.env.get(self.needs_server_reg, 0))
+        return TraversalResult(
+            verdict=result.verdict,
+            egress_port=result.egress_port,
+            env=result.env,
+            needs_server=needs_server,
+            instructions=result.instructions_executed,
+        )
+
+
+def make_pipeline_executor(
+    function: Function,
+    adapter: SwitchStateAdapter,
+    needs_server_reg: str,
+    fast_path: bool = False,
+) -> Union[PipelineExecutor, CompiledPipelineExecutor]:
+    """Pick the traversal engine for one pipeline."""
+    if fast_path:
+        return CompiledPipelineExecutor(function, adapter, needs_server_reg)
+    return PipelineExecutor(function, adapter, needs_server_reg)

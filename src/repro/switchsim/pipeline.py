@@ -86,11 +86,20 @@ class SwitchStateAdapter:
             self.tracer.record("register_read", name=name, value=value)
         return value
 
-    def rmw_scalar(self, name: str, op, operand: int, width: int) -> int:
+    def rmw_scalar(self, name: str, op, operand: int,
+                   width: Optional[int] = None) -> int:
         self._count(name)
         register = self.registers.get(name)
         if register is None:
             raise DataPlaneViolation(f"RMW of unknown register {name!r}")
+        if width and width != register.width_bits:
+            # Uniform with StateStore.rmw_scalar: a caller-supplied width
+            # must agree with the cell's declared width, never silently
+            # re-mask (the stateful ALU wraps at width_bits, full stop).
+            raise DataPlaneViolation(
+                f"RMW width {width} does not match register {name!r}"
+                f" width {register.width_bits}"
+            )
         old = register.rmw(op, operand)
         if self.tracer is not None:
             self.tracer.record("register_rmw", name=name,

@@ -64,6 +64,7 @@ class SwitchModel:
         port_pairs: Optional[Dict[int, int]] = None,
         seed: int = 0,
         telemetry=None,
+        fast_path: bool = False,
     ):
         from repro.telemetry import INSTRUCTION_BOUNDS, Telemetry
 
@@ -71,6 +72,7 @@ class SwitchModel:
         self.server_port = server_port
         #: middlebox wiring: ingress side -> default egress side
         self.port_pairs = port_pairs or {1: 2, 2: 1}
+        self.fast_path = fast_path
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.tables: Dict[str, ExactMatchTable] = {
             name: ExactMatchTable(name, spec.key_widths, spec.value_width,
@@ -86,11 +88,15 @@ class SwitchModel:
         )
         self.adapter = SwitchStateAdapter(self.tables, self.registers)
         self.adapter.tracer = self.telemetry.active_tracer
-        self._pre = PipelineExecutor(
-            program.pre, self.adapter, program.needs_server_reg
+        from repro.switchsim.compiled import make_pipeline_executor
+
+        self._pre = make_pipeline_executor(
+            program.pre, self.adapter, program.needs_server_reg,
+            fast_path=fast_path,
         )
-        self._post = PipelineExecutor(
-            program.post, self.adapter, program.needs_server_reg
+        self._post = make_pipeline_executor(
+            program.post, self.adapter, program.needs_server_reg,
+            fast_path=fast_path,
         )
         # Counters (views over the deployment's metrics registry).
         metrics = self.telemetry.metrics

@@ -1,0 +1,70 @@
+"""The ``make perf`` harness: payload shape, schema, and sanity."""
+
+import json
+
+import pytest
+
+from repro.eval.perf import (
+    MIN_SPEEDUP,
+    run_perf,
+    validate_payload,
+    write_payload,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # Small fixed-seed slice: enough packets that the compiled engine's
+    # one-time compile cost amortizes, cheap enough for every CI run.
+    return run_perf(middlebox="minilb", packets=600, seed=0)
+
+
+class TestPerfPayload:
+    def test_schema_validates(self, payload):
+        assert validate_payload(payload) == []
+
+    def test_all_six_cells_present(self, payload):
+        cells = {(row["runtime"], row["engine"]) for row in payload["rows"]}
+        assert cells == {
+            (runtime, engine)
+            for runtime in ("engine", "baseline", "gallium")
+            for engine in ("interpreter", "compiled")
+        }
+
+    def test_speedups_cover_every_runtime(self, payload):
+        assert set(payload["speedups"]) == {"engine", "baseline", "gallium"}
+        # Not the full >=3x gate (too noisy at this packet count for CI),
+        # but the compiled engine must never be slower than the
+        # interpreter it specializes.
+        assert payload["speedups"]["engine"] > 1.0
+
+    def test_threshold_recorded(self, payload):
+        assert payload["thresholds"]["min_speedup"] == MIN_SPEEDUP
+
+    def test_write_payload_round_trips(self, payload, tmp_path):
+        out = tmp_path / "BENCH_test.json"
+        write_payload(payload, out)
+        assert json.loads(out.read_text()) == payload
+        assert out.read_text().endswith("\n")
+
+    def test_schema_rejects_missing_keys(self, payload):
+        broken = dict(payload)
+        del broken["speedups"]
+        assert validate_payload(broken) != []
+
+    def test_schema_rejects_bad_enum(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["rows"][0]["engine"] = "jit"
+        assert validate_payload(broken) != []
+
+
+class TestCheckedInBench:
+    def test_repo_bench_file_validates(self):
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parents[2] / "BENCH_6.json"
+        assert bench.exists(), "BENCH_6.json missing at the repo root"
+        payload = json.loads(bench.read_text())
+        assert validate_payload(payload) == []
+        assert payload["pass"] is True
+        assert payload["speedups"]["engine"] >= MIN_SPEEDUP

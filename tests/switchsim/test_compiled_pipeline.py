@@ -1,0 +1,94 @@
+"""Compiled pipeline executor and fast-path deployments vs. the
+interpreted originals — same traversals, same journeys, same state."""
+
+from itertools import islice
+
+import pytest
+
+from repro.runtime.deployment import GalliumMiddlebox, compile_middlebox
+from repro.switchsim.compiled import (
+    CompiledPipelineExecutor,
+    make_pipeline_executor,
+)
+from repro.switchsim.pipeline import PipelineExecutor
+from repro.switchsim.switch_model import SwitchModel
+from repro.workloads import IperfWorkload, middlebox_stream
+from tests.conftest import get_bundle
+
+
+def _switch_pair(name):
+    lowered = get_bundle(name).lowered
+    plan, program = compile_middlebox(lowered)
+    return (
+        SwitchModel(program, seed=0),
+        SwitchModel(program, seed=0, fast_path=True),
+    )
+
+
+class TestFactory:
+    def test_fast_path_selects_compiled_executor(self, middlebox_name):
+        lowered = get_bundle(middlebox_name).lowered
+        _, program = compile_middlebox(lowered)
+        interpreted = SwitchModel(program, seed=0)
+        compiled = SwitchModel(program, seed=0, fast_path=True)
+        assert isinstance(interpreted._pre, PipelineExecutor)
+        assert isinstance(compiled._pre, CompiledPipelineExecutor)
+        assert isinstance(compiled._post, CompiledPipelineExecutor)
+
+    def test_make_pipeline_executor_dispatch(self):
+        lowered = get_bundle("minilb").lowered
+        _, program = compile_middlebox(lowered)
+        model = SwitchModel(program, seed=0)
+        for fast_path, cls in (
+            (False, PipelineExecutor),
+            (True, CompiledPipelineExecutor),
+        ):
+            executor = make_pipeline_executor(
+                program.pre, model.adapter, program.needs_server_reg,
+                fast_path=fast_path,
+            )
+            assert isinstance(executor, cls)
+
+
+class TestSwitchTraversalEquivalence:
+    def test_identical_switch_outputs(self, middlebox_name):
+        interpreted, compiled = _switch_pair(middlebox_name)
+        stream = islice(
+            middlebox_stream(middlebox_name, IperfWorkload()), 50
+        )
+        for packet, port in stream:
+            a = interpreted.receive(packet.copy(), port)
+            b = compiled.receive(packet.copy(), port)
+            assert a.dropped == b.dropped
+            assert a.punted == b.punted
+            assert [
+                (p, bytes(pkt.pack())) for p, pkt in a.emitted
+            ] == [(p, bytes(pkt.pack())) for p, pkt in b.emitted]
+        assert interpreted.counters() == compiled.counters()
+        assert {
+            name: reg.value
+            for name, reg in interpreted.registers.items()
+        } == {name: reg.value for name, reg in compiled.registers.items()}
+
+
+class TestDeploymentEquivalence:
+    def test_fast_path_journeys_match(self, middlebox_name):
+        lowered = get_bundle(middlebox_name).lowered
+        plan, program = compile_middlebox(lowered)
+        interpreted = GalliumMiddlebox(plan, program, seed=0)
+        compiled = GalliumMiddlebox(plan, program, seed=0, fast_path=True)
+        interpreted.install()
+        compiled.install()
+        stream = islice(
+            middlebox_stream(middlebox_name, IperfWorkload()), 80
+        )
+        for packet, port in stream:
+            a = interpreted.process_packet(packet.copy(), port)
+            b = compiled.process_packet(packet.copy(), port)
+            assert a.verdict == b.verdict
+            assert a.fast_path == b.fast_path
+            assert a.punted == b.punted
+            assert [
+                (p, bytes(pkt.pack())) for p, pkt in a.emitted
+            ] == [(p, bytes(pkt.pack())) for p, pkt in b.emitted]
+        assert interpreted.state.snapshot() == compiled.state.snapshot()

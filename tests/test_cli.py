@@ -48,3 +48,33 @@ class TestCli:
         assert main(["experiments", "table3"]) == 0
         out = capsys.readouterr().out
         assert "Insert" in out
+
+    def test_difftest_compiled(self, capsys):
+        assert main(["difftest", "--compiled", "--runs", "3",
+                     "--seed", "21"]) == 0
+        out = capsys.readouterr().out
+        assert "both ways" in out
+        assert "0 diverge" in out
+
+    def test_faults_summary_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "summary.json"
+        assert main(["faults", "--runs", "2", "--seed", "13",
+                     "--summary-json", str(out_path)]) == 0
+        summary = json.loads(out_path.read_text())
+        assert summary["runs"] == 2
+        assert "promotion_windows" in summary
+        assert "rollbacks" in summary
+
+    def test_perf_writes_valid_bench(self, tmp_path, capsys):
+        import json
+
+        from repro.eval.perf import validate_payload
+
+        out_path = tmp_path / "BENCH_test.json"
+        main(["perf", "--middlebox", "minilb", "--packets", "300",
+              "--out", str(out_path)])
+        payload = json.loads(out_path.read_text())
+        assert validate_payload(payload) == []
+        assert capsys.readouterr().out.count("pps") == 6
