@@ -3,8 +3,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: help test verify lint difftest difftest-smoke difftest-compiled \
-	faults faults-smoke failover-smoke telemetry-smoke perf perf-smoke \
-	benchmarks
+	faults faults-smoke failover-smoke telemetry-smoke tenancy-smoke \
+	perf perf-smoke benchmarks
 
 help:
 	@echo "Targets:"
@@ -18,6 +18,7 @@ help:
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
 	@echo "  failover-smoke  fixed-seed ~60s active-standby failover campaign"
 	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
+	@echo "  tenancy-smoke   admit 3 middleboxes onto one switch, prove isolation"
 	@echo "  perf            interpreter-vs-compiled timing -> BENCH_6.json"
 	@echo "  perf-smoke      small fixed-seed perf slice + schema + differential check"
 	@echo "  benchmarks      regenerate every paper table/figure"
@@ -86,6 +87,15 @@ telemetry-smoke:
 		| $(PYTHON) -m repro.telemetry.schema trace -
 	$(PYTHON) -m repro metrics minilb --packets 20 --deployment cached --json \
 		| $(PYTHON) -m repro.telemetry.schema metrics -
+
+# Multi-tenant smoke: admit the calibrated 3-middlebox set onto one
+# shared switch, run the interleaved workload, and require byte-exact
+# per-tenant isolation against solo runs (exit 1 on any mismatch or lint
+# error).  The JSON report is validated against the checked-in schema.
+tenancy-smoke:
+	$(PYTHON) -m repro tenancy --packets 60
+	$(PYTHON) -m repro tenancy --packets 30 --json \
+		| $(PYTHON) -m repro.telemetry.schema tenancy -
 
 # The tracked perf trajectory: time interpreter vs. compiled engine on a
 # 20k-packet fixed-seed workload, write + schema-check BENCH_6.json.

@@ -38,6 +38,13 @@ Commands
     declared policy — never diverging silently.  ``--summary-json``
     additionally writes a cross-scenario rollup (promotion-window length
     distributions, rollback rates by fault kind).
+``tenancy [tenant ...] [--packets N] [--admit-only] [--json]``
+    Multi-tenant switch: admit the named middleboxes (default: minilb,
+    mazunat, lb) under one shared resource budget, lint the combined
+    artifact against constraints 1–5, run them together on one pipeline
+    with a shared control-plane RPC channel, and prove per-tenant
+    isolation byte-exactly against solo deployments.  Exits non-zero on
+    a rejected tenant or an isolation violation.
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ from repro.eval.experiments import (
     table1_loc,
     table2_latency,
     table3_state_sync,
+    tenancy_sweep,
 )
 from repro.ir.printer import format_function
 from repro.middleboxes import MIDDLEBOX_NAMES, load_source
@@ -174,6 +182,10 @@ def cmd_experiments(args) -> int:
         print("Failover — standby promotion window cost")
         print(render_table(*failover_recovery()))
         print()
+    if which in ("tenancy", "all"):
+        print("Multi-tenancy — shared-channel queueing vs tenant count")
+        print(render_table(*tenancy_sweep()))
+        print()
     return 0
 
 
@@ -210,10 +222,6 @@ def cmd_difftest(args) -> int:
 def cmd_faults(args) -> int:
     from repro.faults import run_campaign
 
-    if args.cached and args.failover:
-        raise SystemExit(
-            "error: --cached and --failover are mutually exclusive"
-        )
     stats, failures = run_campaign(
         runs=args.runs,
         seed=args.seed,
@@ -231,12 +239,104 @@ def cmd_faults(args) -> int:
     if args.summary_json is not None:
         import json
 
+        from repro.telemetry.schema import check
+
+        summary = stats.summary_dict()
+        check(summary, "faults_summary", what="campaign rollup")
         out_path = Path(args.summary_json)
         out_path.write_text(
-            json.dumps(stats.summary_dict(), indent=2, sort_keys=True) + "\n"
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {out_path}")
     return 1 if stats.failures else 0
+
+
+#: Default tenant set: the three bundled middleboxes the shared budget
+#: comfortably admits together (the CI smoke's isolation triple).
+DEFAULT_TENANTS = ("minilb", "mazunat", "lb")
+
+
+def cmd_tenancy(args) -> int:
+    import json
+
+    from repro.telemetry.schema import check
+    from repro.tenancy import (
+        SharedSwitchBudget,
+        SwitchResourceAllocator,
+        build_tenant_specs,
+    )
+    from repro.tenancy.lint import verify_combined
+    from repro.tenancy.oracle import run_isolation_oracle
+
+    names = list(args.tenants) if args.tenants else list(DEFAULT_TENANTS)
+    for name in names:
+        if name not in MIDDLEBOX_NAMES:
+            raise SystemExit(
+                f"error: {name!r} is not a bundled middlebox"
+                f" ({', '.join(MIDDLEBOX_NAMES)})"
+            )
+    defaults = SharedSwitchBudget()
+    budget = SharedSwitchBudget(
+        memory_bytes=args.budget_memory or defaults.memory_bytes,
+        pipeline_depth=args.budget_stages or defaults.pipeline_depth,
+        table_slots_per_stage=(
+            args.budget_table_slots or defaults.table_slots_per_stage
+        ),
+        phv_bytes=args.budget_phv or defaults.phv_bytes,
+    )
+    specs = build_tenant_specs(names)
+    lint_report = verify_combined(specs, budget)
+    isolation = None
+    if args.admit_only:
+        admission = SwitchResourceAllocator(budget).admit(specs)
+    else:
+        isolation = run_isolation_oracle(
+            names,
+            packets_per_tenant=args.packets,
+            budget=budget,
+            seed=args.seed,
+            fast_path=args.fast_path,
+        )
+        admission = isolation.admission
+    if args.json:
+        payload = {
+            "version": 1,
+            "tenants": names,
+            "packets_per_tenant": 0 if args.admit_only else args.packets,
+            "seed": args.seed,
+            "admission": admission.to_dict(),
+            "lint": lint_report.to_dict(),
+            "isolation": (
+                isolation.to_dict() if isolation is not None else None
+            ),
+            "channel": isolation.channel if isolation is not None else None,
+            "counters": (
+                isolation.counters if isolation is not None else None
+            ),
+        }
+        check(payload, "tenancy", what="tenancy report")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"# tenancy — {', '.join(names)}")
+        print(admission.format())
+        if not lint_report.ok:
+            print()
+            print(lint_report.format())
+        if isolation is not None:
+            print()
+            print(isolation.format())
+            print()
+            print("shared channel:")
+            for tenant, stats in sorted(isolation.channel.items()):
+                print(
+                    f"  {tenant:10s} {stats['rpc_count']} RPCs,"
+                    f" mean queue wait"
+                    f" {stats['queue_wait_mean_us']:.1f} µs"
+                )
+    failed = not lint_report.ok or (
+        isolation is not None and not isolation.ok
+    )
+    return 1 if failed else 0
 
 
 def cmd_perf(args) -> int:
@@ -464,7 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="all",
         choices=["table1", "table2", "table3", "fig7", "fig8", "fig9",
-                 "recovery", "all"],
+                 "recovery", "tenancy", "all"],
     )
     experiments_parser.add_argument("--flows", type=int, default=1000)
     experiments_parser.set_defaults(func=cmd_experiments)
@@ -530,6 +630,41 @@ def build_parser() -> argparse.ArgumentParser:
                                " (window-length distributions, rollback"
                                " rates by fault kind) as JSON")
     faults_parser.set_defaults(func=cmd_faults)
+
+    tenancy_parser = sub.add_parser(
+        "tenancy", help="multi-tenant switch: admit, run, and prove"
+        " per-tenant isolation"
+    )
+    tenancy_parser.add_argument(
+        "tenants", nargs="*", metavar="tenant",
+        help=f"bundled middlebox names (default:"
+        f" {' '.join(DEFAULT_TENANTS)})",
+    )
+    tenancy_parser.add_argument("--packets", type=int, default=100,
+                                help="workload packets per tenant")
+    tenancy_parser.add_argument("--seed", type=int, default=0,
+                                help="deployment seed (same for solo"
+                                " references)")
+    tenancy_parser.add_argument("--admit-only", action="store_true",
+                                help="stop after admission + combined"
+                                " lint; run no traffic")
+    tenancy_parser.add_argument("--fast-path", action="store_true",
+                                help="run tenants on the compiled engine")
+    tenancy_parser.add_argument("--json", action="store_true",
+                                help="emit the schema-checked JSON report")
+    tenancy_parser.add_argument("--budget-memory", type=int, default=None,
+                                metavar="BYTES",
+                                help="override shared SRAM budget")
+    tenancy_parser.add_argument("--budget-stages", type=int, default=None,
+                                metavar="N",
+                                help="override shared pipeline depth")
+    tenancy_parser.add_argument("--budget-table-slots", type=int,
+                                default=None, metavar="N",
+                                help="override table slots per stage")
+    tenancy_parser.add_argument("--budget-phv", type=int, default=None,
+                                metavar="BYTES",
+                                help="override shared PHV byte budget")
+    tenancy_parser.set_defaults(func=cmd_tenancy)
 
     perf_parser = sub.add_parser(
         "perf", help="interpreter-vs-compiled perf trajectory (make perf)"

@@ -529,3 +529,80 @@ def failover_recovery(
             )
             metrics.gauge(f"{prefix}.shed_gbps_ms").set(round(shed, 3))
     return header, rows
+
+
+def tenancy_sweep(
+    names: Tuple[str, ...] = ("minilb", "mazunat", "lb", "firewall"),
+    packets_per_tenant: int = 60,
+    metrics=None,
+) -> Tuple[List[str], List[List]]:
+    """Shared-channel queueing cost as tenant count grows (no paper
+    analogue — Gallium deploys one middlebox per switch).
+
+    For N = 1..len(names), the first N middleboxes are admitted onto one
+    switch and driven with identical per-tenant workloads, round-robin
+    interleaved.  The only shared resource with dynamic contention is
+    the control plane's FIFO RPC channel, so the sweep reports where
+    cross-tenant queueing starts to dominate a write-back batch's
+    latency: *Queue share* is mean queue wait over mean total visibility
+    latency (queue wait included).  At N=1 the share is exactly zero —
+    a serial submitter never queues behind itself — and it grows with N
+    while verdicts, egress bytes, and final state stay byte-identical to
+    solo runs (the isolation oracle's guarantee).
+
+    Pass a :class:`repro.telemetry.MetricsRegistry` as ``metrics`` to
+    additionally publish ``tenancy.n_<N>.*`` gauges.
+    """
+    from repro.tenancy import build_tenant_specs
+    from repro.tenancy.deployment import MultiTenantDeployment
+
+    header = [
+        "Tenants", "Punts", "RPCs",
+        "Mean queue wait (µs)", "Mean visibility (µs)", "Queue share",
+    ]
+    rows = []
+    for count in range(1, len(names) + 1):
+        subset = list(names[:count])
+        deployment = MultiTenantDeployment(build_tenant_specs(subset))
+        deployment.install()
+        streams = {
+            tenant.name: middlebox_stream(tenant.name, IperfWorkload())
+            for tenant in deployment.tenants
+        }
+        journeys = deployment.run_workload(streams, packets_per_tenant)
+        punts = sum(
+            1 for js in journeys.values() for j in js if j.punted
+        )
+        rpc_count = 0
+        wait_sum = 0.0
+        visibility_sum = 0.0
+        visibility_count = 0
+        for snapshot in deployment.metrics_snapshots().values():
+            histograms = snapshot["histograms"]
+            wait = histograms["control_plane.rpc_queue_wait_us"]
+            visibility = histograms["control_plane.batch_visibility_us"]
+            rpc_count += wait["count"]
+            wait_sum += wait["sum"]
+            visibility_sum += visibility["sum"]
+            visibility_count += visibility["count"]
+        mean_wait = wait_sum / rpc_count if rpc_count else 0.0
+        mean_visibility = (
+            visibility_sum / visibility_count if visibility_count else 0.0
+        )
+        share = mean_wait / mean_visibility if mean_visibility else 0.0
+        rows.append([
+            f"{count} ({'+'.join(subset)})",
+            punts,
+            rpc_count,
+            round(mean_wait, 1),
+            round(mean_visibility, 1),
+            round(share, 3),
+        ])
+        if metrics is not None:
+            prefix = f"tenancy.n_{count}"
+            metrics.gauge(f"{prefix}.mean_queue_wait_us").set(
+                round(mean_wait, 3)
+            )
+            metrics.gauge(f"{prefix}.queue_share").set(round(share, 4))
+            metrics.counter(f"{prefix}.punts").inc(punts)
+    return header, rows

@@ -185,10 +185,9 @@ def run_perf(
 
 def validate_payload(payload: dict, schema_path: Path = SCHEMA_PATH) -> list:
     """Schema-check a BENCH payload; returns the list of errors."""
-    from repro.telemetry.schema import validate
+    from repro.telemetry.schema import validate_file
 
-    schema = json.loads(Path(schema_path).read_text())
-    return validate(payload, schema)
+    return validate_file(payload, schema_path)
 
 
 def write_payload(payload: dict, out_path: Path) -> None:

@@ -330,12 +330,12 @@ def run_campaign(
     ``failover`` drives every scenario on the active-standby
     :class:`~repro.runtime.failover.FailoverDeployment` under
     failover-specific fault plans (primary crashes, stale standby
-    replays); ``shrink_failures`` delta-debugs each failure — fault
-    plan, program, and stream — before it is reported or written to the
-    corpus.
+    replays); both together drive the composed
+    :class:`~repro.runtime.cached_failover.CachedFailoverDeployment`
+    (bounded caches on an active-standby pair, rebuilt at promotion);
+    ``shrink_failures`` delta-debugs each failure — fault plan, program,
+    and stream — before it is reported or written to the corpus.
     """
-    if cached and failover:
-        raise ValueError("cached and failover campaigns are exclusive")
     stats = CampaignStats()
     failures: List[FaultFailure] = []
     started = time.monotonic()

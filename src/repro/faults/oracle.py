@@ -60,6 +60,7 @@ from repro.runtime.deployment import (
     PuntCompletion,
     compile_middlebox,
 )
+from repro.runtime.cached_failover import CachedFailoverDeployment
 from repro.runtime.failover import FailoverDeployment
 from repro.switchsim.program import SwitchProgramError
 from repro.switchsim.switch_model import SwitchOutput
@@ -216,6 +217,14 @@ def run_fault_oracle(
     no-op — the promotion resync leaves the pair exactly where a healthy
     single switch would be, which is precisely the property under test.
 
+    ``cached`` and ``failover`` compose: the deployment under test becomes
+    the :class:`CachedFailoverDeployment` (bounded tables over an
+    active-standby pair), the reference stays the clean cached deployment,
+    and the ``("promote",)`` tag mirrors a cached bulk resync onto the
+    reference — the promotion rebuilds the promoted switch's bounded cache
+    and FIFO eviction order from the server's authoritative copy, so the
+    reference must re-converge its own cache at the same log point.
+
     With ``provenance`` (the default), a VIOLATION outcome re-runs the
     whole scenario with per-packet tracing on both deployments (the run is
     fully seeded, so it reproduces exactly) and attaches the trace diff
@@ -225,8 +234,6 @@ def run_fault_oracle(
     pair threaded into the two deployments.
     """
     policy = policy or DegradationPolicy()
-    if cached and failover:
-        raise ValueError("cached and failover modes are mutually exclusive")
     dut_telemetry = _telemetry[0] if _telemetry is not None else None
     ref_telemetry = _telemetry[1] if _telemetry is not None else None
     try:
@@ -247,7 +254,13 @@ def run_fault_oracle(
     )
 
     def deploy(failover_dut: bool = False, **kwargs) -> GalliumMiddlebox:
-        if cached:
+        if cached and failover_dut:
+            box = CachedFailoverDeployment(
+                plan, program, cache_entries=cache_entries,
+                port_pairs=dict(DEFAULT_PORT_PAIRS),
+                config=config, seed=deployment_seed, **kwargs,
+            )
+        elif cached:
             box = CachedGalliumMiddlebox(
                 plan, program, cache_entries=cache_entries,
                 port_pairs=dict(DEFAULT_PORT_PAIRS),
@@ -537,12 +550,16 @@ def _replay_reference(
                 reference.sync_all_state()
         elif tag == "promote":
             # The DUT promoted its standby and bulk-resynced it from the
-            # server's authoritative copy.  The reference needs no action:
-            # replicated state equality follows from the batch applies it
-            # already mirrored, and switch-authoritative registers line up
-            # because the DUT's per-packet checkpoint fed the fallback
-            # window the same values the reference's live switch held.
-            pass
+            # server's authoritative copy.  A full-replication reference
+            # needs no action: replicated state equality follows from the
+            # batch applies it already mirrored, and switch-authoritative
+            # registers line up because the DUT's per-packet checkpoint fed
+            # the fallback window the same values the reference's live
+            # switch held.  A cached reference must mirror the resync —
+            # the promotion rebuilt the DUT's bounded cache and FIFO order
+            # from authoritative state, same as the "resync" tag.
+            if cached:
+                reference.sync_all_state()
         else:  # pragma: no cover - log tags are closed
             raise AssertionError(f"unknown fault-log tag {tag!r}")
     if held:

@@ -108,14 +108,61 @@ def _spec_variants(spec, stream_len: int) -> List:
     return variants
 
 
+def _hint_variants(spec, hints: ShrinkHints, stream_len: int) -> List:
+    """Trace-guided variants: snap the spec's activity window to the
+    divergent packet.
+
+    Packets after the divergence cannot have caused it, and the window
+    before it is usually dead weight too — so the single most promising
+    candidate collapses the whole window onto that one packet.  The blind
+    binary narrowing in :func:`_spec_variants` reaches the same plan
+    eventually but needs O(log window) predicate (= oracle) calls per end;
+    a correct hint gets there in one.
+    """
+    packet = hints.packet
+    if packet is None or not 0 <= packet < stream_len:
+        return []
+    variants: List = []
+
+    def replace(**kwargs) -> None:
+        candidate = dataclasses.replace(spec, **kwargs)
+        if candidate != spec and candidate not in variants:
+            variants.append(candidate)
+
+    start = getattr(spec, "start", None)
+    stop = getattr(spec, "stop", None)
+    if start is not None and packet >= start and (
+        stop is None or packet < stop
+    ):
+        # Most aggressive first: the one-packet window, then each end
+        # snapped separately (in case the fault needs lead-in or rampdown).
+        replace(start=packet, stop=packet + 1)
+        replace(stop=packet + 1)
+        replace(start=packet)
+    at_packet = getattr(spec, "at_packet", None)
+    if at_packet is not None and at_packet <= packet:
+        # One-shot specs: shorten the effect to just cover the divergence.
+        needed = packet - at_packet + 1
+        for name in ("outage", "duration"):
+            value = getattr(spec, name, None)
+            if value is not None and needed < value:
+                replace(**{name: needed})
+    return variants
+
+
 def _shrink_one_spec(
     program: GenProgram,
     stream: StreamSpec,
     plan: FaultPlan,
     predicate: FaultPredicate,
+    hints: ShrinkHints = _NO_HINTS,
 ) -> Tuple[FaultPlan, bool]:
     for index, spec in enumerate(plan.faults):
-        for variant in _spec_variants(spec, stream.count):
+        variants = _hint_variants(spec, hints, stream.count)
+        for blind in _spec_variants(spec, stream.count):
+            if blind not in variants:
+                variants.append(blind)
+        for variant in variants:
             candidate = FaultPlan(
                 faults=plan.faults[:index] + (variant,)
                 + plan.faults[index + 1:]
@@ -140,7 +187,8 @@ def shrink_plan(
                                        hints)
         if dropped:
             continue
-        plan, narrowed = _shrink_one_spec(program, stream, plan, predicate)
+        plan, narrowed = _shrink_one_spec(program, stream, plan, predicate,
+                                          hints)
         if not narrowed:
             break
     return plan

@@ -64,39 +64,12 @@ class ConstraintReport:
     state_access_sites: Dict[str, int] = field(default_factory=dict)
 
     def violations(self, limits: SwitchResources) -> List[str]:
-        problems: List[str] = []
-        if self.memory_bytes > limits.memory_bytes:
-            problems.append(
-                f"constraint 1: switch memory {self.memory_bytes} >"
-                f" {limits.memory_bytes}"
-            )
-        depth = max(self.pipeline_depth_pre, self.pipeline_depth_post)
-        if depth > limits.pipeline_depth:
-            problems.append(
-                f"constraint 2: dependency chain {depth} >"
-                f" pipeline depth {limits.pipeline_depth}"
-            )
-        for state, sites in self.state_access_sites.items():
-            if sites > 1:
-                problems.append(
-                    f"constraint 3: state {state!r} has {sites} offloaded"
-                    " access sites"
-                )
-        metadata = max(self.metadata_bytes_pre, self.metadata_bytes_post)
-        if metadata > limits.metadata_bytes:
-            problems.append(
-                f"constraint 4: per-packet metadata {metadata} bytes >"
-                f" {limits.metadata_bytes}"
-            )
-        transfer = max(
-            self.transfer_bytes_to_server, self.transfer_bytes_to_switch
-        )
-        if transfer > limits.transfer_bytes:
-            problems.append(
-                f"constraint 5: shim transfer {transfer} bytes >"
-                f" {limits.transfer_bytes}"
-            )
-        return problems
+        # The accounting lives in the resource allocator (this is the
+        # one-tenant case of shared-switch admission); import lazily to
+        # keep partition importable without the tenancy package loaded.
+        from repro.tenancy.allocator import constraint_violations
+
+        return constraint_violations(self, limits)
 
     def satisfied(self, limits: SwitchResources) -> bool:
         return not self.violations(limits)

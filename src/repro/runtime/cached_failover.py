@@ -1,0 +1,74 @@
+"""Cache + failover composition: bounded tables on an active-standby pair.
+
+Until this module, :class:`~repro.runtime.cache.CachedGalliumMiddlebox`
+and :class:`~repro.runtime.failover.FailoverDeployment` were mutually
+exclusive: the cached deployment keeps per-switch FIFO eviction state
+that a promoted standby would silently lack.  The composition resolves
+it by *rebuilding* that state at every bulk resync — including the
+promotion resync, which already replays the server's authoritative copy
+onto the promoted switch; bounding that copy and reconstructing the FIFO
+from it is exactly what ``sync_all_state`` does at install time, so
+promotion reuses the same path.
+
+Division of labour along the MRO (Cached → Failover → Gallium):
+
+* the **standby** is kept warm with the *full* replicated tables —
+  committed write-back batches (inserts, deletes, refills) replay to it
+  unbounded, while cache evictions are switch-local maintenance that
+  never crosses ``_apply_update_batch`` and therefore never reach it.
+  A replay refused for capacity skew counts as dropped, as in the plain
+  failover deployment; the promotion resync rebuilds from scratch anyway;
+* **promotion** (`_exit_fallback` → ``_promote`` + ``sync_all_state``)
+  lands on the cached ``sync_all_state``, which bounds every cached
+  table to its newest ``cache_entries`` authoritative entries and
+  rebuilds the FIFO insertion order to match — the promoted switch
+  starts with a well-defined, fully-backed cache;
+* **register checkpointing** must be re-stated here: the cached
+  ``process_packet`` is a reimplementation that does not call ``super()``
+  (it clones the pristine packet at ingress), so without the override
+  below the failover side's per-packet checkpoint would silently stop —
+  and a primary crash would lose switch-authoritative registers.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import CachedGalliumMiddlebox
+from repro.runtime.deployment import PacketJourney
+from repro.runtime.failover import FailoverDeployment
+
+
+class CachedFailoverDeployment(CachedGalliumMiddlebox, FailoverDeployment):
+    """Bounded-cache Gallium deployment over an active-standby pair."""
+
+    def process_packet(self, packet, ingress_port: int = 1) -> PacketJourney:
+        # Cached's packet path (pristine-clone punts), then Failover's
+        # per-packet register checkpoint — see the module docstring for
+        # why this cannot be left to the MRO.
+        journey = CachedGalliumMiddlebox.process_packet(
+            self, packet, ingress_port
+        )
+        if not self._fallback_active:
+            self._checkpoint_registers()
+        return journey
+
+
+def build_cached_failover(
+    name: str,
+    cache_entries: int,
+    seed: int = 0,
+    clock=None,
+    telemetry=None,
+) -> CachedFailoverDeployment:
+    """Compile + deploy one middlebox in cached-failover mode."""
+    from repro.middleboxes import load
+    from repro.runtime.deployment import compile_middlebox
+
+    bundle = load(name)
+    plan, program = compile_middlebox(bundle.lowered)
+    middlebox = CachedFailoverDeployment(
+        plan, program, cache_entries=cache_entries,
+        config=bundle.config, seed=seed, clock=clock,
+        telemetry=telemetry,
+    )
+    middlebox.install()
+    return middlebox

@@ -123,6 +123,44 @@ class RetryPolicy:
         )
 
 
+class RpcChannel:
+    """The FIFO control-plane RPC pipe, shareable between submitters.
+
+    Every :class:`ControlPlane` owns a private channel by default, which
+    reproduces the single-tenant behaviour exactly: a serial caller's
+    clock advances past each batch's completion, so it never queues
+    behind itself.  A multi-tenant deployment hands the *same* channel to
+    N tenants' control planes — each tenant keeps its own simulated
+    clock, so a tenant that lags behind another's committed batches sees
+    their in-flight completions still on the pipe and waits for them to
+    drain: the M/M/1 FIFO term, finally exercised by real concurrency.
+
+    The wait only ever adds latency (it rides ``queue_wait_us`` into the
+    output-commit hold); it never changes verdicts or switch state, which
+    is what makes per-tenant byte-equality against a solo deployment a
+    meaningful isolation oracle.
+    """
+
+    def __init__(self):
+        #: completion times (simulated µs) of RPCs still on the channel
+        self.inflight: List[float] = []
+
+    def submit(self, now_us: float) -> Tuple[float, float]:
+        """Prune drained RPCs; return ``(wait_us, start_us)`` for an
+        attempt submitted at ``now_us``."""
+        self.inflight = [t for t in self.inflight if t > now_us]
+        start = max(self.inflight) if self.inflight else now_us
+        return start - now_us, start
+
+    def complete(self, finish_us: float) -> None:
+        """Record one submitted RPC's completion time."""
+        self.inflight.append(finish_us)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.inflight)
+
+
 class ControlPlaneFault(Exception):
     """A transient injected fault on one batch attempt (retryable).
 
@@ -236,6 +274,7 @@ class ControlPlane:
         seed: Optional[int] = 0,
         retry: Optional[RetryPolicy] = None,
         telemetry=None,
+        channel: Optional[RpcChannel] = None,
     ):
         from repro.telemetry import LATENCY_BOUNDS_US, Telemetry
 
@@ -269,8 +308,23 @@ class ControlPlane:
             "control_plane.rpc_queue_wait_us", LATENCY_BOUNDS_US
         )
         self._g_outstanding = metrics.gauge("control_plane.rpc_outstanding")
-        #: completion times (simulated µs) of RPCs still on the channel
-        self._rpc_inflight: List[float] = []
+        #: the FIFO RPC pipe (private unless a shared one is injected)
+        self.channel = channel if channel is not None else RpcChannel()
+
+    @property
+    def _rpc_inflight(self) -> List[float]:
+        """Completion times of RPCs still on the channel (a live view of
+        ``self.channel.inflight``, kept for callers that poke the list
+        directly)."""
+        return self.channel.inflight
+
+    @_rpc_inflight.setter
+    def _rpc_inflight(self, value: List[float]) -> None:
+        self.channel.inflight = list(value)
+
+    def attach_channel(self, channel: RpcChannel) -> None:
+        """Move this control plane onto a (possibly shared) RPC channel."""
+        self.channel = channel
 
     # Legacy counter attributes, now views over the metrics registry.
     @property
@@ -355,7 +409,7 @@ class ControlPlane:
                 last_fault = exc
                 undo.high_water = max(undo.high_water, exc.applied_updates)
                 cost = self._attempt_cost_us(updates, exc.kind)
-                self._rpc_inflight.append(start + cost)
+                self.channel.complete(start + cost)
                 retry_wait += cost
                 if tracer is not None:
                     tracer.record("batch_attempt", component="control_plane",
@@ -379,7 +433,7 @@ class ControlPlane:
                     undo=undo,
                 ) from exc
             undo.high_water = len(updates)
-            self._rpc_inflight.append(start + result.visibility_latency_us)
+            self.channel.complete(start + result.visibility_latency_us)
             result.attempts = attempts
             result.retry_wait_us = retry_wait
             result.queue_wait_us = queue_wait
@@ -504,10 +558,8 @@ class ControlPlane:
         the attempt's service time is known.
         """
         now = self.telemetry.clock.now_us + elapsed_us
-        self._rpc_inflight = [t for t in self._rpc_inflight if t > now]
-        self._g_outstanding.set(len(self._rpc_inflight))
-        start = max(self._rpc_inflight) if self._rpc_inflight else now
-        wait = start - now
+        wait, start = self.channel.submit(now)
+        self._g_outstanding.set(self.channel.outstanding)
         self._h_queue_wait.observe(wait)
         return wait, start
 

@@ -1,7 +1,13 @@
-"""Checked-in JSON schemas for the telemetry CLI output, plus a small
-self-contained validator (the image has no ``jsonschema`` package; the
-subset implemented here — type/required/properties/items/enum/minimum —
-is all the checked-in schemas use).
+"""Checked-in JSON schemas plus the one self-contained validator.
+
+This module is the single schema authority for every JSON artifact the
+repo emits (the image has no ``jsonschema`` package; the subset
+implemented here — type/required/properties/items/enum/minimum — is all
+the checked-in schemas use).  Bundled schemas live in ``schemas/``
+(``trace``, ``metrics``, ``faults_summary``, ``tenancy``); external
+schema files (e.g. the perf harness's ``bench_schema.json``) go through
+:func:`validate_file`.  Producers call :func:`check` to fail loudly
+before writing an invalid document.
 
 CI smoke usage::
 
@@ -27,9 +33,21 @@ _TYPES = {
 }
 
 
+def bundled_schemas() -> List[str]:
+    """Names of every checked-in schema under ``schemas/``."""
+    return sorted(
+        path.name[: -len(".schema.json")]
+        for path in SCHEMA_DIR.glob("*.schema.json")
+    )
+
+
 def load_schema(name: str) -> dict:
-    """Load ``schemas/<name>.schema.json`` (``trace`` or ``metrics``)."""
+    """Load the bundled ``schemas/<name>.schema.json``."""
     path = SCHEMA_DIR / f"{name}.schema.json"
+    if not path.exists():
+        raise KeyError(
+            f"no bundled schema {name!r}; available: {bundled_schemas()}"
+        )
     return json.loads(path.read_text())
 
 
@@ -78,11 +96,36 @@ def validate(instance: Any, schema: dict, path: str = "$") -> List[str]:
     return errors
 
 
+def validate_named(instance: Any, name: str) -> List[str]:
+    """Validate against the bundled schema ``name``; return errors."""
+    return validate(instance, load_schema(name))
+
+
+def validate_file(instance: Any, schema_path: Path) -> List[str]:
+    """Validate against a schema file outside the bundled set."""
+    return validate(instance, json.loads(Path(schema_path).read_text()))
+
+
+def check(instance: Any, name: str, what: str = "document") -> None:
+    """Producer-side gate: raise ``ValueError`` on schema violations.
+
+    Call this before writing a JSON artifact so an invalid document
+    fails the producing command instead of the downstream consumer.
+    """
+    errors = validate_named(instance, name)
+    if errors:
+        detail = "; ".join(errors[:5])
+        raise ValueError(
+            f"{what} violates the {name!r} schema: {detail}"
+        )
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if len(argv) != 2 or argv[0] not in ("trace", "metrics"):
+    names = bundled_schemas()
+    if len(argv) != 2 or argv[0] not in names:
         print("usage: python -m repro.telemetry.schema"
-              " <trace|metrics> <file|->", file=sys.stderr)
+              f" <{'|'.join(names)}> <file|->", file=sys.stderr)
         return 2
     schema = load_schema(argv[0])
     text = sys.stdin.read() if argv[1] == "-" else Path(argv[1]).read_text()

@@ -1,0 +1,47 @@
+"""Multi-tenant switch: N middleboxes on one shared pipeline.
+
+The production shape the ROADMAP targets is one physical switch fronting
+many offloaded services.  This package provides the three layers that
+shape needs:
+
+* :mod:`repro.tenancy.allocator` — a first-class
+  :class:`~repro.tenancy.allocator.SwitchResourceAllocator` admitting N
+  compiled artifacts under one :class:`~repro.tenancy.allocator.\
+SharedSwitchBudget` (stage placement, SRAM carving, PHV arbitration),
+  with deterministic admission order and actionable rejection
+  diagnostics.  It is also the single authority for the per-program
+  §4.2.2 constraint checks the partitioner runs.
+* :mod:`repro.tenancy.deployment` — a
+  :class:`~repro.tenancy.deployment.MultiTenantDeployment` installing all
+  admitted programs on one simulated pipeline, dispatching packets by
+  ingress port or VLAN, isolating per-tenant state namespaces, and
+  running every tenant's control plane as a concurrent submitter on one
+  shared FIFO RPC channel.
+* :mod:`repro.tenancy.oracle` — the tenant-isolation oracle: each
+  tenant's multi-tenant run must be byte-identical (verdicts, egress
+  bytes, final register/table state) to its solo deployment.
+* :mod:`repro.tenancy.lint` — P4-lint of the *combined* artifact against
+  constraints 1–5.
+"""
+
+from repro.tenancy.allocator import (
+    AdmissionRejection,
+    AdmissionReport,
+    SharedSwitchBudget,
+    SwitchResourceAllocator,
+    TenantPlacement,
+    TenantSpec,
+    build_tenant_specs,
+    constraint_violations,
+)
+
+__all__ = [
+    "AdmissionRejection",
+    "AdmissionReport",
+    "SharedSwitchBudget",
+    "SwitchResourceAllocator",
+    "TenantPlacement",
+    "TenantSpec",
+    "build_tenant_specs",
+    "constraint_violations",
+]

@@ -1,0 +1,452 @@
+"""The switch resource allocator: N compiled middleboxes, one budget.
+
+Everything before this module checked resources *per program*: the
+partitioner measured one plan against one :class:`SwitchResources` and the
+P4 lint re-proved the same bounds on the emitted artifact.  A production
+switch fronts many services, and on an RMT pipeline (Bosshart et al.) the
+stages, SRAM and PHV are a *shared* substrate — arbitrating them across
+programs is the central compiler problem at that scale (cf. the RMT
+backend paper).  This module makes that arbitration first-class:
+
+* :func:`constraint_violations` is the single authority for the paper's
+  §4.2.2 constraint 1–5 accounting.  The partitioner's final gate and
+  :meth:`ConstraintReport.violations <repro.partition.constraints.\
+ConstraintReport.violations>` both delegate here, so per-program admission
+  is just the one-tenant case of the shared problem.
+* :class:`SwitchResourceAllocator` admits N compiled artifacts under one
+  :class:`SharedSwitchBudget`: per-tenant stage placement (stage 0 is the
+  dispatch table, tenant tables pack from stage 1 with a bounded number of
+  table slots per stage), register/table memory carved into contiguous
+  per-tenant ranges, and PHV/header arbitration (every tenant's metadata
+  and shim fields coexist in the parser's static PHV layout, so they sum).
+
+Admission is deterministic and order-independent: tenants are admitted in
+canonical order (sorted by name) regardless of submission order, so the
+admit/reject verdict set is a function of the tenant *set*, never of the
+call sequence.  A rejection names the exhausted resource, the tenant that
+broke the budget, and who holds the remainder — an actionable diagnostic,
+not a boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.partition.constraints import ConstraintReport, SwitchResources
+from repro.partition.plan import PartitionPlan
+from repro.switchsim.program import SwitchProgram
+
+#: Local port numbering inside one tenant's slice: 1/2 network, 3 server.
+PORTS_PER_TENANT = 4
+
+#: VLAN ids assigned to admitted tenants start here (100, 101, ...).
+VLAN_BASE = 100
+
+#: PHV bytes consumed by the shared dispatch machinery (tenant id + the
+#: original-VLAN scratch field), counted once, not per tenant.
+DISPATCH_PHV_BYTES = 4
+
+
+# ---------------------------------------------------------------------------
+# The per-program constraint authority (the one-tenant case)
+# ---------------------------------------------------------------------------
+
+
+def constraint_violations(
+    report: ConstraintReport, limits: SwitchResources
+) -> List[str]:
+    """Constraint 1–5 violations of one measured partitioning.
+
+    This is the accounting that used to live on
+    ``ConstraintReport.violations``; it moved here so the allocator is the
+    single authority for switch resource checks (the report method and the
+    partitioner's final gate both delegate to it).
+    """
+    problems: List[str] = []
+    if report.memory_bytes > limits.memory_bytes:
+        problems.append(
+            f"constraint 1: switch memory {report.memory_bytes} >"
+            f" {limits.memory_bytes}"
+        )
+    depth = max(report.pipeline_depth_pre, report.pipeline_depth_post)
+    if depth > limits.pipeline_depth:
+        problems.append(
+            f"constraint 2: dependency chain {depth} >"
+            f" pipeline depth {limits.pipeline_depth}"
+        )
+    for state, sites in report.state_access_sites.items():
+        if sites > 1:
+            problems.append(
+                f"constraint 3: state {state!r} has {sites} offloaded"
+                " access sites"
+            )
+    metadata = max(report.metadata_bytes_pre, report.metadata_bytes_post)
+    if metadata > limits.metadata_bytes:
+        problems.append(
+            f"constraint 4: per-packet metadata {metadata} bytes >"
+            f" {limits.metadata_bytes}"
+        )
+    transfer = max(
+        report.transfer_bytes_to_server, report.transfer_bytes_to_switch
+    )
+    if transfer > limits.transfer_bytes:
+        problems.append(
+            f"constraint 5: shim transfer {transfer} bytes >"
+            f" {limits.transfer_bytes}"
+        )
+    return problems
+
+
+def admit_single(
+    name: str, report: ConstraintReport, limits: SwitchResources
+) -> List[str]:
+    """The partitioner's final admission gate (one tenant, one budget)."""
+    return constraint_violations(report, limits)
+
+
+# ---------------------------------------------------------------------------
+# The shared budget and the N-tenant admission
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedSwitchBudget:
+    """What one physical RMT pipeline offers the tenant population.
+
+    Memory and stage count match the single-program
+    :class:`SwitchResources` defaults (it is the same physical switch);
+    the PHV budget is larger than the per-program 96-byte scratchpad
+    because the parser's container file holds every program's fields at
+    once, but far from N×96 — PHV pressure is exactly what makes
+    multi-tenancy a packing problem.
+    """
+
+    #: Total match-table SRAM shared by every tenant, in bytes.
+    memory_bytes: int = 16 * 1024 * 1024
+    #: Physical match-action stages, including the dispatch stage.
+    pipeline_depth: int = 20
+    #: Match-table slots available per stage (RMT: a handful of parallel
+    #: tables per stage; tenants' tables share stages).
+    table_slots_per_stage: int = 4
+    #: PHV bytes available to tenant metadata + shim fields combined.
+    phv_bytes: int = 128
+    #: Stages reserved at the front of the pipeline for tenant dispatch.
+    dispatch_stages: int = 1
+
+    @classmethod
+    def tofino_like(cls) -> "SharedSwitchBudget":
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "SharedSwitchBudget":
+        """A deliberately starved shared switch for rejection tests."""
+        return cls(
+            memory_bytes=512 * 1024,
+            pipeline_depth=10,
+            table_slots_per_stage=2,
+            phv_bytes=48,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "memory_bytes": self.memory_bytes,
+            "pipeline_depth": self.pipeline_depth,
+            "table_slots_per_stage": self.table_slots_per_stage,
+            "phv_bytes": self.phv_bytes,
+            "dispatch_stages": self.dispatch_stages,
+        }
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One compiled middlebox asking for a slice of the shared switch."""
+
+    name: str
+    plan: PartitionPlan
+    program: SwitchProgram
+    #: static per-port config passed to the tenant's server runtime
+    config: Optional[dict] = None
+
+    @property
+    def memory_bytes(self) -> int:
+        """Table SRAM plus register file bytes this tenant needs."""
+        registers = sum(
+            (spec.width_bits + 7) // 8
+            for spec in self.program.registers.values()
+        )
+        return self.program.memory_bytes() + registers
+
+    @property
+    def stage_depth(self) -> int:
+        """Stages this tenant's deepest pipeline occupies (its tables are
+        applied at most once each, so they never need more stages than
+        the table count either)."""
+        report = self.plan.report
+        return max(
+            report.pipeline_depth_pre,
+            report.pipeline_depth_post,
+            len(self.program.tables),
+        )
+
+    @property
+    def phv_bytes(self) -> int:
+        """PHV bytes this tenant's fields pin in the shared layout: its
+        scratchpad peak plus the wider of its two shim headers."""
+        report = self.plan.report
+        metadata = max(report.metadata_bytes_pre, report.metadata_bytes_post)
+        shim = max(
+            self.program.shim_to_server.byte_size,
+            self.program.shim_to_switch.byte_size,
+        )
+        return metadata + shim
+
+    def table_slots(self, stage: int) -> int:
+        """Table slots this tenant occupies in (tenant-relative) ``stage``
+        (1-based, after dispatch).  Tables pack from stage 1, one slot
+        each — the pessimistic packing the admission check bounds."""
+        return 1 if 1 <= stage <= len(self.program.tables) else 0
+
+
+@dataclass
+class TenantPlacement:
+    """Where an admitted tenant landed on the shared switch."""
+
+    name: str
+    #: order among admitted tenants (drives port base and VLAN id)
+    index: int
+    #: contiguous SRAM carve [offset, offset + memory_bytes)
+    memory_offset: int
+    memory_bytes: int
+    #: stages this tenant's tables/ALUs occupy (after the dispatch stage)
+    stage_first: int
+    stage_last: int
+    phv_bytes: int
+    vlan: int
+    port_base: int
+
+    @property
+    def server_port(self) -> int:
+        return self.port_base + 3
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "index": self.index,
+            "memory_offset": self.memory_offset,
+            "memory_bytes": self.memory_bytes,
+            "stage_first": self.stage_first,
+            "stage_last": self.stage_last,
+            "phv_bytes": self.phv_bytes,
+            "vlan": self.vlan,
+            "port_base": self.port_base,
+        }
+
+
+@dataclass(frozen=True)
+class AdmissionRejection:
+    """Why one tenant could not be admitted."""
+
+    name: str
+    #: the exhausted budget axis: "memory_bytes" | "pipeline_depth"
+    #: | "table_slots" | "phv_bytes"
+    resource: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "resource": self.resource,
+            "message": self.message,
+        }
+
+
+@dataclass
+class AdmissionReport:
+    """The allocator's verdict over one tenant set."""
+
+    budget: SharedSwitchBudget
+    admitted: List[TenantPlacement] = field(default_factory=list)
+    rejected: List[AdmissionRejection] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.rejected
+
+    def placement(self, name: str) -> TenantPlacement:
+        for placement in self.admitted:
+            if placement.name == name:
+                return placement
+        raise KeyError(name)
+
+    def totals(self) -> Dict[str, int]:
+        return {
+            "memory_bytes": sum(p.memory_bytes for p in self.admitted),
+            "phv_bytes": DISPATCH_PHV_BYTES
+            + sum(p.phv_bytes for p in self.admitted),
+            "stages": self.budget.dispatch_stages
+            + max((p.stage_last for p in self.admitted), default=0),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "budget": self.budget.to_dict(),
+            "admitted": [p.to_dict() for p in self.admitted],
+            "rejected": [r.to_dict() for r in self.rejected],
+            "totals": self.totals(),
+        }
+
+    def format(self) -> str:
+        lines = []
+        totals = self.totals()
+        lines.append(
+            f"budget: {self.budget.memory_bytes} B SRAM,"
+            f" {self.budget.pipeline_depth} stages"
+            f" ({self.budget.dispatch_stages} dispatch),"
+            f" {self.budget.table_slots_per_stage} table slots/stage,"
+            f" {self.budget.phv_bytes} B PHV"
+        )
+        for placement in self.admitted:
+            lines.append(
+                f"  admit {placement.name}: SRAM"
+                f" [{placement.memory_offset},"
+                f" {placement.memory_offset + placement.memory_bytes}),"
+                f" stages {placement.stage_first}-{placement.stage_last},"
+                f" {placement.phv_bytes} B PHV, vlan {placement.vlan},"
+                f" ports {placement.port_base + 1}-{placement.server_port}"
+            )
+        for rejection in self.rejected:
+            lines.append(f"  reject {rejection.name}: {rejection.message}")
+        lines.append(
+            f"  used: {totals['memory_bytes']} B SRAM,"
+            f" {totals['stages']} stages, {totals['phv_bytes']} B PHV"
+        )
+        return "\n".join(lines)
+
+
+class SwitchResourceAllocator:
+    """Admits compiled middleboxes onto one shared switch budget."""
+
+    def __init__(self, budget: Optional[SharedSwitchBudget] = None):
+        self.budget = budget if budget is not None else SharedSwitchBudget()
+
+    def admit(self, tenants: Sequence[TenantSpec]) -> AdmissionReport:
+        """Admit as many tenants as the budget allows.
+
+        Tenants are processed in canonical order (sorted by name), so the
+        admit/reject verdict set never depends on submission order.  A
+        tenant that does not fit is rejected and admission continues —
+        one oversized tenant must not shadow-reject everything sorted
+        after it.
+        """
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {name for name in names if names.count(name) > 1}
+            )
+            raise ValueError(
+                f"duplicate tenant name(s): {', '.join(duplicates)}"
+            )
+        report = AdmissionReport(budget=self.budget)
+        memory_offset = 0
+        phv_used = DISPATCH_PHV_BYTES
+        tenant_stages = (
+            self.budget.pipeline_depth - self.budget.dispatch_stages
+        )
+        slot_usage = [0] * (tenant_stages + 1)  # 1-based tenant stages
+        for spec in sorted(tenants, key=lambda s: s.name):
+            rejection = self._check(
+                spec, report, memory_offset, phv_used, tenant_stages,
+                slot_usage,
+            )
+            if rejection is not None:
+                report.rejected.append(rejection)
+                continue
+            index = len(report.admitted)
+            placement = TenantPlacement(
+                name=spec.name,
+                index=index,
+                memory_offset=memory_offset,
+                memory_bytes=spec.memory_bytes,
+                stage_first=self.budget.dispatch_stages + 1,
+                stage_last=self.budget.dispatch_stages + spec.stage_depth,
+                phv_bytes=spec.phv_bytes,
+                vlan=VLAN_BASE + index,
+                port_base=index * PORTS_PER_TENANT,
+            )
+            report.admitted.append(placement)
+            memory_offset += spec.memory_bytes
+            phv_used += spec.phv_bytes
+            for stage in range(1, tenant_stages + 1):
+                slot_usage[stage] += spec.table_slots(stage)
+        return report
+
+    def _check(
+        self,
+        spec: TenantSpec,
+        report: AdmissionReport,
+        memory_offset: int,
+        phv_used: int,
+        tenant_stages: int,
+        slot_usage: List[int],
+    ) -> Optional[AdmissionRejection]:
+        holders = ", ".join(p.name for p in report.admitted) or "nobody"
+        if spec.stage_depth > tenant_stages:
+            return AdmissionRejection(
+                spec.name, "pipeline_depth",
+                f"tenant {spec.name!r} rejected: pipeline_depth exhausted —"
+                f" needs {spec.stage_depth} stages but only"
+                f" {tenant_stages} remain after the"
+                f" {self.budget.dispatch_stages}-stage dispatch"
+                f" (budget {self.budget.pipeline_depth})",
+            )
+        remaining = self.budget.memory_bytes - memory_offset
+        if spec.memory_bytes > remaining:
+            return AdmissionRejection(
+                spec.name, "memory_bytes",
+                f"tenant {spec.name!r} rejected: memory_bytes exhausted —"
+                f" needs {spec.memory_bytes} B, {remaining} B of"
+                f" {self.budget.memory_bytes} B remain"
+                f" ({memory_offset} B held by {holders})",
+            )
+        phv_remaining = self.budget.phv_bytes - phv_used
+        if spec.phv_bytes > phv_remaining:
+            return AdmissionRejection(
+                spec.name, "phv_bytes",
+                f"tenant {spec.name!r} rejected: phv_bytes exhausted —"
+                f" needs {spec.phv_bytes} B, {phv_remaining} B of"
+                f" {self.budget.phv_bytes} B remain"
+                f" ({phv_used} B held by dispatch + {holders})",
+            )
+        for stage in range(1, tenant_stages + 1):
+            needed = spec.table_slots(stage)
+            if not needed:
+                break
+            free = self.budget.table_slots_per_stage - slot_usage[stage]
+            if needed > free:
+                return AdmissionRejection(
+                    spec.name, "table_slots",
+                    f"tenant {spec.name!r} rejected: table_slots exhausted"
+                    f" at stage {self.budget.dispatch_stages + stage} —"
+                    f" needs {needed} slot(s), {free} of"
+                    f" {self.budget.table_slots_per_stage} remain"
+                    f" (held by {holders})",
+                )
+        return None
+
+
+def build_tenant_specs(names: Sequence[str]) -> List[TenantSpec]:
+    """Compile bundled middleboxes into tenant specs (CLI/test helper)."""
+    from repro.middleboxes import load
+    from repro.runtime.deployment import compile_middlebox
+
+    specs: List[TenantSpec] = []
+    for name in names:
+        bundle = load(name)
+        plan, program = compile_middlebox(bundle.lowered)
+        specs.append(
+            TenantSpec(
+                name=name, plan=plan, program=program, config=bundle.config
+            )
+        )
+    return specs

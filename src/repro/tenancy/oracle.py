@@ -1,0 +1,233 @@
+"""Tenant-isolation oracle: multi-tenant output ≡ solo output, byte-exact.
+
+The multi-tenant switch promises each admitted middlebox the semantics of
+its solo deployment — co-residency may only add control-plane queueing
+delay, never change behaviour.  This oracle proves it the strong way: it
+runs every tenant twice on the same workload slice — once inside the
+shared deployment (streams interleaved round-robin, control planes
+contending on one RPC channel) and once alone — and demands byte
+equality on
+
+* per-packet verdicts (send/drop, fast-path/punted flags),
+* egress frames (tenant-local egress port + packed wire bytes), and
+* final data-plane state (every register value, every table snapshot).
+
+Shared-channel queue wait (``sync_wait_us``) is the one sanctioned
+difference; anything else is an isolation violation with the packet index
+and field named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.deployment import GalliumMiddlebox, PacketJourney
+from repro.telemetry import Telemetry
+from repro.tenancy.allocator import (
+    AdmissionReport,
+    SharedSwitchBudget,
+    build_tenant_specs,
+)
+from repro.tenancy.deployment import (
+    MultiTenantDeployment,
+    TenantRuntime,
+    deployment_state_snapshot,
+)
+from repro.workloads.iperf import IperfWorkload, middlebox_stream
+
+#: How many mismatches to spell out per tenant before truncating.
+_MISMATCH_LIMIT = 5
+
+
+@dataclass
+class TenantVerdict:
+    """One tenant's isolation comparison against its solo run."""
+
+    name: str
+    packets: int
+    punts: int
+    #: mean shared-channel-induced extra output-commit wait (µs)
+    extra_sync_wait_us: float
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def isolated(self) -> bool:
+        return not self.mismatches
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "packets": self.packets,
+            "punts": self.punts,
+            "isolated": self.isolated,
+            "extra_sync_wait_us": round(self.extra_sync_wait_us, 3),
+            "mismatches": list(self.mismatches),
+        }
+
+
+@dataclass
+class IsolationResult:
+    """Oracle outcome for one tenant set."""
+
+    admission: AdmissionReport
+    verdicts: List[TenantVerdict] = field(default_factory=list)
+    #: per-tenant shared-channel pressure from the multi-tenant run
+    channel: Dict[str, dict] = field(default_factory=dict)
+    #: per-tenant switch counters from the multi-tenant run
+    counters: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.isolated for v in self.verdicts)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "admission": self.admission.to_dict(),
+            "tenants": [v.to_dict() for v in self.verdicts],
+        }
+
+    def format(self) -> str:
+        lines = []
+        for verdict in self.verdicts:
+            status = "isolated" if verdict.isolated else "VIOLATION"
+            lines.append(
+                f"  {verdict.name}: {status} — {verdict.packets} packets,"
+                f" {verdict.punts} punts,"
+                f" +{verdict.extra_sync_wait_us:.1f} µs mean queue wait"
+            )
+            lines.extend(f"    {m}" for m in verdict.mismatches)
+        verdict_line = "PASS" if self.ok else "FAIL"
+        lines.append(f"isolation: {verdict_line}")
+        return "\n".join(lines)
+
+
+def run_solo(
+    name: str,
+    packets: int,
+    seed: int = 0,
+    fast_path: bool = False,
+) -> Tuple[List[PacketJourney], dict]:
+    """One tenant's reference run: alone on its own switch.
+
+    Compiles fresh (compilation is deterministic, and sharing compiled
+    objects with the multi-tenant run could let one side's mutations
+    leak into the other — the exact thing the oracle must not assume).
+    """
+    (spec,) = build_tenant_specs([name])
+    middlebox = GalliumMiddlebox(
+        spec.plan,
+        spec.program,
+        config=spec.config,
+        seed=seed,
+        telemetry=Telemetry(),
+        fast_path=fast_path,
+    )
+    middlebox.install()
+    journeys = []
+    stream = islice(middlebox_stream(name, IperfWorkload()), packets)
+    for packet, ingress_port in stream:
+        journeys.append(middlebox.process_packet(packet, ingress_port))
+    return journeys, deployment_state_snapshot(middlebox)
+
+
+def run_isolation_oracle(
+    names: Sequence[str],
+    packets_per_tenant: int = 100,
+    budget: Optional[SharedSwitchBudget] = None,
+    seed: int = 0,
+    fast_path: bool = False,
+) -> IsolationResult:
+    """Run the multi-tenant deployment and compare every admitted tenant
+    against its solo reference."""
+    specs = build_tenant_specs(list(names))
+    shared = MultiTenantDeployment(
+        specs, budget=budget, seed=seed, fast_path=fast_path
+    )
+    shared.install()
+    streams = {
+        t.name: middlebox_stream(t.name, IperfWorkload())
+        for t in shared.tenants
+    }
+    multi_journeys = shared.run_workload(streams, packets_per_tenant)
+    multi_state = shared.state_snapshots()
+    result = IsolationResult(
+        admission=shared.admission,
+        channel=shared.channel_stats(),
+        counters=shared.switch.counters(),
+    )
+    for tenant in shared.tenants:
+        solo_journeys, solo_state = run_solo(
+            tenant.name, packets_per_tenant, seed=seed, fast_path=fast_path
+        )
+        verdict = _compare_tenant(
+            tenant,
+            multi_journeys[tenant.name],
+            multi_state[tenant.name],
+            solo_journeys,
+            solo_state,
+        )
+        result.verdicts.append(verdict)
+    return result
+
+
+def _compare_tenant(
+    tenant: TenantRuntime,
+    multi: List[PacketJourney],
+    multi_state: dict,
+    solo: List[PacketJourney],
+    solo_state: dict,
+) -> TenantVerdict:
+    mismatches: List[str] = []
+
+    def note(message: str) -> None:
+        if len(mismatches) < _MISMATCH_LIMIT:
+            mismatches.append(message)
+        elif len(mismatches) == _MISMATCH_LIMIT:
+            mismatches.append("... (further mismatches truncated)")
+
+    if len(multi) != len(solo):
+        note(
+            f"packet count differs: multi={len(multi)} solo={len(solo)}"
+        )
+    base = tenant.placement.port_base
+    extra_wait = 0.0
+    punts = 0
+    for index, (m, s) in enumerate(zip(multi, solo)):
+        if m.verdict != s.verdict:
+            note(
+                f"packet {index}: verdict {m.verdict!r} != solo"
+                f" {s.verdict!r}"
+            )
+        if (m.punted, m.fast_path) != (s.punted, s.fast_path):
+            note(
+                f"packet {index}: path (punted={m.punted},"
+                f" fast={m.fast_path}) != solo (punted={s.punted},"
+                f" fast={s.fast_path})"
+            )
+        m_egress = [(port - base, frame.pack()) for port, frame in m.emitted]
+        s_egress = [(port, frame.pack()) for port, frame in s.emitted]
+        if m_egress != s_egress:
+            note(f"packet {index}: egress bytes differ from solo")
+        if m.punted:
+            punts += 1
+            extra_wait += m.sync_wait_us - s.sync_wait_us
+    if multi_state != solo_state:
+        for kind in ("registers", "tables"):
+            m_kind, s_kind = multi_state[kind], solo_state[kind]
+            for key in sorted(set(m_kind) | set(s_kind)):
+                if m_kind.get(key) != s_kind.get(key):
+                    note(
+                        f"final {kind[:-1]} {key!r} differs:"
+                        f" multi={m_kind.get(key)!r}"
+                        f" solo={s_kind.get(key)!r}"
+                    )
+    return TenantVerdict(
+        name=tenant.name,
+        packets=len(multi),
+        punts=punts,
+        extra_sync_wait_us=extra_wait / punts if punts else 0.0,
+        mismatches=mismatches,
+    )

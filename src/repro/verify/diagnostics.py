@@ -20,6 +20,7 @@ from repro.lang.diagnostics import SourceLocation
 STAGE_IR = "ir"
 STAGE_PARTITION = "partition"
 STAGE_P4LINT = "p4lint"
+STAGE_TENANCY = "tenancy"
 
 #: code -> one-line description, the authoritative registry (docs render it).
 DIAGNOSTIC_CODES: Dict[str, str] = {
@@ -52,6 +53,12 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "P4L008": "register wider than the 64-bit ALU datapath",
     "P4L009": "more tables applied than physical pipeline stages",
     "P4L010": "action complexity: oversized straight-line block",
+    # Stage 4 — multi-tenant combined-artifact lint (shared-budget
+    # admission, repro.tenancy).
+    "TEN001": "tenant rejected by the shared-switch resource allocator",
+    "TEN002": "combined artifact exceeds a shared-switch budget axis",
+    "TEN003": "per-tenant artifact failed the P4 resource lint",
+    "TEN004": "tenant namespaces collide on the shared switch",
 }
 
 

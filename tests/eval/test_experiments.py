@@ -153,3 +153,31 @@ class TestProfiles:
         )
         assert profile.slow_fraction == 0.0
         assert profile.sync_events == 0
+
+
+class TestTenancySweep:
+    def test_queue_share_zero_solo_then_grows(self):
+        from repro.eval.experiments import tenancy_sweep
+
+        header, rows = tenancy_sweep(packets_per_tenant=40)
+        assert header[-1] == "Queue share"
+        shares = [row[-1] for row in rows]
+        assert shares[0] == 0.0  # a serial submitter never queues
+        assert shares[1] > 0.0  # co-residency queues immediately
+        assert shares[2] >= shares[1]
+        # firewall is fully offloaded (slow_fraction == 0): a pure
+        # fast-path tenant adds zero shared-channel pressure.
+        assert rows[3][2] == rows[2][2]
+
+    def test_metrics_published(self):
+        from repro.eval.experiments import tenancy_sweep
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tenancy_sweep(
+            names=("minilb", "mazunat"), packets_per_tenant=20,
+            metrics=registry,
+        )
+        snapshot = registry.to_dict()
+        assert "tenancy.n_1.queue_share" in snapshot["gauges"]
+        assert "tenancy.n_2.queue_share" in snapshot["gauges"]

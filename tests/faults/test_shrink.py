@@ -47,6 +47,35 @@ def test_spec_variants_halve_outage():
     assert any(v.outage == 4 for v in variants)
 
 
+def test_hint_variants_snap_window_to_divergent_packet():
+    from repro.difftest.shrink import ShrinkHints
+    from repro.faults.shrink import _hint_variants
+
+    spec = LinkFault(probability=0.4, start=2, stop=18)
+    variants = _hint_variants(spec, ShrinkHints(packet=5), STREAM.count)
+    # Most aggressive candidate first: the one-packet window.
+    assert variants[0].start == 5 and variants[0].stop == 6
+    assert any(v.start == 2 and v.stop == 6 for v in variants)
+    assert any(v.start == 5 and v.stop == 18 for v in variants)
+    # A spec inactive at the divergent packet gets no snap candidates
+    # (the snapped window could not reproduce the failure), and empty
+    # hints degrade to blind behaviour.
+    assert _hint_variants(spec, ShrinkHints(packet=1), STREAM.count) == []
+    assert _hint_variants(spec, ShrinkHints(), STREAM.count) == []
+
+
+def test_hint_variants_shorten_one_shot_effects():
+    from repro.difftest.shrink import ShrinkHints
+    from repro.faults.shrink import _hint_variants
+
+    spec = ServerCrash(at_packet=2, outage=8)
+    variants = _hint_variants(spec, ShrinkHints(packet=3), STREAM.count)
+    # Just long enough for the outage to still cover the divergence.
+    assert any(v.outage == 2 for v in variants)
+    # A divergence index outside the stream is a stale hint: ignore it.
+    assert _hint_variants(spec, ShrinkHints(packet=25), STREAM.count) == []
+
+
 def test_shrink_plan_drops_irrelevant_specs():
     plan = FaultPlan(faults=(
         LinkFault(probability=0.3),
@@ -162,6 +191,56 @@ class TestTraceGuidedShrinking:
         )
         assert blind == guided  # same minimum either way
         assert all(spec.kind == "batch" for spec in guided.faults)
+        assert len(guided_calls) < len(blind_calls)
+
+    def test_guided_narrowing_snaps_windows_in_fewer_oracle_calls(self):
+        """Widen the historical culprit windows to the full stream; the
+        guided shrink snaps each straight back onto the packet-0
+        divergence while blind binary narrowing pays O(log window)
+        predicate calls per window end."""
+        import dataclasses
+
+        from repro.faults.oracle import FaultOutcome, run_fault_oracle
+
+        entry = self._historical_entry()
+        plan = FaultPlan(faults=tuple(
+            dataclasses.replace(spec, start=0, stop=None)
+            for spec in entry.fault_plan.faults
+        ))
+
+        def count_calls(counter):
+            def predicate(program, stream, candidate):
+                counter.append(1)
+                replay = run_fault_oracle(
+                    entry.source, stream, candidate,
+                    policy=entry.policy,
+                    injector_seed=entry.injector_seed,
+                    deployment_seed=entry.deployment_seed,
+                    provenance=False,
+                )
+                if replay.outcome is not FaultOutcome.DEGRADED_OK:
+                    return False
+                return (replay.injected.get("batch_timeout", 0) > 0
+                        and replay.injected.get("batch_fail", 0) > 0)
+            return predicate
+
+        blind_calls, guided_calls = [], []
+        blind = shrink_plan(
+            entry.source, entry.stream, plan, count_calls(blind_calls)
+        )
+        guided = shrink_plan(
+            entry.source, entry.stream, plan, count_calls(guided_calls),
+            trace_diff=self._historical_trace_diff(),
+        )
+        # Delta debugging only promises *a* local minimum: blind halving
+        # wanders (its seeded faults can keep firing in some off-center
+        # window at a tiny probability), while the snap recovers exactly
+        # the corpus entry's one-packet windows at the divergence...
+        assert [(s.start, s.stop) for s in guided.faults] == [
+            (s.start, s.stop) for s in entry.fault_plan.faults
+        ]
+        assert all(len(b.faults) == 2 for b in (blind, guided))
+        # ...with strictly fewer oracle invocations.
         assert len(guided_calls) < len(blind_calls)
 
     def test_specs_not_covering_divergent_packet_dropped_first(self):

@@ -245,9 +245,14 @@ class TestFailoverOracle:
             FaultOutcome.DEGRADED_OK, FaultOutcome.CLEAN
         ), result.violation
 
-    def test_cached_and_failover_mutually_exclusive(self):
-        with pytest.raises(ValueError):
-            run_fault_oracle(
-                FAULTBOX, StreamSpec(seed=1, count=5), FaultPlan(),
-                cached=True, failover=True,
-            )
+    def test_cached_and_failover_compose(self):
+        # Historically a ValueError; the CachedFailoverDeployment
+        # composition now handles both flags end to end.
+        result = run_fault_oracle(
+            FAULTBOX, StreamSpec(seed=1, count=5), FaultPlan(),
+            cached=True, failover=True,
+        )
+        assert result.outcome == FaultOutcome.CLEAN, (
+            result.violation or result.error
+        )
+        assert result.cached_mode and result.failover_mode

@@ -426,6 +426,34 @@ class TestRpcQueueing:
         assert result.queue_wait_us == 0.0
         assert result.retry_wait_us > 0.0
 
+    def test_shared_channel_concurrent_submitters_queue(self):
+        """Two control planes sharing one channel (two tenants on one
+        switch) queue behind each other: each keeps its own clock, so a
+        submission lands while the other tenant's RPC is still on the
+        wire.  The same per-submitter workload on a private channel
+        never waits (test_channel_drains_between_committed_batches) —
+        queueing here is purely a co-residency effect."""
+        from repro.switchsim.control_plane import RpcChannel
+
+        channel = RpcChannel()
+        first, _, _ = make_control()
+        second, _, _ = make_control()
+        first.attach_channel(channel)
+        second.attach_channel(channel)
+        waits = []
+        for key in range(4):
+            for control in (first, second):
+                result = control.apply_batch(
+                    [StateUpdate("insert", "t0", (key,), key)]
+                )
+                waits.append(result.queue_wait_us)
+        assert waits[0] == 0.0  # nothing on the channel yet
+        assert all(wait > 0.0 for wait in waits[1:])
+        for control in (first, second):
+            metrics = control.telemetry.metrics.to_dict()
+            hist = metrics["histograms"]["control_plane.rpc_queue_wait_us"]
+            assert hist["sum"] > 0.0
+
     def test_queue_metrics_emitted(self):
         control = self.make_queued(["timeout", None])
         control.apply_batch([StateUpdate("insert", "t0", (1,), 1)])

@@ -5,7 +5,14 @@ import json
 
 import pytest
 
-from repro.telemetry.schema import load_schema, main, validate
+from repro.telemetry.schema import (
+    bundled_schemas,
+    check,
+    load_schema,
+    main,
+    validate,
+    validate_named,
+)
 
 
 class TestValidator:
@@ -53,6 +60,34 @@ class TestCheckedInSchemas:
         }
         errors = validate(payload, load_schema("trace"))
         assert any("deployment" in error for error in errors)
+
+    def test_bundled_registry_contains_every_consumer_schema(self):
+        names = bundled_schemas()
+        # The one shared validator serves tracing, metrics, the faults
+        # rollup, and the tenancy report (the perf harness's schema is a
+        # checked-in benchmark artifact, routed through validate_file).
+        for required in ("trace", "metrics", "faults_summary", "tenancy"):
+            assert required in names, names
+
+    def test_unknown_schema_name_lists_available(self):
+        with pytest.raises(KeyError, match="tenancy"):
+            load_schema("not-a-schema")
+
+    def test_check_raises_with_named_document(self):
+        with pytest.raises(ValueError, match="campaign rollup"):
+            check({}, "faults_summary", what="campaign rollup")
+
+    def test_validate_named_matches_load_schema(self):
+        payload = {"not": "a trace"}
+        assert validate_named(payload, "trace") == validate(
+            payload, load_schema("trace")
+        )
+
+    def test_faults_summary_schema_accepts_real_rollup(self):
+        from repro.faults.campaign import CampaignStats
+
+        summary = CampaignStats().summary_dict()
+        assert validate_named(summary, "faults_summary") == []
 
     def test_cli_entry_point(self, tmp_path, capsys):
         good = {

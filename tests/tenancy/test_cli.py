@@ -1,0 +1,56 @@
+"""Tests for ``python -m repro tenancy``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTenancyCommand:
+    def test_default_trio_passes(self, capsys):
+        assert main(["tenancy", "--packets", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "isolation: PASS" in out
+        assert "shared channel:" in out
+        for name in ("minilb", "mazunat", "lb"):
+            assert name in out
+
+    def test_admit_only_skips_the_workload(self, capsys):
+        assert main(["tenancy", "--admit-only"]) == 0
+        out = capsys.readouterr().out
+        assert "isolation" not in out
+        assert "admit minilb" in out
+
+    def test_json_payload_validates_against_schema(self, capsys):
+        assert main(["tenancy", "--packets", "10", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        from repro.telemetry.schema import check
+
+        check(payload, "tenancy", what="tenancy report")  # must not raise
+        assert payload["isolation"]["ok"] is True
+        assert payload["packets_per_tenant"] == 10
+
+    def test_over_budget_set_fails_with_diagnostic(self, capsys):
+        code = main([
+            "tenancy", "minilb", "mazunat", "lb", "firewall", "proxy",
+            "--admit-only",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "proxy" in out
+        assert "table_slots" in out
+        assert "TEN001" in out
+
+    def test_budget_overrides_apply(self, capsys):
+        code = main([
+            "tenancy", "minilb", "--admit-only",
+            "--budget-memory", "1024",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "memory_bytes" in out
+
+    def test_unknown_tenant_rejected(self):
+        with pytest.raises(SystemExit, match="not a bundled"):
+            main(["tenancy", "nope"])

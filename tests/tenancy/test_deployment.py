@@ -1,0 +1,132 @@
+"""Tests for the multi-tenant switch model and deployment."""
+
+import pytest
+
+from repro.tenancy import SharedSwitchBudget, build_tenant_specs
+from repro.tenancy.deployment import (
+    VLAN_KEY,
+    MultiTenantDeployment,
+    TenantDispatchError,
+)
+from repro.workloads.iperf import IperfWorkload, middlebox_stream
+
+TRIO = ["minilb", "mazunat", "lb"]
+
+
+def build(names=TRIO, **kwargs):
+    deployment = MultiTenantDeployment(build_tenant_specs(names), **kwargs)
+    deployment.install()
+    return deployment
+
+
+def streams(deployment):
+    return {
+        t.name: middlebox_stream(t.name, IperfWorkload())
+        for t in deployment.tenants
+    }
+
+
+class TestDispatch:
+    def test_port_blocks_route_to_owning_tenant(self):
+        deployment = build()
+        stream_packets = {
+            t.name: next(middlebox_stream(t.name, IperfWorkload()))
+            for t in deployment.tenants
+        }
+        for index, tenant in enumerate(deployment.tenants):
+            packet, local = stream_packets[tenant.name]
+            owner, resolved = deployment.switch.dispatch(
+                packet, tenant.placement.port_base + local
+            )
+            assert owner.name == tenant.name
+            assert resolved == local
+
+    def test_vlan_tag_wins_over_port(self):
+        deployment = build()
+        last = deployment.tenants[-1]
+        packet, _ = next(middlebox_stream(last.name, IperfWorkload()))
+        packet.metadata[VLAN_KEY] = last.placement.vlan
+        # Port 1 belongs to tenant 0; the VLAN tag overrides it.
+        owner, local = deployment.switch.dispatch(packet, 1)
+        assert owner.name == last.name
+        assert local == 1
+
+    def test_unowned_port_and_vlan_raise(self):
+        deployment = build()
+        packet, _ = next(middlebox_stream("minilb", IperfWorkload()))
+        with pytest.raises(TenantDispatchError, match="outside every"):
+            deployment.switch.dispatch(packet, 999)
+        packet.metadata[VLAN_KEY] = 9999
+        with pytest.raises(TenantDispatchError, match="no tenant owns"):
+            deployment.switch.dispatch(packet, 1)
+
+    def test_egress_ports_translated_to_global(self):
+        deployment = build()
+        for tenant in deployment.tenants:
+            base = tenant.placement.port_base
+            stream = middlebox_stream(tenant.name, IperfWorkload())
+            packet, local = next(stream)
+            name, journey = deployment.process_packet(packet, base + local)
+            assert name == tenant.name
+            for port, _frame in journey.emitted:
+                assert base < port <= base + 4
+
+
+class TestNamespaces:
+    def test_tables_and_registers_are_tenant_prefixed(self):
+        deployment = build()
+        for key in deployment.switch.tables:
+            tenant_name, _, table_name = key.partition(".")
+            assert tenant_name in {t.name for t in deployment.tenants}
+            assert table_name
+        # Each tenant's objects are distinct instances — no aliasing.
+        tables = list(deployment.switch.tables.values())
+        assert len(tables) == len({id(t) for t in tables})
+
+    def test_counters_tagged_by_tenant(self):
+        deployment = build()
+        deployment.run_workload(streams(deployment), 5)
+        counters = deployment.switch.counters()
+        assert set(counters) == {t.name for t in deployment.tenants}
+
+
+class TestSharedChannel:
+    def test_concurrent_tenants_see_positive_queue_wait(self):
+        """The satellite regression: round-robin interleaving across
+        tenants puts every submitter behind the others' in-flight RPCs —
+        strictly positive queue wait for all of them."""
+        deployment = build()
+        deployment.run_workload(streams(deployment), 60)
+        stats = deployment.channel_stats()
+        assert set(stats) == {t.name for t in deployment.tenants}
+        for tenant, entry in stats.items():
+            assert entry["rpc_count"] > 0, tenant
+            assert entry["queue_wait_total_us"] > 0.0, tenant
+
+    def test_serial_solo_tenant_never_queues(self):
+        """A single tenant on the shared switch is a serial submitter:
+        its clock always outruns its own RPCs, so the wait stays zero
+        (queueing is purely a co-residency phenomenon)."""
+        deployment = build(["minilb"])
+        deployment.run_workload(streams(deployment), 30)
+        (entry,) = deployment.channel_stats().values()
+        assert entry["rpc_count"] > 0
+        assert entry["queue_wait_total_us"] == 0.0
+
+
+class TestWorkload:
+    def test_round_robin_bounds_each_tenant(self):
+        deployment = build()
+        journeys = deployment.run_workload(streams(deployment), 7)
+        assert set(journeys) == {t.name for t in deployment.tenants}
+        for name, tenant_journeys in journeys.items():
+            assert len(tenant_journeys) == 7, name
+
+    def test_rejected_tenant_not_deployed(self):
+        deployment = MultiTenantDeployment(
+            build_tenant_specs(TRIO + ["firewall", "proxy"])
+        )
+        names = {t.name for t in deployment.tenants}
+        assert "proxy" not in names
+        assert names == {"firewall", "lb", "mazunat", "minilb"}
+        assert not deployment.admission.ok

@@ -1,0 +1,63 @@
+"""Tests for the tenant-isolation oracle and the combined-artifact lint."""
+
+from repro.tenancy import SharedSwitchBudget, build_tenant_specs
+from repro.tenancy.lint import verify_combined
+from repro.tenancy.oracle import run_isolation_oracle
+
+TRIO = ["minilb", "mazunat", "lb"]
+
+
+class TestIsolationOracle:
+    def test_trio_is_isolated_byte_exactly(self):
+        result = run_isolation_oracle(TRIO, packets_per_tenant=60)
+        assert result.ok, result.format()
+        assert {v.name for v in result.verdicts} == set(TRIO)
+        for verdict in result.verdicts:
+            assert verdict.packets == 60
+            assert verdict.mismatches == []
+
+    def test_queue_wait_is_the_only_sanctioned_difference(self):
+        result = run_isolation_oracle(TRIO, packets_per_tenant=60)
+        # Co-residency costs every tenant real output-commit latency...
+        assert all(
+            v.extra_sync_wait_us > 0.0 for v in result.verdicts
+        ), result.format()
+        # ...and nothing else (verdicts, egress bytes, final state equal).
+        assert result.ok
+
+    def test_result_dict_shape(self):
+        result = run_isolation_oracle(TRIO, packets_per_tenant=10)
+        data = result.to_dict()
+        assert data["ok"] is True
+        assert {t["name"] for t in data["tenants"]} == set(TRIO)
+        assert set(result.channel) == set(TRIO)
+        assert set(result.counters) == set(TRIO)
+
+
+class TestCombinedLint:
+    def test_trio_combined_artifact_is_clean(self):
+        report = verify_combined(
+            build_tenant_specs(TRIO), SharedSwitchBudget()
+        )
+        assert report.ok, report.format()
+        assert "tenancy[" in report.program
+
+    def test_rejected_tenant_surfaces_as_ten001(self):
+        report = verify_combined(
+            build_tenant_specs(TRIO + ["firewall", "proxy"]),
+            SharedSwitchBudget(),
+        )
+        assert not report.ok
+        codes = [d.code for d in report.diagnostics]
+        assert "TEN001" in codes
+        rejection = next(
+            d for d in report.diagnostics if d.code == "TEN001"
+        )
+        assert "proxy" in rejection.message
+        assert "table_slots" in rejection.message
+
+    def test_duplicate_tenants_surface_as_ten004(self):
+        specs = build_tenant_specs(["minilb"])
+        report = verify_combined(specs + specs, SharedSwitchBudget())
+        assert not report.ok
+        assert any(d.code == "TEN004" for d in report.diagnostics)

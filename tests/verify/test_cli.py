@@ -86,16 +86,20 @@ def test_compile_gate_raises_verification_error():
 
 
 def test_every_emitted_code_is_registered():
-    """Codes used by the three stages must all be in the registry."""
+    """Codes used by the verifier stages and the tenancy lint must all
+    be in the registry."""
     import re
     from pathlib import Path
 
-    verify_dir = Path(__file__).resolve().parents[2] / "src/repro/verify"
+    src = Path(__file__).resolve().parents[2] / "src/repro"
     used = set()
-    for path in verify_dir.glob("*.py"):
-        used.update(
-            re.findall(r"\"((?:IR|PART|P4L)\d{3})\"", path.read_text())
-        )
+    for subdir in ("verify", "tenancy"):
+        for path in (src / subdir).glob("*.py"):
+            used.update(
+                re.findall(
+                    r"\"((?:IR|PART|P4L|TEN)\d{3})\"", path.read_text()
+                )
+            )
     assert used <= set(DIAGNOSTIC_CODES)
     # and the registry has no dead codes either
     assert set(DIAGNOSTIC_CODES) <= used
