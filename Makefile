@@ -2,15 +2,18 @@ PYTHON ?= python
 # Tier-1 convention: prepend src/ without clobbering a caller's PYTHONPATH.
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: help test verify lint difftest difftest-smoke difftest-compiled \
-	faults faults-smoke failover-smoke telemetry-smoke tenancy-smoke \
-	perf perf-smoke benchmarks
+.PHONY: help test verify symbolic-smoke lint lint-verify difftest \
+	difftest-smoke difftest-compiled faults faults-smoke failover-smoke \
+	telemetry-smoke tenancy-smoke perf perf-smoke benchmarks
 
 help:
 	@echo "Targets:"
 	@echo "  test            tier-1 test suite (pytest tests/)"
 	@echo "  verify          static verifier over all bundled middleboxes"
+	@echo "  symbolic-smoke  translation validation: prove all middleboxes,"
+	@echo "                  schema-check the JSON, disprove a seeded mutation"
 	@echo "  lint            ruff + mypy (skipped gracefully if not installed)"
+	@echo "  lint-verify     blocking ruff + mypy over src/repro/verify/"
 	@echo "  difftest        full differential gauntlet (1000 programs, --shrink)"
 	@echo "  difftest-smoke  fixed-seed ~60s gauntlet slice"
 	@echo "  difftest-compiled  compiled-engine-vs-interpreter gauntlet (200 programs)"
@@ -32,6 +35,15 @@ verify:
 	$(PYTHON) -m repro verify all
 	$(PYTHON) -m repro verify minilb --json > /dev/null
 
+# Translation validation smoke (blocking in CI): prove every bundled
+# middlebox at the default budget, validate every report against the
+# checked-in `symbolic` schema, and disprove one seeded semantic
+# mutation with an interpreter-confirmed counterexample.  The CLI pass
+# exercises the `verify --symbolic [--json]` surface on top.
+symbolic-smoke:
+	$(PYTHON) -m repro verify minilb --symbolic --json > /dev/null
+	$(PYTHON) -m repro.verify.symbolic.smoke
+
 # Advisory lint: run ruff/mypy when available, skip (successfully) when
 # the environment does not have them (the image bakes in only the python
 # toolchain; CI installs both).
@@ -45,6 +57,22 @@ lint:
 		$(PYTHON) -m mypy src/repro/verify src/repro/ir; \
 	else \
 		echo "lint: mypy not installed; skipping"; \
+	fi
+
+# Blocking lint: the verification layer (including the symbolic prover)
+# is held to zero ruff findings and a clean mypy run; CI gates on this
+# without continue-on-error.  Still skips when the tools are absent so
+# `make lint-verify` stays runnable in the bare container.
+lint-verify:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro/verify; \
+	else \
+		echo "lint-verify: ruff not installed; skipping"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/verify; \
+	else \
+		echo "lint-verify: mypy not installed; skipping"; \
 	fi
 
 # The full gauntlet: 1000 programs, shrink failures to minimal reproducers.

@@ -129,19 +129,50 @@ def cmd_verify(args) -> int:
         targets = list(MIDDLEBOX_NAMES)
     else:
         targets = [args.target]
-    reports = []
+    payloads = []
     failed = False
     for target in targets:
         source, filename, _ = _read_source(target)
         result = compile_source(source, filename=filename, verify=False)
         report = verify_compilation(result, cache_mode=args.cached)
-        reports.append(report)
+        payload = report.to_dict()
         failed = failed or not report.ok
         if not args.json:
             print(report.format())
+        if args.symbolic:
+            from repro.middleboxes.registry import load
+            from repro.telemetry.schema import check
+            from repro.verify.symbolic import verify_symbolic
+
+            config = (load(target).config
+                      if target in MIDDLEBOX_NAMES else None)
+            sym = verify_symbolic(
+                result.plan, result.switch_program,
+                source=source, config=config,
+            )
+            sym_dict = sym.to_dict()
+            check(sym_dict, "symbolic", f"verify --symbolic ({target})")
+            payload["symbolic"] = sym_dict
+            failed = failed or not sym.proved
+            if not args.json:
+                verdict = "PROVED" if sym.proved else "NOT PROVED"
+                print(
+                    f"{sym.program}: translation validation {verdict}"
+                    f" ({sym.scenarios} scenarios, {sym.worlds} worlds,"
+                    f" {sym.elapsed_s:.2f}s)"
+                )
+                for diagnostic in sym.diagnostics:
+                    print(diagnostic.format())
+                for counterexample in sym.counterexamples:
+                    print(
+                        f"  counterexample ({counterexample.code}):"
+                        f" {counterexample.replay_detail}"
+                        + (f" -> {counterexample.corpus_path}"
+                           if counterexample.corpus_path else "")
+                    )
+        payloads.append(payload)
     if args.json:
-        payload = [r.to_dict() for r in reports]
-        print(json.dumps(payload[0] if args.target != "all" else payload,
+        print(json.dumps(payloads[0] if args.target != "all" else payloads,
                          indent=2))
     return 1 if failed else 0
 
@@ -213,6 +244,7 @@ def cmd_difftest(args) -> int:
         max_failures=args.max_failures,
         time_budget_s=args.time_budget,
         seed_override=args.seed_override,
+        symbolic=args.symbolic,
         log=print,  # streams progress and each failure report as found
     )
     print(stats.summary())
@@ -548,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify_parser.add_argument("--cached", action="store_true",
                                help="also check cached-deployment"
                                " preconditions (PART006)")
+    verify_parser.add_argument("--symbolic", action="store_true",
+                               help="also run translation validation: prove"
+                               " the composed deployment equivalent to the"
+                               " source on a bounded symbolic packet space"
+                               " (SYM001-SYM008)")
     verify_parser.set_defaults(func=cmd_verify)
 
     partition_parser = sub.add_parser(
@@ -593,6 +630,11 @@ def build_parser() -> argparse.ArgumentParser:
                                  " fast-path engine against the IR"
                                  " interpreter instead (byte-identical"
                                  " verdicts, env, journals, metrics)")
+    difftest_parser.add_argument("--symbolic", action="store_true",
+                                 help="add the symbolic prover as a third"
+                                 " opinion next to the oracle and the static"
+                                 " verifier; disagreement reports name the"
+                                 " dissenting checker")
     difftest_parser.set_defaults(func=cmd_difftest)
 
     faults_parser = sub.add_parser(

@@ -33,6 +33,9 @@ class CompilationResult:
     shim_to_switch: ShimLayout
     p4_source: str
     cpp_source: str
+    #: translation-validation report when the compile ran with
+    #: ``symbolic=True`` (:class:`repro.verify.symbolic.SymbolicReport`).
+    symbolic_report: Optional[object] = None
 
     @property
     def name(self) -> str:
@@ -64,22 +67,34 @@ def compile_source(
     limits: Optional[SwitchResources] = None,
     filename: str = "<middlebox>",
     verify: bool = True,
+    symbolic: bool = False,
 ) -> CompilationResult:
     """Run the full Gallium pipeline on middlebox source text."""
     lowered = lower_program(parse_program(source, filename))
-    return compile_lowered(lowered, limits, verify=verify)
+    return compile_lowered(lowered, limits, verify=verify, symbolic=symbolic,
+                           source=source)
 
 
 def compile_lowered(
     lowered: LoweredMiddlebox,
     limits: Optional[SwitchResources] = None,
     verify: bool = True,
+    symbolic: bool = False,
+    source: Optional[str] = None,
 ) -> CompilationResult:
     """Run the pipeline from an already-lowered middlebox.
 
     With ``verify`` (the default) the static verification layer runs over
     the compiled artifacts and any error-severity diagnostic aborts the
     compilation with a :class:`repro.verify.VerificationError`.
+
+    With ``symbolic`` the translation validator additionally proves the
+    compiled composition equivalent to the source function on the bounded
+    symbolic packet space; a disproof or an inconclusive proof aborts the
+    same way (``SYM00x`` diagnostics), and the full
+    :class:`~repro.verify.symbolic.SymbolicReport` lands on
+    ``result.symbolic_report``.  ``source`` (original text) lets disproof
+    counterexamples be appended to the difftest corpus.
     """
     plan = partition_middlebox(lowered, limits)
     shim_to_server, shim_to_switch = synthesize_shim_layouts(
@@ -97,10 +112,16 @@ def compile_lowered(
         p4_source=p4_source,
         cpp_source=cpp_source,
     )
-    if verify:
+    if verify or symbolic:
         from repro.verify import VerificationError, verify_compilation
 
         report = verify_compilation(result)
-        if not report.ok:
+        if symbolic:
+            from repro.verify.symbolic import verify_symbolic
+
+            sym = verify_symbolic(plan, switch_program, source=source)
+            result.symbolic_report = sym
+            report.extend(sym.diagnostics)
+        if verify and not report.ok:
             raise VerificationError(report)
     return result

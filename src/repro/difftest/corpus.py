@@ -35,6 +35,11 @@ class CorpusEntry:
     #: the bug was found — the first divergent semantic event between the
     #: baseline and the deployment, kept as historical provenance.
     trace_diff: Optional[dict] = None
+    #: extern config sections (serialized with string section keys) and a
+    #: serialized pre-state snapshot — set on translation-validation
+    #: counterexamples, which pin the exact world the prover disproved.
+    config: Optional[dict] = None
+    prestate: Optional[dict] = None
 
     def to_dict(self) -> dict:
         data = {
@@ -48,6 +53,13 @@ class CorpusEntry:
         }
         if self.trace_diff is not None:
             data["trace_diff"] = self.trace_diff
+        if self.config is not None:
+            data["config"] = {
+                str(section): list(values)
+                for section, values in self.config.items()
+            }
+        if self.prestate is not None:
+            data["prestate"] = self.prestate
         return data
 
     @classmethod
@@ -64,6 +76,8 @@ class CorpusEntry:
             found_by_seed=data.get("found_by_seed"),
             check_cached=data.get("check_cached", True),
             trace_diff=data.get("trace_diff"),
+            config=data.get("config"),
+            prestate=data.get("prestate"),
         )
 
 
@@ -83,6 +97,23 @@ def load_corpus(directory: Path = CORPUS_DIR) -> List[CorpusEntry]:
     return entries
 
 
-def replay_entry(entry: CorpusEntry) -> OracleResult:
-    """Run one corpus entry through the oracle."""
-    return run_oracle(entry.source, entry.stream, check_cached=entry.check_cached)
+def replay_entry(entry: CorpusEntry, fast_path: bool = False) -> OracleResult:
+    """Run one corpus entry through the oracle.
+
+    ``fast_path`` replays through the compiled engines instead of the
+    interpreter (the corpus analogue of ``difftest --compiled``)."""
+    config = None
+    if entry.config is not None:
+        config = {
+            int(section): list(values)
+            for section, values in entry.config.items()
+        }
+    prestate = None
+    if entry.prestate is not None:
+        from repro.verify.symbolic import deserialize_prestate
+
+        prestate = deserialize_prestate(entry.prestate)
+    return run_oracle(
+        entry.source, entry.stream, check_cached=entry.check_cached,
+        config=config, prestate=prestate, fast_path=fast_path,
+    )

@@ -109,9 +109,17 @@ class StreamSpec:
     seed: int
     count: int = 25
     udp_ratio: float = 0.35
+    #: explicit packet specs (symbolic counterexamples) — when set, the
+    #: stream is exactly these packets and the generator fields are inert.
+    #: Each spec is the dict form used by
+    #: :func:`repro.verify.symbolic.packet_from_spec`.
+    packets: Optional[List[dict]] = None
 
     def to_dict(self) -> dict:
-        return {"seed": self.seed, "count": self.count, "udp_ratio": self.udp_ratio}
+        data = {"seed": self.seed, "count": self.count, "udp_ratio": self.udp_ratio}
+        if self.packets is not None:
+            data["packets"] = self.packets
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "StreamSpec":
@@ -119,11 +127,19 @@ class StreamSpec:
             seed=int(data["seed"]),
             count=int(data.get("count", 25)),
             udp_ratio=float(data.get("udp_ratio", 0.35)),
+            packets=data.get("packets"),
         )
 
     def build(self) -> List[Tuple[RawPacket, int]]:
         import random
 
+        if self.packets is not None:
+            from repro.verify.symbolic import packet_from_spec
+
+            return [
+                (packet_from_spec(spec), int(spec.get("ingress", 1)))
+                for spec in self.packets
+            ]
         rng = random.Random(self.seed)
         packets: List[Tuple[RawPacket, int]] = []
         for _ in range(self.count):
@@ -250,8 +266,18 @@ def run_oracle(
     deployment_seed: int = 0,
     verify: bool = True,
     provenance: bool = True,
+    config: Optional[Dict[int, list]] = None,
+    prestate: Optional[dict] = None,
+    fast_path: bool = False,
 ) -> OracleResult:
     """Compile ``source`` once and drive all runtimes over ``stream``.
+
+    ``config`` and ``prestate`` replay a symbolic-prover counterexample
+    faithfully: the extern config sections every runtime was installed
+    with, and a concrete ``StateStore`` snapshot restored (and re-synced
+    to the switch) after ``install()``.  A pre-state disables the cached
+    deployment for the run — the cache's warming protocol has no
+    restore-to-snapshot notion.
 
     ``deployment_seed`` threads into each deployment's control-plane
     jitter RNG (via ``GalliumMiddlebox(seed=...)``), so latency numbers
@@ -291,7 +317,8 @@ def run_oracle(
             verifier_errors = [f"verifier crash:\n{traceback.format_exc()}"]
 
     result = _drive_runtimes(
-        plan, program, stream, check_cached, cache_entries, deployment_seed
+        plan, program, stream, check_cached, cache_entries, deployment_seed,
+        config, prestate, fast_path,
     )
     result.verifier_errors = verifier_errors
     if provenance and result.diverged and result.divergence is not None:
@@ -363,22 +390,33 @@ def _drive_runtimes(
     check_cached: bool,
     cache_entries: int,
     deployment_seed: int,
+    config: Optional[Dict[int, list]] = None,
+    prestate: Optional[dict] = None,
+    fast_path: bool = False,
 ) -> OracleResult:
     try:
-        baseline = FastClickRuntime(plan.middlebox)
+        baseline = FastClickRuntime(
+            plan.middlebox, config=config, fast_path=fast_path
+        )
         baseline.install()
         gallium = GalliumMiddlebox(
             plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
-            seed=deployment_seed,
+            seed=deployment_seed, config=config, fast_path=fast_path,
         )
         gallium.install()
+        if prestate is not None:
+            baseline.state.restore(prestate)
+            baseline.state.drain_journal()
+            gallium.state.restore(prestate)
+            gallium.state.drain_journal()
+            gallium.sync_all_state()
         cached: Optional[CachedGalliumMiddlebox] = None
-        if check_cached:
+        if check_cached and prestate is None:
             try:
                 cached = CachedGalliumMiddlebox(
                     plan, program, cache_entries=cache_entries,
                     port_pairs=dict(DEFAULT_PORT_PAIRS),
-                    seed=deployment_seed,
+                    seed=deployment_seed, config=config,
                 )
                 cached.install()
             except CacheConfigurationError:

@@ -42,6 +42,12 @@ class Failure:
     #: either a verifier false positive or a latent compiler bug the
     #: packet streams never excited.
     verifier_disagreement: bool = False
+    #: per-checker stance ("agree"/"diverge"/"inconclusive") when the run
+    #: consulted more than one checker, and the dissenting minority —
+    #: populated in ``--symbolic`` mode so a disagreement failure names
+    #: which of oracle/static/symbolic breaks ranks.
+    opinions: Optional[dict] = None
+    dissenters: Optional[List[str]] = None
 
     def report(self) -> str:
         lines = [
@@ -54,6 +60,14 @@ class Failure:
             "reproduce    : python -m repro difftest --runs 1"
             f" --seed-override {self.program_seed}",
         ]
+        if self.opinions is not None:
+            stances = " ".join(
+                f"{checker}={stance}"
+                for checker, stance in sorted(self.opinions.items())
+            )
+            lines.append(f"opinions     : {stances}")
+        if self.dissenters:
+            lines.append(f"dissenting   : {', '.join(self.dissenters)}")
         if self.result.divergence is not None:
             lines.append(f"divergence   : {self.result.divergence}")
         for line in self.result.verifier_errors:
@@ -88,6 +102,8 @@ class GauntletStats:
     partition_rejected: int = 0
     cached_checked: int = 0
     verifier_disagreements: int = 0
+    symbolic_checked: int = 0
+    symbolic_disagreements: int = 0
     elapsed_s: float = 0.0
 
     def record(self, result: OracleResult) -> None:
@@ -107,14 +123,22 @@ class GauntletStats:
 
     @property
     def failures(self) -> int:
-        return self.diverge + self.crash + self.verifier_disagreements
+        return (self.diverge + self.crash + self.verifier_disagreements
+                + self.symbolic_disagreements)
 
     def summary(self) -> str:
+        symbolic = ""
+        if self.symbolic_checked:
+            symbolic = (
+                f", {self.symbolic_checked} symbolically checked"
+                f" ({self.symbolic_disagreements} symbolic disagreements)"
+            )
         return (
             f"{self.runs} programs: {self.agree} agree, {self.diverge} diverge,"
             f" {self.crash} crash, {self.partition_rejected} rejected,"
             f" {self.verifier_disagreements} verifier disagreements"
             f" ({self.cached_checked} also ran the cached deployment)"
+            f"{symbolic}"
             f" in {self.elapsed_s:.1f}s"
         )
 
@@ -128,6 +152,7 @@ def run_gauntlet(
     max_failures: int = 10,
     time_budget_s: Optional[float] = None,
     seed_override: Optional[int] = None,
+    symbolic: bool = False,
     log: Optional[Callable[[str], None]] = None,
 ) -> tuple:
     """Run the gauntlet; returns ``(stats, failures)``.
@@ -135,6 +160,12 @@ def run_gauntlet(
     ``seed_override`` pins the program seed of run 0 (the reproduce
     path printed in failure reports); ``time_budget_s`` stops early once
     the wall-clock budget is spent (the smoke-test mode).
+
+    With ``symbolic`` every compilable run also consults the translation
+    validator (at smoke bounds) as a third opinion next to the dynamic
+    oracle and the static verifier; any checker breaking ranks — e.g.
+    the prover disproving a program the oracle's streams never caught —
+    is a failure whose report names the dissenter.
     """
     stats = GauntletStats()
     failures: List[Failure] = []
@@ -157,10 +188,24 @@ def run_gauntlet(
         disagreement = (
             result.outcome is Outcome.AGREE and bool(result.verifier_errors)
         )
+        opinions: Optional[dict] = None
+        dissenters: Optional[List[str]] = None
+        if symbolic and result.outcome in (Outcome.AGREE, Outcome.DIVERGE):
+            opinions = _symbolic_opinions(program.source(), result, limits)
+            if opinions is not None:
+                stats.symbolic_checked += 1
+                dissenters = _dissenters(opinions)
+                if dissenters and not disagreement and result.outcome is (
+                        Outcome.AGREE):
+                    # Checkers disagree on a run the plain gauntlet would
+                    # have passed: count and surface it.
+                    stats.symbolic_disagreements += 1
+                    disagreement = True
         if result.outcome in (Outcome.DIVERGE, Outcome.CRASH) or disagreement:
             failure = Failure(
                 index, program_seed, stream, program, result,
                 verifier_disagreement=disagreement,
+                opinions=opinions, dissenters=dissenters,
             )
             if shrink_failures:
                 failure.minimized_program, failure.minimized_stream = _shrink_failure(
@@ -186,6 +231,46 @@ def run_gauntlet(
             log(f"... {index + 1}/{runs} ({stats.summary()})")
     stats.elapsed_s = time.monotonic() - started
     return stats, failures
+
+
+def _symbolic_opinions(
+    source: str,
+    result: OracleResult,
+    limits: Optional[SwitchResources],
+) -> Optional[dict]:
+    """Stances of the three checkers on one run (``None``: not provable —
+    e.g. the recompile failed, which the oracle already classified)."""
+    from repro.runtime.deployment import compile_middlebox
+    from repro.verify.symbolic import SMOKE_BUDGET, verify_symbolic
+
+    try:
+        plan, switch_program = compile_middlebox(source, limits)
+        report = verify_symbolic(plan, switch_program, budget=SMOKE_BUDGET)
+    except Exception:
+        return None
+    if report.proved:
+        symbolic = "agree"
+    elif any(d.code != "SYM008" for d in report.errors):
+        symbolic = "diverge"
+    else:
+        symbolic = "inconclusive"  # budget ran out: no stance
+    return {
+        "oracle": ("diverge" if result.outcome is Outcome.DIVERGE
+                   else "agree"),
+        "static": "diverge" if result.verifier_errors else "agree",
+        "symbolic": symbolic,
+    }
+
+
+def _dissenters(opinions: dict) -> List[str]:
+    """Checkers breaking ranks, relative to the dynamic oracle (the
+    reference opinion); inconclusive checkers abstain."""
+    reference = opinions["oracle"]
+    return [
+        checker
+        for checker, stance in sorted(opinions.items())
+        if stance in ("agree", "diverge") and stance != reference
+    ]
 
 
 def _shrink_failure(

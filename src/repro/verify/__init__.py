@@ -11,6 +11,14 @@ gates on them by default; ``--no-verify`` opts out) and standalone via
 3. :mod:`repro.verify.p4lint` — constraint-1..5 resource bounds on the
    emitted switch program (P4L001-P4L010).
 
+A fourth, opt-in stage — :mod:`repro.verify.symbolic`, translation
+validation (SYM001-SYM008) — symbolically proves the composed deployment
+equivalent to the source function per compilation; it runs behind
+``compile_lowered(symbolic=True)`` and ``verify --symbolic`` rather than
+on every compile (it costs seconds, not milliseconds).  Import
+:func:`verify_symbolic` lazily from here; the submodule pulls in the
+runtime/difftest stack for counterexample replay.
+
 The difftest gauntlet runs the same stages as a per-program cross-check: a
 program whose oracle run agrees but whose artifacts fail verification (or
 vice versa) is a new bug class and gets its own failure report.
@@ -44,7 +52,18 @@ __all__ = [
     "verify_compilation",
     "verify_ir",
     "verify_partition",
+    "verify_symbolic",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.verify.symbolic imports the runtime/difftest stack for
+    # counterexample replay; keep plain `import repro.verify` light.
+    if name == "verify_symbolic":
+        from repro.verify.symbolic import verify_symbolic
+
+        return verify_symbolic
+    raise AttributeError(name)
 
 
 def verify_artifacts(

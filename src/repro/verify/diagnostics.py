@@ -21,6 +21,7 @@ STAGE_IR = "ir"
 STAGE_PARTITION = "partition"
 STAGE_P4LINT = "p4lint"
 STAGE_TENANCY = "tenancy"
+STAGE_SYMBOLIC = "symbolic"
 
 #: code -> one-line description, the authoritative registry (docs render it).
 DIAGNOSTIC_CODES: Dict[str, str] = {
@@ -59,6 +60,16 @@ DIAGNOSTIC_CODES: Dict[str, str] = {
     "TEN002": "combined artifact exceeds a shared-switch budget axis",
     "TEN003": "per-tenant artifact failed the P4 resource lint",
     "TEN004": "tenant namespaces collide on the shared switch",
+    # Stage 5 — translation validation (symbolic equivalence prover,
+    # repro.verify.symbolic).
+    "SYM001": "verdict mismatch between source and composed deployment",
+    "SYM002": "egress-port mismatch on an emitted packet",
+    "SYM003": "header-field mismatch on an emitted packet",
+    "SYM004": "state-write mismatch after processing",
+    "SYM005": "replicated switch copy diverges from the server master",
+    "SYM006": "composition crashes where the source program does not",
+    "SYM007": "path-condition unsoundness: counterexample replays equivalent",
+    "SYM008": "symbolic budget exhausted — equivalence inconclusive",
 }
 
 

@@ -1,0 +1,734 @@
+"""Symbolic execution engine mirroring the IR interpreter.
+
+One **world** is a single control-flow path through a function (or a
+composed switch⊕server journey), identified by the sequence of boolean
+decisions its :class:`Chooser` made — branch outcomes, table-entry
+matches, vector-index cases.  The prover explores worlds with the
+standard script-DFS: run with a decision prefix, then enqueue every
+one-bit flip of the fresh suffix, until no unexplored flip remains or
+the world budget is exhausted.
+
+Everything here mirrors a concrete twin line by line:
+
+========================  ========================================
+symbolic class            concrete twin
+========================  ========================================
+``sym_run``               ``repro.ir.interp.Interpreter.run``
+``SymPacketView``         ``repro.ir.interp.PacketView``
+``SymStateStore``         ``repro.ir.interp.StateStore``
+``SymSwitchState``        ``repro.switchsim.pipeline.SwitchStateAdapter``
+                          + ``ExactMatchTable`` + ``Register``
+``SymExternHost``         ``repro.ir.externs.ExternHost``
+========================  ========================================
+
+The mirrors take :class:`~repro.verify.symbolic.terms.Term` values where
+the twins take ints; a deliberate divergence anywhere between a mirror
+and its twin is a soundness hole, so keep them in lockstep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import instructions as irin
+from repro.ir.function import Function
+from repro.ir.interp import _FIELD_MAP, _MAX_STEPS, _width_of
+from repro.ir.lowering import StateMember
+from repro.ir.values import Const, Operand, Reg
+from repro.lang.types import BOOL, IntType
+from repro.verify.symbolic.terms import (
+    MASK64,
+    Term,
+    binop,
+    boolify,
+    const,
+    truth,
+    unop,
+    wrap,
+)
+
+
+class SymExecError(Exception):
+    """A failure both the source and the composition would hit identically
+    (undefined register, unresolvable scalar width, RMW width mismatch on
+    the server store) — mirrors :class:`repro.ir.interp.InterpreterError`."""
+
+
+class CompositionViolation(Exception):
+    """The composed switch pipeline attempted something the data plane
+    cannot do — mirrors :class:`repro.switchsim.pipeline.DataPlaneViolation`
+    and the control plane's :class:`TableEntryLimit`."""
+
+
+class BudgetExhausted(Exception):
+    """A symbolic budget (steps, decisions, worlds) ran out."""
+
+
+# ---------------------------------------------------------------------------
+# Decisions
+# ---------------------------------------------------------------------------
+
+
+class Chooser:
+    """Resolves undecided boolean terms along one world.
+
+    A decision already implied by the term's interval (or constancy) is
+    free.  A structurally identical term asked twice in one world gets
+    the same answer — this is what keeps the source run and the
+    composition run on *corresponding* paths, since both ask about the
+    same header-field terms.  Fresh decisions consume the ``script``
+    (the DFS prefix); beyond it the default is True, and every fresh
+    decision is recorded in ``trace`` so the driver can enqueue flips.
+    """
+
+    def __init__(self, script: Tuple[bool, ...] = (),
+                 max_decisions: int = 192):
+        self.script = script
+        self.max_decisions = max_decisions
+        self.decided: Dict[tuple, bool] = {}
+        self.trace: List[bool] = []
+        #: (term, outcome) pairs for every fresh decision — the world's
+        #: path condition, used by the counterexample search.
+        self.conditions: List[Tuple[Term, bool]] = []
+
+    def decide(self, term: Term) -> bool:
+        tv = truth(term)
+        if tv is not None:
+            return tv
+        cached = self.decided.get(term.key)
+        if cached is not None:
+            return cached
+        index = len(self.trace)
+        if index >= self.max_decisions:
+            raise BudgetExhausted(
+                f"decision budget exhausted ({self.max_decisions})"
+            )
+        choice = self.script[index] if index < len(self.script) else True
+        self.trace.append(choice)
+        self.decided[term.key] = choice
+        self.conditions.append((term, choice))
+        return choice
+
+
+# ---------------------------------------------------------------------------
+# Packet adapter
+# ---------------------------------------------------------------------------
+
+
+class SymPacketView:
+    """Symbolic mirror of :class:`PacketView` over a packet *shape*.
+
+    The shape (which headers exist, the concrete payload) is fixed per
+    scenario; header fields are terms.  Reads of absent headers yield 0
+    and writes to them are dropped, with the same TCP→UDP port aliasing
+    the concrete view applies.
+    """
+
+    def __init__(self, fields: Dict[Tuple[str, str], Term],
+                 has_ip: bool, has_tcp: bool, has_udp: bool,
+                 payload: bytes, ingress_port: Term):
+        self.fields = fields
+        self.has_ip = has_ip
+        self.has_tcp = has_tcp
+        self.has_udp = has_udp
+        self.payload_bytes = payload
+        self.ingress_port = ingress_port
+
+    def copy(self) -> "SymPacketView":
+        return SymPacketView(dict(self.fields), self.has_ip, self.has_tcp,
+                             self.has_udp, self.payload_bytes,
+                             self.ingress_port)
+
+    def _resolve(self, region: str, field_name: str) -> Optional[Tuple[str, str]]:
+        """The storage key for (region, field), or None if absent."""
+        if region == "ip":
+            return ("ip", field_name) if self.has_ip else None
+        if region == "tcp":
+            if self.has_tcp:
+                return ("tcp", field_name)
+            if self.has_udp and field_name in ("sport", "dport"):
+                return ("udp", field_name)
+            return None
+        if region == "udp":
+            return ("udp", field_name) if self.has_udp else None
+        return None
+
+    def get_field(self, region: str, field_name: str) -> Term:
+        if region == "meta":
+            if field_name == "ingress_port":
+                return self.ingress_port
+            raise SymExecError(f"unknown meta field {field_name!r}")
+        if region == "eth":
+            try:
+                return self.fields[("eth", field_name)]
+            except KeyError:
+                raise SymExecError(f"unknown eth field {field_name!r}") from None
+        if (region, field_name) not in _FIELD_MAP:
+            raise SymExecError(f"unknown field {region}.{field_name}")
+        key = self._resolve(region, field_name)
+        if key is None:
+            return const(0)
+        return self.fields.get(key, const(0))
+
+    def set_field(self, region: str, field_name: str, value: Term) -> None:
+        if region == "eth":
+            if field_name in ("h_dest", "h_source"):
+                self.fields[("eth", field_name)] = wrap(value, (1 << 48) - 1)
+            elif field_name == "h_proto":
+                self.fields[("eth", field_name)] = wrap(value, 0xFFFF)
+            else:
+                raise SymExecError(f"unknown eth field {field_name!r}")
+            return
+        mapping = _FIELD_MAP.get((region, field_name))
+        if mapping is None:
+            raise SymExecError(f"unknown field {region}.{field_name}")
+        key = self._resolve(region, field_name)
+        if key is None:
+            return  # writes to absent headers are dropped
+        is_addr = mapping[2]
+        if is_addr:
+            value = wrap(value, 0xFFFFFFFF)
+        # Non-address fields store the raw value, exactly like the
+        # concrete view's bare setattr.
+        self.fields[key] = value
+
+    def payload(self) -> bytes:
+        return self.payload_bytes
+
+
+# ---------------------------------------------------------------------------
+# Server-side state
+# ---------------------------------------------------------------------------
+
+
+def _keys_equal(entry_keys: Tuple[Term, ...], keys: Tuple[Term, ...]) -> Term:
+    if len(entry_keys) != len(keys):
+        return const(0)
+    cond = const(1)
+    for have, want in zip(entry_keys, keys):
+        cond = binop(irin.BinOpKind.LAND, cond,
+                     binop(irin.BinOpKind.EQ, want, have))
+    return cond
+
+
+class SymStateStore:
+    """Symbolic mirror of :class:`StateStore` seeded from a concrete
+    pre-state snapshot.  Maps are ordered entry lists because keys may
+    become symbolic mid-run (an insert under a symbolic header field)."""
+
+    def __init__(self, members: Dict[str, StateMember], snapshot: dict,
+                 chooser: Chooser):
+        self.members = members
+        self.chooser = chooser
+        self.maps: Dict[str, List[Tuple[Tuple[Term, ...], Term]]] = {}
+        self.vectors: Dict[str, List[Term]] = {}
+        self.scalars: Dict[str, Term] = {}
+        self._scalar_masks: Dict[str, int] = {}
+        for name, member in members.items():
+            if member.kind == "map":
+                self.maps[name] = [
+                    (tuple(const(k) for k in keys), const(value))
+                    for keys, value in snapshot.get("maps", {}).get(name, {}).items()
+                ]
+            elif member.kind == "vector":
+                self.vectors[name] = [
+                    const(value)
+                    for value in snapshot.get("vectors", {}).get(name, [])
+                ]
+            else:
+                self.scalars[name] = const(
+                    snapshot.get("scalars", {}).get(name, 0)
+                )
+                try:
+                    width = member.member_type.bit_width()
+                except Exception:
+                    width = 0
+                if width > 0:
+                    self._scalar_masks[name] = (1 << width) - 1
+        self.journal: List[tuple] = []
+
+    # -- maps ----------------------------------------------------------------
+
+    def _find_entry(self, name: str, keys: Tuple[Term, ...]) -> Optional[int]:
+        for index, (entry_keys, _value) in enumerate(self.maps[name]):
+            if self.chooser.decide(_keys_equal(entry_keys, keys)):
+                return index
+        return None
+
+    def map_find(self, name: str, keys: Tuple[Term, ...]) -> Tuple[bool, Term]:
+        index = self._find_entry(name, keys)
+        if index is None:
+            return False, const(0)
+        return True, self.maps[name][index][1]
+
+    def map_insert(self, name: str, keys: Tuple[Term, ...], value: Term) -> None:
+        member = self.members[name]
+        table = self.maps[name]
+        index = self._find_entry(name, keys)
+        if (
+            member.max_entries is not None
+            and index is None
+            and len(table) >= member.max_entries
+        ):
+            self.journal.append(("insert_failed", name, keys, value))
+            return
+        if index is None:
+            table.append((keys, value))
+        else:
+            table[index] = (table[index][0], value)
+        self.journal.append(("insert", name, keys, value))
+
+    def map_erase(self, name: str, keys: Tuple[Term, ...]) -> None:
+        index = self._find_entry(name, keys)
+        if index is not None:
+            del self.maps[name][index]
+        self.journal.append(("erase", name, keys, None))
+
+    # -- vectors --------------------------------------------------------------
+
+    def vector_get(self, name: str, index: Term) -> Term:
+        vector = self.vectors[name]
+        if index.is_const:
+            i = index.value
+            return vector[i] if 0 <= i < len(vector) else const(0)
+        for i in range(max(0, index.lo), min(len(vector) - 1, index.hi) + 1):
+            if self.chooser.decide(binop(irin.BinOpKind.EQ, index, const(i))):
+                return vector[i]
+        return const(0)
+
+    def vector_len(self, name: str) -> Term:
+        return const(len(self.vectors[name]))
+
+    def vector_push(self, name: str, value: Term) -> None:
+        self.vectors[name].append(value)
+        self.journal.append(
+            ("push", name, (const(len(self.vectors[name]) - 1),), value)
+        )
+
+    # -- scalars ---------------------------------------------------------------
+
+    def load_scalar(self, name: str) -> Term:
+        return self.scalars[name]
+
+    def _scalar_mask(self, name: str) -> int:
+        mask = self._scalar_masks.get(name)
+        if mask is None:
+            raise SymExecError(
+                f"scalar {name!r} has no resolvable width;"
+                " refusing an unmasked write"
+            )
+        return mask
+
+    def store_scalar(self, name: str, value: Term) -> None:
+        value = wrap(value, self._scalar_mask(name))
+        self.scalars[name] = value
+        self.journal.append(("store", name, (), value))
+
+    def rmw_scalar(self, name: str, op, operand: Term,
+                   width: Optional[int] = None) -> Term:
+        mask = self._scalar_mask(name)
+        if width:
+            member_width = mask.bit_length()
+            if width != member_width:
+                raise SymExecError(
+                    f"register {name!r}: RMW width {width} does not match"
+                    f" the member width {member_width}"
+                )
+        old = self.scalars[name]
+        self.scalars[name] = wrap(binop(op, old, operand), mask)
+        self.journal.append(("store", name, (), self.scalars[name]))
+        return old
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def drain_journal(self) -> List[tuple]:
+        entries = self.journal
+        self.journal = []
+        return entries
+
+
+# ---------------------------------------------------------------------------
+# Switch-side state
+# ---------------------------------------------------------------------------
+
+
+class SymTable:
+    """One exact-match table's committed contents (fault-free, so the
+    write-back stage is always folded — a plain ordered entry list)."""
+
+    def __init__(self, name: str, size: int):
+        self.name = name
+        self.size = size
+        self.entries: List[Tuple[Tuple[Term, ...], Term]] = []
+
+    def _find(self, keys: Tuple[Term, ...], chooser: Chooser) -> Optional[int]:
+        for index, (entry_keys, _value) in enumerate(self.entries):
+            if chooser.decide(_keys_equal(entry_keys, keys)):
+                return index
+        return None
+
+    def lookup(self, keys: Tuple[Term, ...], chooser: Chooser) -> Tuple[bool, Term]:
+        index = self._find(keys, chooser)
+        if index is None:
+            return False, const(0)
+        return True, self.entries[index][1]
+
+
+class SymRegister:
+    """One P4 register cell; every write wraps at the declared width,
+    mirroring :class:`repro.switchsim.registers.Register`."""
+
+    def __init__(self, name: str, width_bits: int, value: Term):
+        self.name = name
+        self.width_bits = width_bits
+        self.mask = (1 << width_bits) - 1
+        self.value = wrap(value, self.mask)
+
+
+class SymSwitchState:
+    """Symbolic mirror of the switch's tables/registers plus the
+    :class:`SwitchStateAdapter` access rules (the run-time shadow of
+    constraint 3) and the fault-free control-plane update path."""
+
+    def __init__(self, program, prestate: dict, chooser: Chooser):
+        self.chooser = chooser
+        self.tables: Dict[str, SymTable] = {}
+        for name, spec in program.tables.items():
+            table = SymTable(name, spec.size)
+            for keys, value in prestate.get("tables", {}).get(name, {}).items():
+                table.entries.append(
+                    (tuple(const(k) for k in keys), const(value))
+                )
+            self.tables[name] = table
+        self.registers: Dict[str, SymRegister] = {
+            name: SymRegister(
+                name, spec.width_bits,
+                const(prestate.get("registers", {}).get(name, 0)),
+            )
+            for name, spec in program.registers.items()
+        }
+        self._access_counts: Dict[str, int] = {}
+
+    def begin_traversal(self) -> None:
+        self._access_counts = {}
+
+    def _count(self, state: str) -> None:
+        self._access_counts[state] = self._access_counts.get(state, 0) + 1
+        if self._access_counts[state] > 1:
+            raise CompositionViolation(
+                f"stateful element {state!r} accessed twice in one traversal"
+            )
+
+    # -- StateStore interface (data plane) ------------------------------------
+
+    def map_find(self, name: str, keys: Tuple[Term, ...]) -> Tuple[bool, Term]:
+        self._count(name)
+        table = self.tables.get(name)
+        if table is None:
+            raise CompositionViolation(f"lookup on unknown table {name!r}")
+        return table.lookup(keys, self.chooser)
+
+    def vector_get(self, name: str, index: Term) -> Term:
+        self._count(name)
+        table = self.tables.get(name)
+        if table is None:
+            raise CompositionViolation(f"lookup on unknown table {name!r}")
+        found, value = table.lookup((index,), self.chooser)
+        return value if found else const(0)
+
+    def load_scalar(self, name: str) -> Term:
+        self._count(name)
+        register = self.registers.get(name)
+        if register is None:
+            raise CompositionViolation(f"read of unknown register {name!r}")
+        return register.value
+
+    def rmw_scalar(self, name: str, op, operand: Term,
+                   width: Optional[int] = None) -> Term:
+        self._count(name)
+        register = self.registers.get(name)
+        if register is None:
+            raise CompositionViolation(f"RMW of unknown register {name!r}")
+        if width and width != register.width_bits:
+            raise CompositionViolation(
+                f"RMW width {width} does not match register {name!r}"
+                f" width {register.width_bits}"
+            )
+        old = register.value
+        register.value = wrap(binop(op, old, operand), register.mask)
+        return old
+
+    # -- operations the data plane cannot do -----------------------------------
+
+    def map_insert(self, name: str, keys, value) -> None:
+        raise CompositionViolation(
+            f"map_insert({name!r}) in a switch pipeline — table writes must"
+            " go through the control plane"
+        )
+
+    def map_erase(self, name: str, keys) -> None:
+        raise CompositionViolation(f"map_erase({name!r}) in a switch pipeline")
+
+    def store_scalar(self, name: str, value) -> None:
+        raise CompositionViolation(
+            f"bare register write {name!r} in a switch pipeline"
+        )
+
+    def vector_len(self, name: str) -> Term:
+        raise CompositionViolation(
+            f"vector_len({name!r}) has no switch implementation"
+        )
+
+    def vector_push(self, name: str, value) -> None:
+        raise CompositionViolation(f"vector_push({name!r}) in a switch pipeline")
+
+    # -- control plane (replication batch, fault-free) --------------------------
+
+    def apply_updates(self, updates) -> None:
+        """Apply one punt's replication batch (``kind, member, keys,
+        value`` tuples) the way a fault-free ``apply_batch`` commit does."""
+        for kind, member, keys, value in updates:
+            if kind == "register":
+                register = self.registers.get(member)
+                if register is None:
+                    raise CompositionViolation(
+                        f"register update for unknown register {member!r}"
+                    )
+                register.value = wrap(value, register.mask)
+                continue
+            table = self.tables.get(member)
+            if table is None:
+                raise CompositionViolation(
+                    f"table update for unknown table {member!r}"
+                )
+            index = table._find(keys, self.chooser)
+            if kind == "insert":
+                if index is None:
+                    if len(table.entries) >= table.size:
+                        raise CompositionViolation(
+                            f"table {member!r} full ({table.size} entries)"
+                        )
+                    table.entries.append((keys, value))
+                else:
+                    table.entries[index] = (table.entries[index][0], value)
+            elif kind == "delete":
+                if index is not None:
+                    del table.entries[index]
+            else:
+                raise CompositionViolation(f"unknown update kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Externs
+# ---------------------------------------------------------------------------
+
+
+class SymExternHost:
+    """Symbolic mirror of :class:`ExternHost` with the oracle runtimes'
+    defaults: frozen clock (``lambda: 0``), concrete config sections,
+    concrete payload read through the packet view."""
+
+    def __init__(self, config: Optional[Dict[int, list]] = None,
+                 chooser: Optional[Chooser] = None):
+        self.config: Dict[int, list] = dict(config or {})
+        self.chooser = chooser
+
+    def call(self, name: str, args: List[Term], packet) -> Term:
+        if name == "payload_len":
+            return const(len(packet.payload()) if packet is not None else 0)
+        if name == "payload_byte":
+            payload = packet.payload() if packet is not None else b""
+            return self._index_bytes(payload, args[0])
+        if name == "now_sec":
+            return const(0)  # ExternHost's default clock is `lambda: 0`
+        if name == "config_len":
+            return self._over_sections(args[0], lambda s: const(len(s)))
+        if name == "config_u32":
+            return self._over_sections(
+                args[0], lambda s: self._index_seq(s, args[1])
+            )
+        if name == "log_event":
+            return const(0)
+        raise SymExecError(f"unknown extern {name!r}")
+
+    def _over_sections(self, section: Term, fn) -> Term:
+        if section.is_const:
+            return fn(self.config.get(section.value, ()))
+        for key in self.config:
+            cond = binop(irin.BinOpKind.EQ, section, const(key))
+            if self.chooser.decide(cond):
+                return fn(self.config[key])
+        return fn(())
+
+    def _index_seq(self, seq, index: Term) -> Term:
+        if index.is_const:
+            i = index.value
+            return const(seq[i] if 0 <= i < len(seq) else 0)
+        for i in range(max(0, index.lo), min(len(seq) - 1, index.hi) + 1):
+            if self.chooser.decide(binop(irin.BinOpKind.EQ, index, const(i))):
+                return const(seq[i])
+        return const(0)
+
+    def _index_bytes(self, payload: bytes, index: Term) -> Term:
+        return self._index_seq(payload, index)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+class SymResult:
+    """Mirror of :class:`ExecutionResult` with Term-valued egress/env."""
+
+    __slots__ = ("verdict", "egress", "env", "steps")
+
+    def __init__(self, verdict: Optional[str], egress: Optional[Term],
+                 env: Dict[str, Term], steps: int):
+        self.verdict = verdict
+        self.egress = egress
+        self.env = env
+        self.steps = steps
+
+
+def _wrap_reg(value: Term, reg: Reg) -> Term:
+    type_ = reg.type
+    if type_ is BOOL:
+        return boolify(value)
+    if isinstance(type_, IntType):
+        return wrap(value, type_.mask)
+    return wrap(value, MASK64)
+
+
+def sym_run(
+    function: Function,
+    state,
+    chooser: Chooser,
+    packet: Optional[SymPacketView] = None,
+    externs: Optional[SymExternHost] = None,
+    initial_env: Optional[Dict[str, Term]] = None,
+    max_steps: int = _MAX_STEPS,
+) -> SymResult:
+    """Symbolically execute one IR function — ``Interpreter.run``'s mirror.
+
+    ``state`` is a :class:`SymStateStore` or :class:`SymSwitchState`; both
+    expose the StateStore surface the interpreter calls.
+    """
+    externs = externs or SymExternHost(chooser=chooser)
+    env: Dict[str, Term] = dict(initial_env or {})
+    block = function.blocks[function.entry]
+    steps = 0
+    verdict: Optional[str] = None
+    egress: Optional[Term] = None
+
+    def value_of(operand: Operand) -> Term:
+        if isinstance(operand, Const):
+            return const(operand.value)
+        if isinstance(operand, Reg):
+            try:
+                return env[operand.name]
+            except KeyError:
+                raise SymExecError(
+                    f"{function.name}: read of undefined register"
+                    f" %{operand.name}"
+                ) from None
+        raise SymExecError(f"bad operand {operand!r}")
+
+    while True:
+        next_block: Optional[str] = None
+        for inst in block.instructions:
+            steps += 1
+            if steps > max_steps:
+                raise BudgetExhausted(
+                    f"{function.name}: symbolic step limit exceeded"
+                )
+            if isinstance(inst, irin.Assign):
+                env[inst.dst.name] = _wrap_reg(value_of(inst.src), inst.dst)
+            elif isinstance(inst, irin.BinOp):
+                result = binop(inst.op, value_of(inst.lhs), value_of(inst.rhs))
+                env[inst.dst.name] = _wrap_reg(result, inst.dst)
+            elif isinstance(inst, irin.UnOp):
+                env[inst.dst.name] = _wrap_reg(
+                    unop(inst.op, value_of(inst.src)), inst.dst
+                )
+            elif isinstance(inst, irin.Cast):
+                env[inst.dst.name] = _wrap_reg(value_of(inst.src), inst.dst)
+            elif isinstance(inst, irin.LoadPacketField):
+                if packet is None:
+                    raise SymExecError("packet access without a packet")
+                env[inst.dst.name] = _wrap_reg(
+                    packet.get_field(inst.region, inst.field), inst.dst
+                )
+            elif isinstance(inst, irin.StorePacketField):
+                if packet is None:
+                    raise SymExecError("packet access without a packet")
+                packet.set_field(inst.region, inst.field, value_of(inst.src))
+            elif isinstance(inst, irin.LoadState):
+                env[inst.dst.name] = _wrap_reg(
+                    state.load_scalar(inst.state), inst.dst
+                )
+            elif isinstance(inst, irin.StoreState):
+                state.store_scalar(inst.state, value_of(inst.src))
+            elif isinstance(inst, irin.RegisterRMW):
+                old = state.rmw_scalar(
+                    inst.state,
+                    inst.op,
+                    value_of(inst.operand),
+                    _width_of(inst.dst.type),
+                )
+                env[inst.dst.name] = _wrap_reg(old, inst.dst)
+            elif isinstance(inst, irin.MapFind):
+                keys = tuple(value_of(k) for k in inst.keys)
+                found, value = state.map_find(inst.state, keys)
+                env[inst.found.name] = const(int(found))
+                if inst.value is not None:
+                    env[inst.value.name] = value
+            elif isinstance(inst, irin.MapInsert):
+                keys = tuple(value_of(k) for k in inst.keys)
+                state.map_insert(inst.state, keys, value_of(inst.value))
+            elif isinstance(inst, irin.MapErase):
+                keys = tuple(value_of(k) for k in inst.keys)
+                state.map_erase(inst.state, keys)
+            elif isinstance(inst, irin.VectorGet):
+                env[inst.dst.name] = state.vector_get(
+                    inst.state, value_of(inst.index)
+                )
+            elif isinstance(inst, irin.VectorLen):
+                env[inst.dst.name] = state.vector_len(inst.state)
+            elif isinstance(inst, irin.VectorPush):
+                state.vector_push(inst.state, value_of(inst.value))
+            elif isinstance(inst, irin.ExternCall):
+                args = [value_of(a) for a in inst.args]
+                result = externs.call(inst.name, args, packet)
+                if inst.dst is not None:
+                    env[inst.dst.name] = _wrap_reg(result, inst.dst)
+            elif isinstance(inst, irin.SendTo):
+                verdict = "send"
+                egress = value_of(inst.port)
+                next_block = None
+                break
+            elif isinstance(inst, irin.Send):
+                verdict = "send"
+                next_block = None
+                break
+            elif isinstance(inst, irin.Drop):
+                verdict = "drop"
+                next_block = None
+                break
+            elif isinstance(inst, irin.Jump):
+                next_block = inst.target
+                break
+            elif isinstance(inst, irin.Branch):
+                taken = chooser.decide(value_of(inst.cond))
+                next_block = inst.if_true if taken else inst.if_false
+                break
+            elif isinstance(inst, irin.Return):
+                next_block = None
+                break
+            else:
+                raise SymExecError(
+                    f"unhandled instruction {type(inst).__name__}"
+                )
+        if next_block is None:
+            return SymResult(verdict, egress, env, steps)
+        block = function.blocks[next_block]

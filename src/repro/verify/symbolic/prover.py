@@ -1,0 +1,1123 @@
+"""Translation validation: the per-compilation symbolic equivalence prover.
+
+For one compiled artifact this module proves (or disproves with a
+concrete, interpreter-confirmed counterexample) that
+
+    switch pre-pipeline  ⊕  punt-path server partition  ⊕  post-pipeline
+
+composed through the §4.3.3 replication shim is observably equivalent to
+the *source* lowered function, on a bounded symbolic packet space:
+
+* symbolic IP/TCP/UDP header fields (every field the difftest oracle
+  observes), one packet shape per scenario (TCP or UDP headers present,
+  ``ip.protocol`` concrete per shape),
+* concrete Ethernet header, payload, and ingress port per scenario,
+* concrete table/register pre-states enumerated by a seeded sampler
+  (the post-``configure()`` state plus randomized variants).
+
+Within one scenario the prover runs the standard script-DFS over worlds
+(decision vectors — see :class:`~repro.verify.symbolic.engine.Chooser`),
+executing the source function and the full composition under one shared
+chooser so corresponding branches take corresponding sides.  Observables
+are compared exactly the way ``repro.difftest.oracle`` compares runtimes:
+verdict, resolved egress port, the observed header fields, final maps and
+scalars (switch-resident registers read from the switch), and
+replicated-table convergence.
+
+A symbolic mismatch is never reported directly: the prover first searches
+the path condition for a concrete witness packet + pre-state, replays it
+through the real interpreter deployments, and only a replay that actually
+diverges becomes a ``SYM00x`` error (and a minimized reproducer appended
+to the difftest corpus).  A witness whose replay *agrees* is path-condition
+unsoundness (``SYM007``) — a prover bug, reported loudly.  Worlds the
+budgets cut off make the whole proof inconclusive (``SYM008``) rather
+than silently passing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.codegen.headers import (
+    FLAG_VERDICT_DROP,
+    FLAG_VERDICT_NONE,
+    FLAG_VERDICT_SEND,
+)
+from repro.difftest.generator import FIELD_WIDTHS
+from repro.difftest.oracle import DEFAULT_PORT_PAIRS
+from repro.ir import instructions as irin
+from repro.ir.externs import ExternHost
+from repro.ir.interp import Interpreter, PacketView, StateStore
+from repro.verify.diagnostics import (
+    STAGE_SYMBOLIC,
+    Diagnostic,
+    error,
+    warning,
+)
+from repro.verify.symbolic.engine import (
+    BudgetExhausted,
+    Chooser,
+    CompositionViolation,
+    SymExecError,
+    SymExternHost,
+    SymPacketView,
+    SymStateStore,
+    SymSwitchState,
+    sym_run,
+)
+from repro.verify.symbolic.terms import (
+    Term,
+    atoms_of,
+    binop,
+    const,
+    constants_of,
+    evaluate,
+    truth,
+    wrap,
+)
+from repro.workloads.packets import make_tcp_packet, make_udp_packet
+
+#: divergence kind (oracle vocabulary) -> symbolic diagnostic code
+KIND_TO_CODE = {
+    "verdict": "SYM001",
+    "egress": "SYM002",
+    "field": "SYM003",
+    "state": "SYM004",
+    "switch_state": "SYM005",
+}
+
+
+@dataclass(frozen=True)
+class SymbolicBudget:
+    """Deterministic exploration bounds (no wall-clock cutoffs)."""
+
+    #: worlds (decision vectors) explored per scenario
+    max_worlds: int = 4096
+    #: fresh boolean decisions per world (source + composition combined)
+    max_decisions: int = 192
+    #: symbolic interpreter steps per function run
+    max_steps: int = 200_000
+    #: exhaustive witness search cap (product of candidate pool sizes)
+    witness_limit: int = 20_000
+    #: random witness draws when the pool product exceeds the cap
+    random_tries: int = 4_000
+    #: randomized pre-state variants beyond the post-configure base
+    prestate_variants: int = 2
+    #: witnesses replayed per mismatch before giving up
+    confirm_attempts: int = 8
+    #: seed for the pre-state sampler and the random witness draws
+    seed: int = 0
+
+
+#: Small bounds for per-test and difftest cross-check use.
+SMOKE_BUDGET = SymbolicBudget(
+    max_worlds=512, witness_limit=4_000, random_tries=1_000,
+    prestate_variants=1,
+)
+
+
+@dataclass
+class Counterexample:
+    """One confirmed disproof: packet + pre-state the interpreter
+    confirms diverges between the baseline and the deployment."""
+
+    code: str
+    detail: str
+    packet: dict  # serialized packet spec (see packet_from_spec)
+    prestate: dict  # concrete server StateStore snapshot
+    scenario: str
+    confirmed: bool
+    replay_detail: str = ""
+    corpus_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "detail": self.detail,
+            "packet": self.packet,
+            "prestate": serialize_prestate(self.prestate),
+            "scenario": self.scenario,
+            "confirmed": self.confirmed,
+            "replay_detail": self.replay_detail,
+            "corpus_path": self.corpus_path,
+        }
+
+
+@dataclass
+class SymbolicReport:
+    """Outcome of one translation-validation run."""
+
+    program: str
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    inconclusive: List[str] = field(default_factory=list)
+    scenarios: int = 0
+    worlds: int = 0
+    decisions: int = 0
+    source_crash_worlds: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def proved(self) -> bool:
+        return not self.errors and not self.inconclusive
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "program": self.program,
+            "proved": self.proved,
+            "scenarios": self.scenarios,
+            "worlds": self.worlds,
+            "decisions": self.decisions,
+            "source_crash_worlds": self.source_crash_worlds,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "counterexamples": [c.to_dict() for c in self.counterexamples],
+            "inconclusive": list(self.inconclusive),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Packet specs (shared with the difftest corpus)
+# ---------------------------------------------------------------------------
+
+
+def packet_from_spec(spec: dict):
+    """Materialize a serialized counterexample packet.
+
+    The spec pins every symbolic header field; unspecified fields keep the
+    template defaults (which is exactly what the symbolic run assumed —
+    absent atoms evaluate to their concrete template value or 0)."""
+    payload = bytes.fromhex(spec.get("payload", ""))
+    ingress = int(spec.get("ingress", 1))
+    if spec.get("kind") == "udp":
+        packet = make_udp_packet(
+            "10.0.0.1", "10.9.0.1", 1, 1, payload=payload,
+            ingress_port=ingress,
+        )
+    else:
+        packet = make_tcp_packet(
+            "10.0.0.1", "10.9.0.1", 1, 1, payload=payload,
+            ingress_port=ingress,
+        )
+    view = PacketView(packet)
+    for key, value in spec.get("fields", {}).items():
+        region, field_name = key.split(".", 1)
+        view.set_field(region, field_name, int(value))
+    return packet
+
+
+def serialize_prestate(prestate: dict) -> dict:
+    """JSON-safe form of a StateStore snapshot (tuple keys -> lists)."""
+    return {
+        "maps": {
+            name: [[list(keys), value] for keys, value in entries.items()]
+            for name, entries in prestate.get("maps", {}).items()
+        },
+        "vectors": {
+            name: list(values)
+            for name, values in prestate.get("vectors", {}).items()
+        },
+        "scalars": dict(prestate.get("scalars", {})),
+    }
+
+
+def deserialize_prestate(data: dict) -> dict:
+    """Inverse of :func:`serialize_prestate`."""
+    return {
+        "maps": {
+            name: {tuple(keys): value for keys, value in entries}
+            for name, entries in data.get("maps", {}).items()
+        },
+        "vectors": {
+            name: list(values)
+            for name, values in data.get("vectors", {}).items()
+        },
+        "scalars": dict(data.get("scalars", {})),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One concrete slice of the bounded packet/state space."""
+
+    label: str
+    kind: str  # "tcp" | "udp"
+    ingress: int
+    payload: bytes
+    prestate: dict  # server StateStore snapshot (concrete)
+    switch_prestate: dict  # derived: {"tables": ..., "registers": ...}
+    #: atom name -> (region, field, width)
+    atoms: Dict[str, Tuple[str, str, int]] = field(default_factory=dict)
+
+
+def _base_prestate(plan, config) -> dict:
+    state = StateStore(plan.middlebox.state)
+    externs = ExternHost(config=config)
+    if plan.middlebox.configure is not None:
+        Interpreter(plan.middlebox.configure, state, externs).run()
+    state.drain_journal()
+    return state.snapshot()
+
+
+def _member_width(type_, default: int = 32) -> int:
+    try:
+        width = type_.bit_width()
+    except Exception:
+        return default
+    return width if width and width > 0 else default
+
+
+def _sample_prestates(plan, base: dict, variants: int,
+                      rng: random.Random) -> List[dict]:
+    """The base post-configure state plus seeded randomized variants.
+
+    Variants perturb scalars and add a couple of map entries (within the
+    declared key/value widths and ``max_entries`` caps) so lookups can
+    both hit and miss; configure-built vectors are left alone (their
+    contents are config-determined and the oracle never compares them)."""
+    prestates = [base]
+    members = plan.middlebox.state
+    if not members:
+        return prestates
+    for _ in range(max(0, variants)):
+        snap = {
+            "maps": {k: dict(v) for k, v in base["maps"].items()},
+            "vectors": {k: list(v) for k, v in base["vectors"].items()},
+            "scalars": dict(base["scalars"]),
+        }
+        changed = False
+        for name, member in members.items():
+            if member.kind == "map":
+                key_masks = [
+                    (1 << _member_width(t)) - 1 for t in member.key_types()
+                ]
+                value_mask = (1 << _member_width(member.value_type())) - 1
+                table = snap["maps"][name]
+                cap = member.max_entries
+                for _entry in range(2):
+                    if cap is not None and len(table) >= cap:
+                        break
+                    keys = tuple(
+                        rng.choice([0, 1, 2, rng.randrange(1 << 16)]) & mask
+                        for mask in key_masks
+                    )
+                    table[keys] = rng.randrange(1 << 16) & value_mask
+                    changed = True
+            elif member.kind == "scalar":
+                mask = (1 << _member_width(member.member_type)) - 1
+                snap["scalars"][name] = rng.randrange(1 << 16) & mask
+                changed = True
+        if changed:
+            prestates.append(snap)
+    return prestates
+
+
+def _switch_prestate(plan, server_snapshot: dict) -> dict:
+    """Derive the switch's pre-state exactly like ``sync_all_state``."""
+    tables: Dict[str, dict] = {}
+    registers: Dict[str, int] = {}
+    for name, placement in plan.placements.items():
+        if not placement.on_switch:
+            continue
+        member = placement.member
+        if member.kind == "map":
+            tables[name] = dict(server_snapshot["maps"][name])
+        elif member.kind == "vector":
+            tables[name] = {
+                (index,): value
+                for index, value in enumerate(
+                    server_snapshot["vectors"][name]
+                )
+            }
+        else:
+            registers[name] = server_snapshot["scalars"][name]
+    return {"tables": tables, "registers": registers}
+
+
+def _function_traits(function) -> Tuple[bool, bool]:
+    """(reads meta.ingress_port, calls payload externs) for ``function``."""
+    reads_ingress = False
+    reads_payload = False
+    for block in function.blocks.values():
+        for inst in block.instructions:
+            if isinstance(inst, irin.LoadPacketField):
+                if inst.region == "meta" and inst.field == "ingress_port":
+                    reads_ingress = True
+            elif isinstance(inst, irin.ExternCall):
+                if inst.name in ("payload_len", "payload_byte"):
+                    reads_payload = True
+    return reads_ingress, reads_payload
+
+
+#: The symbolic header fields: every oracle-observed field except
+#: ``ip.protocol``, which stays concrete per packet shape (the two shapes
+#: cover both protocol branches; a protocol value contradicting the
+#: header shape is not a packet the workloads can build).
+_SYMBOLIC_FIELDS = sorted(
+    key for key in FIELD_WIDTHS if key != ("ip", "protocol")
+)
+
+_IPPROTO = {"tcp": 6, "udp": 17}
+
+
+def enumerate_scenarios(plan, config, budget: SymbolicBudget) -> List[Scenario]:
+    rng = random.Random(budget.seed)
+    base = _base_prestate(plan, config)
+    variants = budget.prestate_variants if plan.middlebox.state else 0
+    prestates = _sample_prestates(plan, base, variants, rng)
+    reads_ingress, reads_payload = _function_traits(plan.middlebox.process)
+    ingresses = [1, 2] if reads_ingress else [1]
+    payloads = [b"", b"AB\x00\x07"] if reads_payload else [b""]
+    scenarios: List[Scenario] = []
+    for kind in ("tcp", "udp"):
+        for ingress in ingresses:
+            for payload in payloads:
+                for index, prestate in enumerate(prestates):
+                    scenarios.append(Scenario(
+                        label=(f"{kind}/in{ingress}/pay{len(payload)}"
+                               f"/state{index}"),
+                        kind=kind,
+                        ingress=ingress,
+                        payload=payload,
+                        prestate=prestate,
+                        switch_prestate=_switch_prestate(plan, prestate),
+                    ))
+    return scenarios
+
+
+def _template_eth(kind: str) -> Dict[Tuple[str, str], int]:
+    packet = (make_udp_packet if kind == "udp" else make_tcp_packet)(
+        "10.0.0.1", "10.9.0.1", 1, 1
+    )
+    eth = packet.eth
+    return {
+        ("eth", "h_dest"): int(eth.dst),
+        ("eth", "h_source"): int(eth.src),
+        ("eth", "h_proto"): eth.ethertype,
+    }
+
+
+def make_symbolic_packet(scenario: Scenario):
+    """Fresh :class:`SymPacketView` + atom registry for one scenario.
+
+    Atoms are shared by name across the source and composition runs (both
+    copy the same base view), which is what makes structural term identity
+    meaningful."""
+    from repro.verify.symbolic.terms import atom
+
+    fields: Dict[Tuple[str, str], Term] = {}
+    for key, value in _template_eth(scenario.kind).items():
+        fields[key] = const(value)
+    has_tcp = scenario.kind == "tcp"
+    has_udp = scenario.kind == "udp"
+    # Concrete structural fields the subset can read but the oracle does
+    # not observe (writes to them are raw stores, faithfully mirrored).
+    fields[("ip", "version")] = const(4)
+    fields[("ip", "ihl")] = const(5)
+    fields[("ip", "protocol")] = const(_IPPROTO[scenario.kind])
+    if has_tcp:
+        fields[("tcp", "doff")] = const(5)
+    atoms: Dict[str, Tuple[str, str, int]] = {}
+    for region, name in _SYMBOLIC_FIELDS:
+        if region == "tcp" and not has_tcp:
+            continue
+        if region == "udp" and not has_udp:
+            continue
+        width = FIELD_WIDTHS[(region, name)]
+        atom_name = f"{region}.{name}"
+        fields[(region, name)] = atom(atom_name, width)
+        atoms[atom_name] = (region, name, width)
+    scenario.atoms = atoms
+    return SymPacketView(
+        fields, has_ip=True, has_tcp=has_tcp, has_udp=has_udp,
+        payload=scenario.payload, ingress_port=const(scenario.ingress),
+    )
+
+
+# ---------------------------------------------------------------------------
+# One world: source vs composition
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Mismatch:
+    kind: str  # oracle divergence vocabulary, see KIND_TO_CODE
+    detail: str
+    #: term pair to drive apart (None: the mismatch is path-definite)
+    obligation: Optional[Tuple[Term, Term]] = None
+
+
+@dataclass
+class WorldResult:
+    status: str  # "ok" | "mismatch" | "composition" | "source_error"
+    chooser: Chooser
+    mismatch: Optional[Mismatch] = None
+    detail: str = ""
+
+
+def _verdict_flag(verdict: Optional[str]) -> int:
+    if verdict == "send":
+        return FLAG_VERDICT_SEND
+    if verdict == "drop":
+        return FLAG_VERDICT_DROP
+    return FLAG_VERDICT_NONE
+
+
+def _resolve_egress_sym(egress: Optional[Term], ingress: int,
+                        chooser: Chooser) -> Term:
+    """Mirror of ``SwitchModel._resolve_egress`` (and the baseline's
+    ``explicit if explicit else port_pairs`` rule): an explicit port of 0
+    falls through to the port-pair map."""
+    fallback = const(DEFAULT_PORT_PAIRS.get(ingress, ingress))
+    if egress is None:
+        return fallback
+    if chooser.decide(binop(irin.BinOpKind.NE, egress, const(0))):
+        return egress
+    return fallback
+
+
+def _shim_pack(layout, values: Dict[str, Term]) -> Dict[str, Term]:
+    """encode ∘ decode through a shim layout: wrap each field to width."""
+    return {
+        f.name: wrap(values.get(f.name, const(0)), (1 << f.width_bits) - 1)
+        for f in layout.fields
+    }
+
+
+def _replicated_members(plan) -> set:
+    from repro.partition.plan import PlacementKind
+
+    return {
+        name
+        for name, placement in plan.placements.items()
+        if placement.replicated
+        or placement.kind is PlacementKind.SWITCH_TABLE
+    }
+
+
+def _sym_updates(plan, replicated: set, journal: List[tuple]) -> List[tuple]:
+    """Mirror of ``ServerRuntime._updates_from_journal``."""
+    updates: List[tuple] = []
+    for op, member, keys, value in journal:
+        if member not in replicated:
+            continue
+        placement = plan.placements[member]
+        if placement.member.kind == "scalar":
+            updates.append(("register", member, (), value))
+        elif op == "insert":
+            updates.append(("insert", member, keys, value))
+        elif op == "erase":
+            updates.append(("delete", member, keys, None))
+        elif op == "push":
+            updates.append(("insert", member, keys, value))
+        elif op == "store":
+            updates.append(("register", member, (), value))
+    return updates
+
+
+@dataclass
+class CompOutcome:
+    verdict: str  # "send" | "drop"
+    egress: Optional[Term]
+    packet: SymPacketView
+    server: SymStateStore
+    switch: SymSwitchState
+
+
+def _run_composition(plan, program, scenario: Scenario,
+                     base_packet: SymPacketView, chooser: Chooser,
+                     config, max_steps: int) -> CompOutcome:
+    packet = base_packet.copy()
+    switch = SymSwitchState(program, scenario.switch_prestate, chooser)
+    server = SymStateStore(plan.middlebox.state, scenario.prestate, chooser)
+    # The switch pipelines run with a bare ExternHost (no deployment
+    # config); only the server's interpreter sees the config sections.
+    switch_externs = SymExternHost(None, chooser)
+    server_externs = SymExternHost(config, chooser)
+
+    switch.begin_traversal()
+    pre = sym_run(plan.pre, switch, chooser, packet=packet,
+                  externs=switch_externs, max_steps=max_steps)
+    if pre.verdict == "send":
+        egress = _resolve_egress_sym(pre.egress, scenario.ingress, chooser)
+        return CompOutcome("send", egress, packet, server, switch)
+    if pre.verdict == "drop":
+        return CompOutcome("drop", None, packet, server, switch)
+
+    # Punt: shim to the server (encode ∘ decode wraps to field widths).
+    to_server = {"__ingress_port": const(scenario.ingress)}
+    for shim_field in program.shim_to_server.fields:
+        if shim_field.name.startswith("__"):
+            continue
+        to_server[shim_field.name] = pre.env.get(shim_field.name, const(0))
+    values = _shim_pack(program.shim_to_server, to_server)
+    values.pop("__ingress_port", None)
+    env = {k: v for k, v in values.items() if not k.startswith("__")}
+    server.drain_journal()
+    server_result = sym_run(
+        plan.non_offloaded, server, chooser, packet=packet,
+        externs=server_externs, initial_env=env, max_steps=max_steps,
+    )
+    updates = _sym_updates(
+        plan, _replicated_members(plan), server.drain_journal()
+    )
+
+    out_values: Dict[str, Term] = {
+        "__verdict": const(_verdict_flag(server_result.verdict)),
+        "__egress_port": (server_result.egress
+                          if server_result.egress is not None else const(0)),
+        "__ingress_port": const(scenario.ingress),
+    }
+    for shim_field in program.shim_to_switch.fields:
+        if shim_field.name.startswith("__"):
+            continue
+        out_values[shim_field.name] = server_result.env.get(
+            shim_field.name, const(0)
+        )
+    values2 = _shim_pack(program.shim_to_switch, out_values)
+
+    # Replication batch commits before the return leg (output commit).
+    if updates:
+        switch.apply_updates(updates)
+
+    flag = values2.get("__verdict", const(0))
+    assert flag.is_const  # verdicts are path-concrete by construction
+    if flag.value == FLAG_VERDICT_DROP:
+        return CompOutcome("drop", None, packet, server, switch)
+    if flag.value == FLAG_VERDICT_SEND:
+        egress = _resolve_egress_sym(
+            values2.get("__egress_port"), scenario.ingress, chooser
+        )
+        return CompOutcome("send", egress, packet, server, switch)
+
+    # No server verdict: the post-processing pipeline decides.
+    env2 = {k: v for k, v in values2.items() if not k.startswith("__")}
+    switch.begin_traversal()
+    post = sym_run(plan.post, switch, chooser, packet=packet,
+                   externs=switch_externs, initial_env=env2,
+                   max_steps=max_steps)
+    if post.verdict == "send":
+        egress = _resolve_egress_sym(post.egress, scenario.ingress, chooser)
+        return CompOutcome("send", egress, packet, server, switch)
+    # post drop, or no verdict anywhere: the switch drops defensively.
+    return CompOutcome("drop", None, packet, server, switch)
+
+
+#: Fields compared on an emitted packet — the oracle's OBSERVED_FIELDS.
+_OBSERVED = sorted(FIELD_WIDTHS)
+
+
+def _first_unequal(pairs: Sequence[Tuple[str, Term, Term]],
+                   kind: str) -> Optional[Mismatch]:
+    """Compare term pairs; constant-fold equalities, return the first
+    that is definitely or possibly unequal."""
+    candidate: Optional[Mismatch] = None
+    for label, lhs, rhs in pairs:
+        eq = binop(irin.BinOpKind.EQ, lhs, rhs)
+        decided = truth(eq)
+        if decided is True:
+            continue
+        if decided is False:
+            return Mismatch(kind, f"{label}: {lhs!r} != {rhs!r}")
+        if candidate is None:
+            candidate = Mismatch(
+                kind, f"{label}: {lhs!r} may differ from {rhs!r}",
+                obligation=(lhs, rhs),
+            )
+    return candidate
+
+
+def _compare_world(plan, source, src_packet: SymPacketView,
+                   src_store: SymStateStore,
+                   comp: CompOutcome, chooser: Chooser) -> Optional[Mismatch]:
+    """Oracle-faithful comparison of the two symbolic runs."""
+    src_verdict = "send" if source.verdict == "send" else "drop"
+    if src_verdict != comp.verdict:
+        return Mismatch(
+            "verdict",
+            f"source={src_verdict!r} composition={comp.verdict!r}",
+        )
+    if src_verdict == "send":
+        src_egress = _resolve_egress_sym(
+            source.egress, _ingress_of(src_packet), chooser,
+        )
+        mismatch = _first_unequal(
+            [("egress port", src_egress, comp.egress)], "egress"
+        )
+        if mismatch is not None:
+            return mismatch
+        field_pairs = []
+        for region, name in _OBSERVED:
+            field_pairs.append((
+                f"{region}->{name}",
+                src_packet.get_field(region, name),
+                comp.packet.get_field(region, name),
+            ))
+        mismatch = _first_unequal(field_pairs, "field")
+        if mismatch is not None:
+            return mismatch
+
+    # Final state: maps and scalars, switch-resident registers read from
+    # the switch (exactly `oracle._compare_state`); vectors are not
+    # compared there and not here.
+    from repro.partition.plan import PlacementKind
+
+    map_pairs = []
+    for name, entries in src_store.maps.items():
+        comp_entries = comp.server.maps[name]
+        if len(entries) != len(comp_entries):
+            return Mismatch(
+                "state",
+                f"map {name!r}: source has {len(entries)} entries,"
+                f" composition has {len(comp_entries)}",
+            )
+        for index, ((src_keys, src_value), (dut_keys, dut_value)) in (
+                enumerate(zip(entries, comp_entries))):
+            for position, (a, b) in enumerate(zip(src_keys, dut_keys)):
+                map_pairs.append((f"map {name}[{index}].key{position}", a, b))
+            map_pairs.append((f"map {name}[{index}].value",
+                              src_value, dut_value))
+    mismatch = _first_unequal(map_pairs, "state")
+    if mismatch is not None:
+        return mismatch
+
+    scalar_pairs = []
+    for name, value in src_store.scalars.items():
+        placement = plan.placements.get(name)
+        if (placement is not None
+                and placement.kind is PlacementKind.SWITCH_REGISTER):
+            dut_value = comp.switch.registers[name].value
+        else:
+            dut_value = comp.server.scalars[name]
+        scalar_pairs.append((f"scalar {name}", value, dut_value))
+    mismatch = _first_unequal(scalar_pairs, "state")
+    if mismatch is not None:
+        return mismatch
+
+    # Replicated-table convergence (oracle `_check_replication`).
+    repl_pairs = []
+    for name, placement in plan.placements.items():
+        if placement.kind is not PlacementKind.REPLICATED_TABLE:
+            continue
+        if placement.member.kind != "map":
+            continue
+        switch_entries = comp.switch.tables[name].entries
+        server_entries = comp.server.maps[name]
+        if len(switch_entries) != len(server_entries):
+            return Mismatch(
+                "switch_state",
+                f"replicated table {name!r}: switch has"
+                f" {len(switch_entries)} entries, server has"
+                f" {len(server_entries)}",
+            )
+        for index, ((s_keys, s_value), (m_keys, m_value)) in (
+                enumerate(zip(switch_entries, server_entries))):
+            for position, (a, b) in enumerate(zip(s_keys, m_keys)):
+                repl_pairs.append(
+                    (f"replicated {name}[{index}].key{position}", a, b)
+                )
+            repl_pairs.append(
+                (f"replicated {name}[{index}].value", s_value, m_value)
+            )
+    return _first_unequal(repl_pairs, "switch_state")
+
+
+def _ingress_of(packet: SymPacketView) -> int:
+    assert packet.ingress_port.is_const
+    return packet.ingress_port.value
+
+
+def _run_world(plan, program, scenario: Scenario, script: Tuple[bool, ...],
+               config, budget: SymbolicBudget) -> WorldResult:
+    chooser = Chooser(script, max_decisions=budget.max_decisions)
+    base_packet = make_symbolic_packet(scenario)
+    src_packet = base_packet.copy()
+    src_store = SymStateStore(
+        plan.middlebox.state, scenario.prestate, chooser
+    )
+    src_externs = SymExternHost(config, chooser)
+    try:
+        source = sym_run(
+            plan.middlebox.process, src_store, chooser, packet=src_packet,
+            externs=src_externs, max_steps=budget.max_steps,
+        )
+    except SymExecError as exc:
+        # The *source program* fails on this path: the oracle would
+        # classify the run as CRASH, not a compiler divergence.
+        return WorldResult("source_error", chooser, detail=str(exc))
+    try:
+        comp = _run_composition(
+            plan, program, scenario, base_packet, chooser, config,
+            budget.max_steps,
+        )
+    except (CompositionViolation, SymExecError) as exc:
+        # Only the composition fails: a deployment-side crash candidate.
+        return WorldResult("composition", chooser, detail=str(exc))
+    mismatch = _compare_world(
+        plan, source, src_packet, src_store, comp, chooser
+    )
+    if mismatch is None:
+        return WorldResult("ok", chooser)
+    return WorldResult("mismatch", chooser, mismatch=mismatch)
+
+
+# ---------------------------------------------------------------------------
+# Witness search + interpreter replay
+# ---------------------------------------------------------------------------
+
+
+def _witness_candidates(scenario: Scenario, chooser: Chooser,
+                        obligation: Optional[Tuple[Term, Term]],
+                        budget: SymbolicBudget, rng: random.Random):
+    """Yield concrete atom assignments satisfying the world's path
+    condition (and the disequality, when one is required)."""
+    terms = [term for term, _choice in chooser.conditions]
+    if obligation is not None:
+        terms.extend(obligation)
+    atom_widths = atoms_of(terms)
+    names = sorted(atom_widths)
+    consts = constants_of(terms)
+
+    pools: Dict[str, List[int]] = {}
+    for name in names:
+        mask = (1 << atom_widths[name]) - 1
+        pool = {0, 1, mask}
+        for value in consts:
+            for probe in (value - 1, value, value + 1):
+                pool.add(probe & mask)
+        pools[name] = sorted(pool)
+
+    def satisfies(assignment: Dict[str, int]) -> bool:
+        memo: dict = {}
+        for term, choice in chooser.conditions:
+            if bool(evaluate(term, assignment, memo)) != choice:
+                return False
+        if obligation is not None:
+            lhs, rhs = obligation
+            return (evaluate(lhs, assignment, memo)
+                    != evaluate(rhs, assignment, memo))
+        return True
+
+    total = 1
+    for name in names:
+        total *= len(pools[name])
+    if total <= budget.witness_limit:
+        for combo in itertools.product(*(pools[name] for name in names)):
+            assignment = dict(zip(names, combo))
+            if satisfies(assignment):
+                yield assignment
+    else:
+        for _ in range(budget.random_tries):
+            assignment = {
+                name: (rng.choice(pools[name]) if rng.random() < 0.7
+                       else rng.randrange(1 << atom_widths[name]))
+                for name in names
+            }
+            if satisfies(assignment):
+                yield assignment
+
+
+def _packet_spec(scenario: Scenario, assignment: Dict[str, int]) -> dict:
+    fields = {}
+    for name, (_region, _field, width) in sorted(scenario.atoms.items()):
+        fields[name] = assignment.get(name, 0) & ((1 << width) - 1)
+    return {
+        "kind": scenario.kind,
+        "ingress": scenario.ingress,
+        "payload": scenario.payload.hex(),
+        "fields": fields,
+    }
+
+
+def replay_counterexample(plan, program, config, prestate: dict,
+                          spec: dict) -> Tuple[bool, str]:
+    """Ground truth: replay one packet + pre-state through the real
+    interpreter deployments; returns ``(diverged, detail)``."""
+    from repro.difftest.oracle import (
+        _check_replication,
+        _compare_packet,
+        _compare_state,
+        _journey_observation,
+        _observe_fields,
+        _resolve_port,
+    )
+    from repro.runtime.baseline import FastClickRuntime
+    from repro.runtime.deployment import GalliumMiddlebox
+
+    packet = packet_from_spec(spec)
+    ingress = int(spec.get("ingress", 1))
+
+    baseline = FastClickRuntime(plan.middlebox, config=config)
+    baseline.install()
+    baseline.state.restore(prestate)
+    baseline.state.drain_journal()
+
+    try:
+        dut = GalliumMiddlebox(
+            plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS), config=config
+        )
+        dut.install()
+        dut.state.restore(prestate)
+        dut.state.drain_journal()
+        dut.sync_all_state()
+    except Exception as exc:
+        # The baseline accepts this pre-state but the deployment cannot
+        # even install it: a real divergence of the compiled artifact.
+        return True, f"deployment setup crash: {type(exc).__name__}: {exc}"
+
+    base_packet = packet.copy()
+    try:
+        base_result = baseline.process_packet(base_packet, ingress)
+    except Exception as exc:
+        return False, f"baseline crash: {exc}"
+    if base_result.verdict != "send":
+        base_obs = ("drop", None, None)
+    else:
+        base_obs = (
+            "send",
+            _resolve_port(base_result.egress_port, ingress,
+                          DEFAULT_PORT_PAIRS),
+            _observe_fields(base_packet),
+        )
+    dut_packet = packet.copy()
+    try:
+        journey = dut.process_packet(dut_packet, ingress)
+    except Exception as exc:
+        return True, f"deployment crash: {type(exc).__name__}: {exc}"
+    divergence = _compare_packet(
+        "gallium", 0, base_obs, _journey_observation(journey)
+    )
+    if divergence is None:
+        divergence = (_compare_state("gallium", baseline, dut)
+                      or _check_replication(dut))
+    if divergence is None:
+        return False, "replay agrees"
+    return True, str(divergence)
+
+
+def _minimize_spec(plan, program, config, prestate: dict, spec: dict,
+                   base_prestate: dict) -> Tuple[dict, dict]:
+    """Greedy counterexample minimization against the concrete replay:
+    prefer the post-configure pre-state and zero out every header field
+    that is not needed to keep the divergence."""
+    diverged, _ = replay_counterexample(
+        plan, program, config, base_prestate, spec
+    )
+    if diverged:
+        prestate = base_prestate
+    fields = dict(spec["fields"])
+    for name in sorted(fields):
+        if fields[name] == 0:
+            continue
+        trial = dict(spec, fields=dict(fields, **{name: 0}))
+        diverged, _ = replay_counterexample(
+            plan, program, config, prestate, trial
+        )
+        if diverged:
+            fields[name] = 0
+    return dict(spec, fields=fields), prestate
+
+
+# ---------------------------------------------------------------------------
+# The prover
+# ---------------------------------------------------------------------------
+
+
+def verify_symbolic(
+    plan,
+    program,
+    source: Optional[str] = None,
+    config: Optional[Dict[int, list]] = None,
+    budget: Optional[SymbolicBudget] = None,
+    corpus_dir=None,
+) -> SymbolicReport:
+    """Prove one compilation equivalent, or disprove it with a confirmed
+    counterexample.
+
+    ``source`` (the middlebox source text) is only needed to append
+    disproofs to the difftest corpus; ``corpus_dir`` overrides the
+    corpus location (tests point it at a tmp dir).  Returns a
+    :class:`SymbolicReport`; callers decide whether errors abort."""
+    budget = budget or SymbolicBudget()
+    report = SymbolicReport(program=plan.middlebox.name)
+    rng = random.Random(budget.seed ^ 0xC0FFEE)
+    started = time.perf_counter()
+    scenarios = enumerate_scenarios(plan, config, budget)
+    report.scenarios = len(scenarios)
+
+    for scenario in scenarios:
+        if report.counterexamples:
+            break  # first confirmed disproof ends the run
+        pending: List[Tuple[bool, ...]] = [()]
+        explored = 0
+        while pending:
+            if explored >= budget.max_worlds:
+                report.inconclusive.append(
+                    f"{scenario.label}: world budget exhausted"
+                    f" ({budget.max_worlds} worlds,"
+                    f" {len(pending)} paths unexplored)"
+                )
+                break
+            script = pending.pop()
+            explored += 1
+            report.worlds += 1
+            try:
+                world = _run_world(
+                    plan, program, scenario, script, config, budget
+                )
+            except BudgetExhausted as exc:
+                report.inconclusive.append(f"{scenario.label}: {exc}")
+                continue
+            report.decisions += len(world.chooser.trace)
+            for index in range(len(script), len(world.chooser.trace)):
+                flipped = tuple(world.chooser.trace[:index]) + (
+                    not world.chooser.trace[index],
+                )
+                pending.append(flipped)
+            if world.status == "ok":
+                continue
+            if world.status == "source_error":
+                report.source_crash_worlds += 1
+                continue
+            handled = _handle_suspect(
+                plan, program, source, config, scenario, world,
+                budget, rng, report, corpus_dir,
+            )
+            if handled:
+                break  # confirmed disproof: stop this scenario
+        if report.counterexamples:
+            break
+
+    report.elapsed_s = time.perf_counter() - started
+    if report.inconclusive and not report.counterexamples:
+        report.diagnostics.append(error(
+            "SYM008", STAGE_SYMBOLIC,
+            "equivalence inconclusive: "
+            + "; ".join(report.inconclusive[:3])
+            + (f" (+{len(report.inconclusive) - 3} more)"
+               if len(report.inconclusive) > 3 else ""),
+            function=plan.middlebox.process.name,
+        ))
+    return report
+
+
+def _handle_suspect(plan, program, source, config, scenario: Scenario,
+                    world: WorldResult, budget: SymbolicBudget,
+                    rng: random.Random, report: SymbolicReport,
+                    corpus_dir) -> bool:
+    """Search a witness for one suspicious world, confirm it by replay,
+    and record the resulting diagnostic.  Returns True when a confirmed
+    counterexample was produced (the scenario can stop)."""
+    if world.status == "composition":
+        code = "SYM006"
+        detail = f"composition violation: {world.detail}"
+        obligation = None
+    else:
+        code = KIND_TO_CODE[world.mismatch.kind]
+        detail = world.mismatch.detail
+        obligation = world.mismatch.obligation
+
+    attempts = 0
+    unsound = 0
+    for assignment in _witness_candidates(
+            scenario, world.chooser, obligation, budget, rng):
+        attempts += 1
+        if attempts > budget.confirm_attempts:
+            break
+        spec = _packet_spec(scenario, assignment)
+        diverged, replay_detail = replay_counterexample(
+            plan, program, config, scenario.prestate, spec
+        )
+        if not diverged:
+            unsound += 1
+            continue
+        base = _base_prestate(plan, config)
+        spec, prestate = _minimize_spec(
+            plan, program, config, scenario.prestate, spec, base
+        )
+        counterexample = Counterexample(
+            code=code, detail=detail, packet=spec, prestate=prestate,
+            scenario=scenario.label, confirmed=True,
+            replay_detail=replay_detail,
+        )
+        if source is not None:
+            counterexample.corpus_path = _append_to_corpus(
+                plan.middlebox.name, source, config, code, spec, prestate,
+                replay_detail, corpus_dir,
+            )
+        report.counterexamples.append(counterexample)
+        report.diagnostics.append(error(
+            code, STAGE_SYMBOLIC,
+            f"{detail} [scenario {scenario.label};"
+            f" counterexample confirmed: {replay_detail}]",
+            function=plan.middlebox.process.name,
+        ))
+        return True
+
+    if unsound:
+        # A symbolic mismatch whose witnesses all replay as equivalent:
+        # the prover's path condition missed a constraint — a prover bug,
+        # never silently swallowed.
+        report.diagnostics.append(error(
+            "SYM007", STAGE_SYMBOLIC,
+            f"path-condition unsoundness: {detail} [scenario"
+            f" {scenario.label}; {unsound} witnesses replayed equivalent]",
+            function=plan.middlebox.process.name,
+        ))
+        return True
+    # No witness at all: the path may simply be infeasible (case splits
+    # are not mutually consistent by construction), but equivalence on
+    # this world is then unproven — surface it as inconclusive.
+    report.inconclusive.append(
+        f"{scenario.label}: unwitnessed symbolic mismatch ({detail})"
+    )
+    return False
+
+
+def _append_to_corpus(name: str, source: str, config, code: str, spec: dict,
+                      prestate: dict, replay_detail: str,
+                      corpus_dir) -> Optional[str]:
+    from repro.difftest.corpus import (
+        CORPUS_DIR,
+        CorpusEntry,
+        replay_entry,
+        save_entry,
+    )
+    from repro.difftest.oracle import StreamSpec
+
+    directory = corpus_dir if corpus_dir is not None else CORPUS_DIR
+    entry = CorpusEntry(
+        name=f"symbolic_{name}_{code.lower()}",
+        source=source,
+        stream=StreamSpec(seed=0, count=1, packets=[spec]),
+        description=(
+            f"translation-validation counterexample ({code}):"
+            f" {replay_detail}"
+        ),
+        check_cached=False,
+        config=({str(k): list(v) for k, v in config.items()}
+                if config else None),
+        prestate=serialize_prestate(prestate),
+    )
+    # The recorded expectation is whatever a fresh compile of the *source*
+    # does on this packet: a compiler-bug disproof replays DIVERGE, while
+    # a disproof of a mutated artifact pins AGREE on the clean compile.
+    entry.expect = replay_entry(entry).outcome.value
+    try:
+        return str(save_entry(entry, directory))
+    except OSError:
+        return None

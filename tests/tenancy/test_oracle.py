@@ -1,6 +1,9 @@
 """Tests for the tenant-isolation oracle and the combined-artifact lint."""
 
+import dataclasses
+
 from repro.tenancy import SharedSwitchBudget, build_tenant_specs
+from repro.tenancy.allocator import SwitchResourceAllocator
 from repro.tenancy.lint import verify_combined
 from repro.tenancy.oracle import run_isolation_oracle
 
@@ -61,3 +64,33 @@ class TestCombinedLint:
         report = verify_combined(specs + specs, SharedSwitchBudget())
         assert not report.ok
         assert any(d.code == "TEN004" for d in report.diagnostics)
+
+    def test_combined_depth_overrun_surfaces_as_ten002(self):
+        """The dispatch stage is free at admission time but not in the
+        re-proof of the combined totals: a budget one stage short of the
+        trio's dispatch-inclusive depth passes admission (no TEN001) yet
+        fails the combined check."""
+        specs = build_tenant_specs(TRIO)
+        baseline = SwitchResourceAllocator(SharedSwitchBudget()).admit(specs)
+        squeezed = dataclasses.replace(
+            SharedSwitchBudget(),
+            pipeline_depth=baseline.totals()["stages"] - 1,
+        )
+        report = verify_combined(specs, squeezed)
+        assert not report.ok
+        codes = [d.code for d in report.diagnostics]
+        assert "TEN001" not in codes
+        diag = next(d for d in report.diagnostics if d.code == "TEN002")
+        assert "pipeline depth" in diag.message
+
+    def test_broken_tenant_artifact_surfaces_as_ten003(self):
+        """A tenant whose artifact fails the solo resource lint is
+        rejected from the combined report with the solo code named."""
+        specs = build_tenant_specs(TRIO)
+        program = specs[0].program
+        program.limits = dataclasses.replace(program.limits, metadata_bytes=0)
+        report = verify_combined(specs, SharedSwitchBudget())
+        assert not report.ok
+        diag = next(d for d in report.diagnostics if d.code == "TEN003")
+        assert specs[0].name in diag.message
+        assert "P4L007" in diag.message

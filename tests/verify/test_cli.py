@@ -94,10 +94,10 @@ def test_every_emitted_code_is_registered():
     src = Path(__file__).resolve().parents[2] / "src/repro"
     used = set()
     for subdir in ("verify", "tenancy"):
-        for path in (src / subdir).glob("*.py"):
+        for path in (src / subdir).rglob("*.py"):
             used.update(
                 re.findall(
-                    r"\"((?:IR|PART|P4L|TEN)\d{3})\"", path.read_text()
+                    r"\"((?:IR|PART|P4L|TEN|SYM)\d{3})\"", path.read_text()
                 )
             )
     assert used <= set(DIAGNOSTIC_CODES)

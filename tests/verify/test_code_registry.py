@@ -1,0 +1,71 @@
+"""Registry lint: the diagnostic-code universe stays closed and covered.
+
+Three invariants over every code any stage can emit (IR / PART / P4L /
+TEN / SYM):
+
+1. every code that appears in ``src/repro`` is declared in
+   :data:`repro.verify.diagnostics.DIAGNOSTIC_CODES` (and vice versa —
+   no dead declarations),
+2. every declared code is documented in DESIGN.md's code table,
+3. every declared code is exercised by at least one test.
+
+The walk is textual on purpose: it catches a new ``error("XYZ123", ...)``
+call site the moment it is written, before the stage it belongs to even
+runs.
+"""
+
+import re
+from pathlib import Path
+
+from repro.verify.diagnostics import DIAGNOSTIC_CODES
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+TESTS = REPO / "tests"
+DESIGN = REPO / "DESIGN.md"
+
+#: One prefix per verifier stage; a new stage must extend this (and the
+#: DESIGN.md table) to come under the lint.
+CODE_RE = re.compile(r"\b(?:IR|PART|P4L|TEN|SYM)\d{3}\b")
+
+
+def _codes_in(paths):
+    found = set()
+    for path in paths:
+        found.update(CODE_RE.findall(path.read_text(encoding="utf-8")))
+    return found
+
+
+def test_every_code_in_source_is_declared():
+    in_source = _codes_in(SRC.rglob("*.py"))
+    undeclared = in_source - set(DIAGNOSTIC_CODES)
+    assert not undeclared, f"codes used but not declared: {sorted(undeclared)}"
+
+
+def test_every_declared_code_is_emittable():
+    """No dead declarations: each code appears somewhere in src/ outside
+    the registry module itself."""
+    emit_sites = _codes_in(
+        p for p in SRC.rglob("*.py") if p.name != "diagnostics.py"
+    )
+    dead = set(DIAGNOSTIC_CODES) - emit_sites
+    assert not dead, f"codes declared but never referenced: {sorted(dead)}"
+
+
+def test_every_declared_code_is_documented_in_design():
+    table_rows = {
+        match.group(1)
+        for match in re.finditer(r"^\| `((?:IR|PART|P4L|TEN|SYM)\d{3})` \|",
+                                 DESIGN.read_text(encoding="utf-8"),
+                                 re.MULTILINE)
+    }
+    missing = set(DIAGNOSTIC_CODES) - table_rows
+    assert not missing, f"codes missing from DESIGN.md table: {sorted(missing)}"
+    stale = table_rows - set(DIAGNOSTIC_CODES)
+    assert not stale, f"DESIGN.md documents unknown codes: {sorted(stale)}"
+
+
+def test_every_declared_code_is_exercised_by_a_test():
+    in_tests = _codes_in(TESTS.rglob("*.py"))
+    untested = set(DIAGNOSTIC_CODES) - in_tests
+    assert not untested, f"codes never exercised: {sorted(untested)}"

@@ -153,3 +153,25 @@ def test_ir009_wide_branch_condition():
         _block("f", irin.Return()),
     )
     assert "IR009" in _codes(verify_ir(function))
+
+
+def test_ir010_undeclared_extern():
+    function = _function(
+        _block(
+            "entry",
+            irin.ExternCall(_reg("x"), "no_such_extern", []),
+            irin.Return(),
+        )
+    )
+    assert "IR010" in _codes(verify_ir(function))
+
+
+def test_ir010_extern_arity_mismatch():
+    function = _function(
+        _block(
+            "entry",
+            irin.ExternCall(_reg("n"), "payload_len", [const_int(1)]),
+            irin.Return(),
+        )
+    )
+    assert "IR010" in _codes(verify_ir(function))

@@ -35,6 +35,7 @@ from repro.ir.values import const_int, Reg
 from repro.lang.types import IntType
 from repro.partition.labels import Partition
 from repro.verify import verify_compilation
+from repro.verify.symbolic import verify_symbolic
 
 
 @pytest.fixture(scope="module")
@@ -148,3 +149,230 @@ def test_five_bugs_map_to_distinct_codes():
     diagnostic codes."""
     codes = {"P4L001", "PART001", "PART003", "P4L005", "PART006"}
     assert len(codes) == 5
+
+
+# ---------------------------------------------------------------------------
+# Symbolic calibration: the same five bugs, re-introduced as *artifact*
+# mutations the static layer cannot see (the artifacts stay well-formed;
+# only their meaning changes), must each be disproved by the translation
+# validator with a distinct SYM code and an interpreter-confirmed
+# counterexample packet.
+#
+# ==================================  =======  ============================
+# corpus entry                        code     semantic mutation
+# ==================================  =======  ============================
+# cached_post_register_rmw            SYM001   post Drop flipped to Send
+# l4_alias_hoist                      SYM002   post Send retargeted to
+#                                              a wrong port
+# remat_nonp4_into_post               SYM003   pre corrupts ip.ttl
+# stranded_offloaded_register_write   SYM004   server RMW operand altered
+# table_stage_erase_insert            SYM006   table shrunk under its
+#                                              working set
+# ==================================  =======  ============================
+#
+# SYM005 (replication skew) cannot be reached by mutating the artifacts
+# alone — the data plane rejects table writes outright (SYM006) before a
+# copy can silently drift — so it is calibrated by skewing the symbolic
+# switch copy behind the composition's back instead.
+# ---------------------------------------------------------------------------
+
+
+def _prove(corpus, name, result, tmp_path):
+    return verify_symbolic(
+        result.plan,
+        result.switch_program,
+        source=corpus[name].source,
+        corpus_dir=tmp_path,
+    )
+
+
+def _sole_confirmed(report, code):
+    assert not report.proved
+    assert [diag.code for diag in report.errors] == [code]
+    assert len(report.counterexamples) == 1
+    cx = report.counterexamples[0]
+    assert cx.code == code
+    assert cx.confirmed, cx.replay_detail
+    return cx
+
+
+def test_symbolic_verdict_flip_disproved_sym001(corpus, tmp_path):
+    """Drop-class bug: the post pipeline emits a packet the source drops."""
+    name = "cached_post_register_rmw"
+    result = _compile(corpus, name)
+    post = result.switch_program.post
+    block = _block_with(post, irin.Drop)
+    idx = _index_of(block, irin.Drop)
+    block.instructions[idx] = irin.Send()
+    cx = _sole_confirmed(_prove(corpus, name, result, tmp_path), "SYM001")
+    assert "drop" in cx.detail and "send" in cx.detail
+
+
+def test_symbolic_wrong_egress_disproved_sym002(corpus, tmp_path):
+    """Egress-class bug: the post pipeline sends out a hardwired port."""
+    name = "l4_alias_hoist"
+    result = _compile(corpus, name)
+    post = result.switch_program.post
+    block = _block_with(post, irin.Send, exact=True)
+    idx = _index_of(block, irin.Send, exact=True)
+    block.instructions[idx] = irin.SendTo(const_int(7))
+    cx = _sole_confirmed(_prove(corpus, name, result, tmp_path), "SYM002")
+    assert "port" in cx.detail
+
+
+def test_symbolic_field_corruption_disproved_sym003(corpus, tmp_path):
+    """Field-class bug: the pre pipeline stamps a header field the
+    source never writes (the dynamic shape of the remat bug)."""
+    name = "remat_nonp4_into_post"
+    result = _compile(corpus, name)
+    pre = result.switch_program.pre
+    pre.blocks[pre.entry].instructions.insert(
+        0, irin.StorePacketField("ip", "ttl", const_int(13))
+    )
+    cx = _sole_confirmed(_prove(corpus, name, result, tmp_path), "SYM003")
+    assert "ttl" in cx.detail
+
+
+def test_symbolic_state_write_disproved_sym004(corpus, tmp_path):
+    """State-class bug: a server-side register RMW applies the wrong
+    operand, so post-run state diverges from the source's."""
+    name = "stranded_offloaded_register_write"
+    result = _compile(corpus, name)
+    noff = result.plan.non_offloaded
+    block = _block_with(noff, irin.RegisterRMW)
+    idx = _index_of(block, irin.RegisterRMW)
+    inst = block.instructions[idx]
+    block.instructions[idx] = irin.RegisterRMW(
+        inst.dst, inst.state, inst.op, const_int(2)
+    )
+    _sole_confirmed(_prove(corpus, name, result, tmp_path), "SYM004")
+
+
+def test_symbolic_replication_skew_disproved_sym005(corpus, monkeypatch):
+    """Replication-class bug: the switch copy of a replicated table
+    drifts from the server master (§4.3.3 skew).  The data plane forbids
+    the writes that would cause this organically, so the skew is injected
+    into the composed run and the concrete replay stubbed to concur."""
+    from repro.verify.symbolic import prover
+
+    name = "table_stage_erase_insert"
+    result = _compile(corpus, name)
+    table_name = next(
+        n for n, s in result.switch_program.tables.items() if s.replicated
+    )
+    real_run = prover._run_composition
+
+    def skewed(*args, **kwargs):
+        outcome = real_run(*args, **kwargs)
+        if outcome.switch is not None:
+            outcome.switch.tables[table_name].entries.append(((9,), 5))
+        return outcome
+
+    monkeypatch.setattr(prover, "_run_composition", skewed)
+    monkeypatch.setattr(
+        prover, "replay_counterexample",
+        lambda *args, **kwargs: (True, "switch copy diverges from master"),
+    )
+    report = verify_symbolic(result.plan, result.switch_program)
+    assert not report.proved
+    assert "SYM005" in {diag.code for diag in report.errors}
+    cx = report.counterexamples[0]
+    assert cx.code == "SYM005"
+    assert cx.confirmed
+
+
+def test_symbolic_composition_crash_disproved_sym006(corpus, tmp_path):
+    """Crash-class bug: the deployment cannot even install a pre-state
+    the source program handles (table shrunk under its working set)."""
+    name = "table_stage_erase_insert"
+    result = _compile(corpus, name)
+    program = result.switch_program
+    table_name, spec = next(
+        (n, s) for n, s in program.tables.items() if s.replicated
+    )
+    program.tables[table_name] = dataclasses.replace(spec, size=1)
+    report = _prove(corpus, name, result, tmp_path)
+    assert not report.proved
+    assert "SYM006" in {diag.code for diag in report.errors}
+    cx = report.counterexamples[0]
+    assert cx.code == "SYM006"
+    assert cx.confirmed, cx.replay_detail
+
+
+def test_symbolic_unsound_path_reported_sym007(corpus, tmp_path, monkeypatch):
+    """If a symbolic disproof *never* replays concretely, the prover must
+    indict itself (path-condition unsoundness), not the compiler."""
+    from repro.verify.symbolic import prover
+
+    monkeypatch.setattr(
+        prover, "replay_counterexample",
+        lambda *args, **kwargs: (False, "deployment agrees"),
+    )
+    name = "cached_post_register_rmw"
+    result = _compile(corpus, name)
+    post = result.switch_program.post
+    block = _block_with(post, irin.Drop)
+    idx = _index_of(block, irin.Drop)
+    block.instructions[idx] = irin.Send()
+    report = _prove(corpus, name, result, tmp_path)
+    assert not report.proved
+    assert "SYM007" in {diag.code for diag in report.errors}
+    assert not report.counterexamples  # nothing confirmed, nothing saved
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_symbolic_budget_exhaustion_reported_sym008(corpus):
+    """A starved budget must yield an *inconclusive* verdict (SYM008),
+    never a silent pass."""
+    from repro.verify.symbolic import SymbolicBudget
+
+    name = "l4_alias_hoist"
+    result = _compile(corpus, name)
+    budget = SymbolicBudget(max_worlds=1)
+    report = verify_symbolic(result.plan, result.switch_program, budget=budget)
+    assert not report.proved
+    assert report.inconclusive
+    assert {diag.code for diag in report.errors} == {"SYM008"}
+
+
+def test_symbolic_mutations_map_to_distinct_codes():
+    """Acceptance criterion for the translation validator: the five bug
+    classes map to five distinct SYM codes."""
+    codes = {"SYM001", "SYM002", "SYM003", "SYM004", "SYM006"}
+    assert len(codes) == 5
+
+
+def test_symbolic_counterexamples_written_to_corpus(corpus, tmp_path):
+    """Every confirmed disproof lands in the corpus directory as a
+    minimized reproducer that replays to its recorded expectation."""
+    from repro.difftest.corpus import load_corpus as load_dir, replay_entry
+
+    name = "remat_nonp4_into_post"
+    result = _compile(corpus, name)
+    pre = result.switch_program.pre
+    pre.blocks[pre.entry].instructions.insert(
+        0, irin.StorePacketField("ip", "ttl", const_int(13))
+    )
+    report = _prove(corpus, name, result, tmp_path)
+    cx = report.counterexamples[0]
+    assert cx.corpus_path is not None
+    entries = load_dir(tmp_path)
+    assert len(entries) == 1
+    entry = entries[0]
+    assert entry.name.startswith("symbolic_")
+    assert replay_entry(entry).outcome.value == entry.expect
+
+
+def _block_with(function, kind, exact=False):
+    for block in function.blocks.values():
+        for inst in block.instructions:
+            if (type(inst) is kind) if exact else isinstance(inst, kind):
+                return block
+    raise AssertionError(f"no {kind.__name__} in {function.name}")
+
+
+def _index_of(block, kind, exact=False):
+    for idx, inst in enumerate(block.instructions):
+        if (type(inst) is kind) if exact else isinstance(inst, kind):
+            return idx
+    raise AssertionError(f"no {kind.__name__} in block")

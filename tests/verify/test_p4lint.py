@@ -80,6 +80,18 @@ def test_p4l005_table_memory_blowup(program):
     assert "P4L005" in _codes(program)
 
 
+def test_p4l006_dependency_chain_too_deep(program):
+    block = _entry_block(program.pre)
+    prev = const_int(1)
+    chain = []
+    for i in range(program.limits.pipeline_depth + 2):
+        reg = Reg(f"chain{i}", U32)
+        chain.append(irin.BinOp(reg, irin.BinOpKind.ADD, prev, const_int(1)))
+        prev = reg
+    block.instructions[0:0] = chain
+    assert "P4L006" in _codes(program)
+
+
 def test_p4l007_metadata_over_scratchpad(program):
     program.limits = dataclasses.replace(program.limits, metadata_bytes=0)
     assert "P4L007" in _codes(program)
