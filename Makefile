@@ -4,7 +4,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: help test verify symbolic-smoke lint lint-verify difftest \
 	difftest-smoke difftest-compiled faults faults-smoke failover-smoke \
-	telemetry-smoke tenancy-smoke perf perf-smoke benchmarks
+	telemetry-smoke obs-smoke tenancy-smoke perf perf-smoke benchmarks
 
 help:
 	@echo "Targets:"
@@ -21,6 +21,8 @@ help:
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
 	@echo "  failover-smoke  fixed-seed ~60s active-standby failover campaign"
 	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
+	@echo "  obs-smoke       windowed series + INT + health JSON, schema-checked,"
+	@echo "                  byte-identical across re-runs; phi-detector smoke"
 	@echo "  tenancy-smoke   admit 3 middleboxes onto one switch, prove isolation"
 	@echo "  perf            interpreter-vs-compiled timing -> BENCH_6.json"
 	@echo "  perf-smoke      small fixed-seed perf slice + schema + differential check"
@@ -115,6 +117,29 @@ telemetry-smoke:
 		| $(PYTHON) -m repro.telemetry.schema trace -
 	$(PYTHON) -m repro metrics minilb --packets 20 --deployment cached --json \
 		| $(PYTHON) -m repro.telemetry.schema metrics -
+
+# Time-resolved observability smoke (blocking in CI): the obs report —
+# windowed time series, in-band per-hop telemetry, and (on the failover
+# deployment) the phi-accrual health summary — schema-checked on three
+# deployment flavours, proven byte-identical across re-runs on two of
+# them, plus the heartbeat detector's self-check.
+obs-smoke:
+	$(PYTHON) -m repro obs mazunat --packets 25 --json \
+		| $(PYTHON) -m repro.telemetry.schema obs -
+	$(PYTHON) -m repro obs mazunat --packets 25 --deployment failover \
+		--json | $(PYTHON) -m repro.telemetry.schema obs -
+	$(PYTHON) -m repro obs minilb --packets 25 --deployment cached \
+		--json | $(PYTHON) -m repro.telemetry.schema obs -
+	$(PYTHON) -m repro obs mazunat --packets 25 --seed 3 --json > obs_a.json
+	$(PYTHON) -m repro obs mazunat --packets 25 --seed 3 --json > obs_b.json
+	cmp obs_a.json obs_b.json
+	$(PYTHON) -m repro obs minilb --packets 25 --seed 3 \
+		--deployment cached --json > obs_c.json
+	$(PYTHON) -m repro obs minilb --packets 25 --seed 3 \
+		--deployment cached --json > obs_d.json
+	cmp obs_c.json obs_d.json
+	rm -f obs_a.json obs_b.json obs_c.json obs_d.json
+	$(PYTHON) -m repro.telemetry.health
 
 # Multi-tenant smoke: admit the calibrated 3-middlebox set onto one
 # shared switch, run the interleaved workload, and require byte-exact

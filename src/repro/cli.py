@@ -31,6 +31,14 @@ Commands
     enabled and print the event trace (or the schema-checked JSON payload).
 ``metrics <middlebox> [--deployment D] [--packets N] [--json]``
     Same drive with tracing off; print the metrics-registry snapshot.
+``obs <middlebox> [--deployment D] [--packets N] [--window-us W]
+[--sample-every K] [--json]``
+    Time-resolved observability: the same drive with windowed time
+    series (fixed ``W``-microsecond windows on the simulated clock),
+    in-band per-hop telemetry stamped onto every ``K``-th packet and
+    aggregated into per-flow reports, and — on the failover deployment —
+    the φ-accrual health monitor's heartbeat/detection summary.  JSON
+    output is byte-deterministic and schema-checked (``obs`` schema).
 ``faults --runs N --seed S [--summary-json PATH]``
     Fault-injection campaign: replay generated middleboxes under random
     fault schedules and verify, via the fault-aware oracle, that the
@@ -393,7 +401,8 @@ def cmd_perf(args) -> int:
 
 def _build_observed_deployment(name, deployment, seed, cache_entries,
                                tracing, deep, sample_every=None,
-                               punted_only=False):
+                               punted_only=False, series_window_us=None,
+                               int_sample_every=None):
     """Deploy one bundled middlebox with a telemetry bundle attached."""
     from repro.middleboxes import load
     from repro.telemetry import Telemetry
@@ -405,7 +414,9 @@ def _build_observed_deployment(name, deployment, seed, cache_entries,
         )
     telemetry = Telemetry(tracing=tracing, deep=deep,
                           sample_every=sample_every,
-                          punted_only=punted_only)
+                          punted_only=punted_only,
+                          series_window_us=series_window_us,
+                          int_sample_every=int_sample_every)
     bundle = load(name)
     if deployment == "baseline":
         from repro.runtime.baseline import FastClickRuntime
@@ -540,6 +551,96 @@ def cmd_metrics(args) -> int:
             )
             if buckets:
                 print(f"  {'':<40s} {buckets}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    import json
+
+    from repro.telemetry.schema import check
+
+    if args.sample_every < 1:
+        raise SystemExit("error: --sample-every must be >= 1")
+    if args.window_us <= 0:
+        raise SystemExit("error: --window-us must be positive")
+    middlebox, telemetry = _build_observed_deployment(
+        args.target, args.deployment, args.seed, args.cache_entries,
+        tracing=False, deep=False,
+        series_window_us=args.window_us,
+        int_sample_every=args.sample_every,
+    )
+    telemetry.series.promote_defaults()
+    count = _drive_stream(middlebox, args.target, args.packets)
+    series = telemetry.series.to_dict()
+    int_report = telemetry.int_collector.to_dict()
+    health = None
+    monitor = getattr(middlebox, "health", None)
+    if monitor is not None:
+        from repro.telemetry.health import expected_detection_latency_us
+
+        latency = monitor.detection_latency_us
+        health = {
+            "interval_us": round(monitor.config.interval_us, 6),
+            "threshold": round(monitor.config.threshold, 6),
+            "min_std_us": round(monitor.config.min_std_us, 6),
+            "window": monitor.config.window,
+            "heartbeats": telemetry.metrics.counter_value(
+                "health.heartbeats"
+            ),
+            "detections": telemetry.metrics.counter_value(
+                "health.detections"
+            ),
+            "forced_detections": telemetry.metrics.counter_value(
+                "health.forced_detections"
+            ),
+            "expected_bound_us": round(
+                expected_detection_latency_us(monitor.config), 3
+            ),
+            "detection_latency_us": (
+                round(latency, 3) if latency is not None else None
+            ),
+        }
+    if args.json:
+        payload = {
+            "version": 1,
+            "middlebox": args.target,
+            "deployment": args.deployment,
+            "seed": args.seed,
+            "packets": count,
+            "window_us": round(args.window_us, 6),
+            "sample_every": args.sample_every,
+            "series": series,
+            "int": int_report,
+            "health": health,
+        }
+        check(payload, "obs", what="obs report")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"# {args.target} [{args.deployment}] — {count} packets,"
+          f" window {args.window_us:g} µs,"
+          f" INT sample 1/{args.sample_every}")
+    print("series:")
+    for name, entry in series["series"].items():
+        windows = entry["windows"]
+        span = (f"windows {windows[0]['index']}-{windows[-1]['index']}"
+                if windows else "quiet")
+        print(f"  {name:<36s} {entry['kind']:<10s}"
+              f" {len(windows):3d} active ({span})")
+    print("flows:")
+    for flow in int_report["flows"]:
+        hops = ", ".join(
+            f"{hop}={spec['latency_us']:.3f}µs"
+            for hop, spec in flow["hops"].items()
+        )
+        print(f"  {flow['flow']:<34s} {flow['packets']:3d} pkts,"
+              f" {flow['punts']} punts — {hops}")
+    if health is not None:
+        latency = health["detection_latency_us"]
+        print(f"health: {health['heartbeats']} heartbeats,"
+              f" {health['detections']} detections,"
+              f" latency "
+              + (f"{latency:.3f} µs" if latency is not None else "n/a")
+              + f" (bound {health['expected_bound_us']:.3f} µs)")
     return 0
 
 
@@ -761,6 +862,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observe_args(metrics_parser)
     metrics_parser.set_defaults(func=cmd_metrics)
+
+    obs_parser = sub.add_parser(
+        "obs", help="time-resolved observability: windowed series +"
+        " in-band per-hop telemetry (+ health, on failover)"
+    )
+    _add_observe_args(obs_parser)
+    obs_parser.add_argument("--window-us", type=float, default=100.0,
+                            metavar="US",
+                            help="series window width in simulated µs")
+    obs_parser.add_argument("--sample-every", type=int, default=1,
+                            metavar="N",
+                            help="stamp INT metadata on every Nth packet")
+    obs_parser.set_defaults(func=cmd_obs)
 
     list_parser = sub.add_parser("list", help="list bundled middleboxes")
     list_parser.set_defaults(func=cmd_list)

@@ -455,9 +455,15 @@ def failover_recovery(
     which runs the whole program in software: the deployment temporarily
     degrades from Gallium throughput to single-core baseline throughput.
 
-    This table prices the window through the capacity model.  Detection
-    time is swept (supervisor heartbeat intervals); the resync cost comes
-    from the Table-3 batch-latency model over the program's actual
+    This table prices the window through the capacity model.  The first
+    row uses the **measured** φ-accrual detection latency — a seeded
+    failover run with a primary crash, timed from the crash packet to
+    the heartbeat monitor crossing its φ threshold
+    (:func:`repro.telemetry.health.measure_detection_latency`) — so the
+    promotion window is costed from the detector the deployment actually
+    runs.  The swept rows keep coarser supervisor heartbeat intervals as
+    the exact-boundary reference.  The resync cost comes from the
+    Table-3 batch-latency model over the program's actual
     switch-resident tables.  *Effective Gbps* time-weights the degraded
     window against the normal rate over a ``incident_window_s`` incident,
     and *Shed Gbps·ms* is the capacity lost while the window is open —
@@ -506,14 +512,15 @@ def failover_recovery(
     ]
     rows = []
     incident_ms = incident_window_s * 1000.0
-    for detect_ms in (1.0, 10.0, 50.0):
+
+    def price(label: str, detect_ms: float, metric_prefix: str) -> None:
         window_ms = detect_ms + resync_us / 1000.0
         shed = max(0.0, normal - window) * window_ms
         effective = normal - (normal - window) * min(
             1.0, window_ms / incident_ms
         )
         rows.append([
-            f"detect={detect_ms:g}ms tables={switch_tables}",
+            label,
             round(resync_us, 1),
             round(window_ms, 3),
             round(normal, 2),
@@ -522,12 +529,36 @@ def failover_recovery(
             round(effective, 2),
         ])
         if metrics is not None:
-            prefix = f"failover.detect_{detect_ms:g}ms"
-            metrics.gauge(f"{prefix}.window_ms").set(round(window_ms, 4))
-            metrics.gauge(f"{prefix}.effective_gbps").set(
+            metrics.gauge(f"{metric_prefix}.window_ms").set(
+                round(window_ms, 4)
+            )
+            metrics.gauge(f"{metric_prefix}.effective_gbps").set(
                 round(effective, 3)
             )
-            metrics.gauge(f"{prefix}.shed_gbps_ms").set(round(shed, 3))
+            metrics.gauge(f"{metric_prefix}.shed_gbps_ms").set(
+                round(shed, 3)
+            )
+
+    # Measured detection: the φ-accrual monitor on a seeded crash run.
+    from repro.telemetry.health import measure_detection_latency
+
+    measured = measure_detection_latency(name=name)
+    measured_ms = measured["detection_latency_us"] / 1000.0
+    price(
+        f"measured φ detect={measured['detection_latency_us']:g}µs"
+        f" tables={switch_tables}",
+        measured_ms, "failover.detect_measured",
+    )
+    if metrics is not None:
+        metrics.gauge("failover.detect_measured.latency_us").set(
+            round(measured["detection_latency_us"], 3)
+        )
+    # Exact-boundary reference sweep: coarser supervisor heartbeats.
+    for detect_ms in (1.0, 10.0, 50.0):
+        price(
+            f"detect={detect_ms:g}ms tables={switch_tables} (reference)",
+            detect_ms, f"failover.detect_{detect_ms:g}ms",
+        )
     return header, rows
 
 

@@ -120,6 +120,52 @@ def _run_gallium(lowered, stream, seed: int, fast_path: bool) -> float:
     return _timed_loop(stream, deployment.process_packet)
 
 
+def _histogram_observe_microbench(observations: int = 200_000) -> dict:
+    """Time ``Histogram.observe`` (bisect) against a linear-scan
+    reference over the instruction-bounds bucket layout.
+
+    The histogram sits on every packet's hot path (latency, instruction
+    counts, INT hop latencies), so its bucket search was switched from a
+    linear scan to ``bisect_left``.  This micro-benchmark keeps the
+    change honest: identical bucket counts, and the payload records the
+    measured ratio (informational — it never gates ``pass``).
+    """
+    from repro.telemetry.metrics import INSTRUCTION_BOUNDS, Histogram
+
+    bounds = INSTRUCTION_BOUNDS
+    values = [
+        float((i * 2_654_435_761) % 4_096) for i in range(observations)
+    ]
+
+    hist = Histogram("bench.bisect", bounds)
+    started = time.perf_counter()
+    for value in values:
+        hist.observe(value)
+    bisect_s = time.perf_counter() - started
+
+    linear_counts = [0] * (len(bounds) + 1)
+    started = time.perf_counter()
+    for value in values:
+        for position, bound in enumerate(bounds):
+            if value <= bound:
+                linear_counts[position] += 1
+                break
+        else:
+            linear_counts[len(bounds)] += 1
+    linear_s = time.perf_counter() - started
+
+    assert hist.bucket_counts == linear_counts, (
+        "bisect bucketing diverged from the linear-scan reference"
+    )
+    return {
+        "observations": observations,
+        "buckets": len(bounds) + 1,
+        "bisect_s": round(bisect_s, 4),
+        "linear_s": round(linear_s, 4),
+        "speedup": round(linear_s / bisect_s, 2) if bisect_s else 0.0,
+    }
+
+
 def run_perf(
     middlebox: str = DEFAULT_MIDDLEBOX,
     packets: int = DEFAULT_PACKETS,
@@ -176,10 +222,19 @@ def run_perf(
         "thresholds": {"min_speedup": MIN_SPEEDUP},
         "pass": speedups["engine"] >= MIN_SPEEDUP
         and speedups["baseline"] >= MIN_SPEEDUP,
+        # Informational hot-path micro-benchmark (never gates "pass"):
+        # Histogram.observe's bisect bucket search vs. the old linear scan.
+        "microbench": {
+            "histogram_observe": _histogram_observe_microbench(),
+        },
     }
     say("speedups: " + ", ".join(
         f"{name}={ratio:.2f}x" for name, ratio in speedups.items()
     ))
+    micro = payload["microbench"]["histogram_observe"]
+    say(f"histogram.observe micro-bench: bisect {micro['bisect_s']}s vs"
+        f" linear {micro['linear_s']}s ({micro['speedup']:.2f}x,"
+        f" {micro['observations']} observations)")
     return payload
 
 

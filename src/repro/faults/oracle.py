@@ -201,6 +201,7 @@ def run_fault_oracle(
     cached: bool = False,
     cache_entries: int = 2,
     failover: bool = False,
+    detection: str = "phi",
     provenance: bool = True,
     _telemetry: Optional[tuple] = None,
 ) -> FaultOracleResult:
@@ -216,6 +217,14 @@ def run_fault_oracle(
     deployment, and the ``("promote",)`` effect-log tag replays as a
     no-op — the promotion resync leaves the pair exactly where a healthy
     single switch would be, which is precisely the property under test.
+
+    ``detection`` picks the failover DUT's crash detector: ``"phi"``
+    (default) drives promotion from the φ-accrual heartbeat monitor —
+    the promotion window's length is the *measured* detection latency —
+    while ``"exact"`` keeps the fault-window-boundary oracle reference.
+    Both replay cleanly: the reference replays the DUT's own effect log,
+    so a φ-extended window simply contributes more ``("fallback", ...)``
+    entries.
 
     ``cached`` and ``failover`` compose: the deployment under test becomes
     the :class:`CachedFailoverDeployment` (bounded tables over an
@@ -258,7 +267,8 @@ def run_fault_oracle(
             box = CachedFailoverDeployment(
                 plan, program, cache_entries=cache_entries,
                 port_pairs=dict(DEFAULT_PORT_PAIRS),
-                config=config, seed=deployment_seed, **kwargs,
+                config=config, seed=deployment_seed,
+                detection=detection, **kwargs,
             )
         elif cached:
             box = CachedGalliumMiddlebox(
@@ -269,7 +279,8 @@ def run_fault_oracle(
         elif failover_dut:
             box = FailoverDeployment(
                 plan, program, port_pairs=dict(DEFAULT_PORT_PAIRS),
-                config=config, seed=deployment_seed, **kwargs,
+                config=config, seed=deployment_seed,
+                detection=detection, **kwargs,
             )
         else:
             box = GalliumMiddlebox(
@@ -381,6 +392,7 @@ def run_fault_oracle(
             injector_seed=injector_seed, deployment_seed=deployment_seed,
             limits=limits, config=config, verify_packets=verify_packets,
             cached=cached, cache_entries=cache_entries, failover=failover,
+            detection=detection,
         )
     return result
 

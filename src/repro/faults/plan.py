@@ -53,6 +53,15 @@ Failover fault classes (active-standby deployments only)
 Failover plans are generated with ``generate_plan(..., failover=True)``
 and never mix in server crashes, switch reprogramming, or punt
 reordering — those assume a single-switch deployment.
+
+Tenancy fault classes (multi-tenant deployments only)
+-----------------------------------------------------
+:class:`TenantLinkFault`
+    A :class:`LinkFault` scoped to one named tenant of a
+    :class:`~repro.tenancy.deployment.MultiTenantDeployment`: only that
+    tenant's punt-path frames are at risk.  The isolation oracle pins
+    that the faulted tenant degrades exactly as it would solo under the
+    same faults, while every co-resident tenant stays byte-exact clean.
 """
 
 from __future__ import annotations
@@ -174,6 +183,28 @@ class StandbyStaleReplay:
         return _in_window(index, self.start, self.stop)
 
 
+@dataclass(frozen=True)
+class TenantLinkFault:
+    kind = "tenant_link"
+    tenant: str = ""
+    direction: str = "to_server"  # "to_server" | "to_switch"
+    mode: str = "loss"  # "loss" | "corrupt"
+    probability: float = 0.1
+    start: int = 0
+    stop: Optional[int] = None
+
+    def active(self, index: int) -> bool:
+        return _in_window(index, self.start, self.stop)
+
+    def as_link_fault(self) -> "LinkFault":
+        """The equivalent unscoped fault, for the tenant's own injector
+        (and for replaying the tenant solo under identical conditions)."""
+        return LinkFault(
+            direction=self.direction, mode=self.mode,
+            probability=self.probability, start=self.start, stop=self.stop,
+        )
+
+
 def _in_window(index: int, start: int, stop: Optional[int]) -> bool:
     return index >= start and (stop is None or index < stop)
 
@@ -185,6 +216,7 @@ FAULT_KINDS: Dict[str, Type] = {
         LinkFault, BatchFault, WritebackOverflow, ServerCrash,
         SwitchReprogram, StaleReplication, PuntReorder,
         PrimarySwitchCrash, CrashDuringBatch, StandbyStaleReplay,
+        TenantLinkFault,
     )
 }
 
@@ -207,6 +239,9 @@ FAILOVER_FAULT_KINDS: Tuple[str, ...] = (
 #: reprogramming windows, and punt reordering are excluded: they assume a
 #: single-switch deployment (and the reference replay models them so).
 FAILOVER_EXTRA_KINDS: Tuple[str, ...] = ("link", "batch", "stale", "overflow")
+
+#: kinds exclusive to multi-tenant deployments (tenant-scoped faults).
+TENANCY_FAULT_KINDS: Tuple[str, ...] = ("tenant_link",)
 
 
 @dataclass(frozen=True)
@@ -296,6 +331,11 @@ def _describe(spec) -> str:
         return (
             f"standby stale replay p={spec.probability}"
             f" [{spec.start},{spec.stop})"
+        )
+    if isinstance(spec, TenantLinkFault):
+        return (
+            f"tenant {spec.tenant!r} link {spec.mode} {spec.direction}"
+            f" p={spec.probability} [{spec.start},{spec.stop})"
         )
     return repr(spec)
 

@@ -66,6 +66,9 @@ class FastClickRuntime:
         self._h_latency = self.telemetry.metrics.histogram(
             "latency.end_to_end_us"
         )
+        # Time-resolved layer (None when off — same discipline as tracer).
+        self._series = self.telemetry.active_series
+        self._int = self.telemetry.active_int
 
     @classmethod
     def from_source(cls, source: str, **kwargs) -> "FastClickRuntime":
@@ -82,9 +85,13 @@ class FastClickRuntime:
 
         tracer = self.telemetry.active_tracer
         self.telemetry.clock.advance(PACKET_GAP_US)
+        if self._series is not None:
+            self._series.roll()
         if tracer is not None:
             tracer.begin_packet(self.packets_processed)
             tracer.set_component("server")
+        if self._int is not None:
+            self._int.begin_packet(self.packets_processed, packet)
         packet.ingress_port = ingress_port
         view = PacketView(packet)
         if self._engine is not None:
@@ -109,8 +116,16 @@ class FastClickRuntime:
                 "verdict", verdict=verdict,
                 port=(result.egress_port or 0) if verdict == "send" else 0,
             )
-        return BaselineResult(
+        baseline_result = BaselineResult(
             verdict=verdict,
             egress_port=result.egress_port,
             instructions=result.instructions_executed,
         )
+        if self._int is not None:
+            # The whole program ran on the server: one hop.
+            self._int.stamp(
+                packet, "server", result.instructions_executed,
+                result.instructions_executed * SERVER_INSTR_US,
+            )
+            self._int.collect(baseline_result)
+        return baseline_result

@@ -169,12 +169,16 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
         self.packets_processed += 1
         tracer = self.telemetry.active_tracer
         self.telemetry.clock.advance(PACKET_GAP_US)
+        if self._series is not None:
+            self._series.roll()
         if tracer is not None:
             tracer.begin_packet(index)
+        if self._int is not None:
+            self._int.begin_packet(index, packet)
         wire_bytes = packet.wire_length()
         if self.faults_armed:
             journey = self._process_with_faults(packet, ingress_port, index)
-            self._observe_latency(journey, wire_bytes)
+            self._finish_journey(journey, wire_bytes)
             return journey
         pristine = packet.copy()  # the switch's clone, taken at ingress
         mark = tracer.mark() if tracer is not None else 0
@@ -189,7 +193,7 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
-            self._observe_latency(journey, wire_bytes)
+            self._finish_journey(journey, wire_bytes)
             return journey
         if tracer is not None:
             # The pre pipeline's work is speculative on a miss: the server
@@ -209,7 +213,7 @@ class CachedGalliumMiddlebox(GalliumMiddlebox):
             sync_wait_us=completion.sync_wait_us,
             sync_tables=completion.sync_tables,
         )
-        self._observe_latency(journey, wire_bytes)
+        self._finish_journey(journey, wire_bytes)
         return journey
 
     def _punt_frame(

@@ -43,7 +43,9 @@ class CachedFailoverDeployment(CachedGalliumMiddlebox, FailoverDeployment):
     def process_packet(self, packet, ingress_port: int = 1) -> PacketJourney:
         # Cached's packet path (pristine-clone punts), then Failover's
         # per-packet register checkpoint — see the module docstring for
-        # why this cannot be left to the MRO.
+        # why this cannot be left to the MRO.  The heartbeat tick must
+        # also be re-stated here for the same reason.
+        self._health_tick()
         journey = CachedGalliumMiddlebox.process_packet(
             self, packet, ingress_port
         )

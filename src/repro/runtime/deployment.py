@@ -165,6 +165,9 @@ class GalliumMiddlebox:
         #: component of this deployment side.
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._tracer = self.telemetry.active_tracer
+        # Time-resolved layer (None when off — same discipline as _tracer).
+        self._series = self.telemetry.active_series
+        self._int = self.telemetry.active_int
         self.switch = SwitchModel(
             program, server_port=server_port, port_pairs=port_pairs,
             seed=seed, telemetry=self.telemetry, fast_path=fast_path,
@@ -287,12 +290,16 @@ class GalliumMiddlebox:
         index = self.packets_processed
         self.packets_processed += 1
         self.telemetry.clock.advance(PACKET_GAP_US)
+        if self._series is not None:
+            self._series.roll()
         if self._tracer is not None:
             self._tracer.begin_packet(index)
+        if self._int is not None:
+            self._int.begin_packet(index, packet)
         wire_bytes = packet.wire_length()
         if self.faults_armed:
             journey = self._process_with_faults(packet, ingress_port, index)
-            self._observe_latency(journey, wire_bytes)
+            self._finish_journey(journey, wire_bytes)
             return journey
         first = self.switch.receive(packet, ingress_port)
         if not first.punted:
@@ -302,7 +309,7 @@ class GalliumMiddlebox:
                 fast_path=True,
                 pre_instructions=first.pipeline_instructions,
             )
-            self._observe_latency(journey, wire_bytes)
+            self._finish_journey(journey, wire_bytes)
             return journey
         # Slow path: server handles the punted packet.
         assert first.emitted and first.emitted[0][0] == self.server_port
@@ -318,8 +325,16 @@ class GalliumMiddlebox:
             sync_wait_us=completion.sync_wait_us,
             sync_tables=completion.sync_tables,
         )
-        self._observe_latency(journey, wire_bytes)
+        self._finish_journey(journey, wire_bytes)
         return journey
+
+    def _finish_journey(self, journey: "PacketJourney",
+                        wire_bytes: int) -> None:
+        """Per-journey bookkeeping shared by every exit of
+        :meth:`process_packet`: latency observation plus the INT sink."""
+        self._observe_latency(journey, wire_bytes)
+        if self._int is not None:
+            self._int.collect(journey, queue_depth=len(self._punt_queue))
 
     def _observe_latency(self, journey: "PacketJourney",
                          wire_bytes: int) -> None:
@@ -424,7 +439,10 @@ class GalliumMiddlebox:
         injector.begin_packet(index)
         self._advance_windows(index)
         pristine = packet.copy()
-        if injector.switch_down(index):
+        # A still-active fallback window (the detector hasn't declared the
+        # primary dead yet — see _fallback_may_exit) keeps packets on the
+        # server path even after the injected outage itself has ended.
+        if self._fallback_active or injector.switch_down(index):
             if injector.server_down(index):
                 return self._degrade(
                     pristine, ingress_port, index, "total_outage"
@@ -677,6 +695,17 @@ class GalliumMiddlebox:
         if self._tracer is not None:
             self._tracer.record("switch_resync", component="deployment")
 
+    def _fallback_may_exit(self) -> bool:
+        """Whether the deployment may leave an open fallback window once
+        the injected outage has ended.
+
+        Hook: the base deployment exits at the exact window boundary
+        (detection is free); the failover deployment overrides this to
+        gate promotion on its φ-accrual health detector, making detection
+        latency a measured quantity.
+        """
+        return True
+
     def _pull_switch_registers(self) -> None:
         """Copy switch-authoritative register values into server state
         (entering fallback, and after a server restart)."""
@@ -737,7 +766,11 @@ class GalliumMiddlebox:
         """Fire window-edge transitions (recovery actions) for packet
         ``index``: switch reprogram completion and server restart."""
         injector = self.injector
-        if self._fallback_active and not injector.switch_down(index):
+        if (
+            self._fallback_active
+            and not injector.switch_down(index)
+            and self._fallback_may_exit()
+        ):
             self._exit_fallback()
         server_down = injector.server_down(index)
         if server_down and not self._server_was_down:

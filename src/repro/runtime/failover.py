@@ -34,22 +34,53 @@ and tracer.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.partition.plan import PlacementKind
 from repro.runtime.deployment import GalliumMiddlebox
 from repro.switchsim.control_plane import UpdateBatchError
 from repro.switchsim.switch_model import SwitchModel
+from repro.telemetry.health import HealthConfig, HealthMonitor
 
 #: XOR'd into the deployment seed to derive the standby's jitter seed.
 _STANDBY_SALT = 0x57B1
 
+#: Supported detection modes: ``"phi"`` (measured, heartbeat-driven) and
+#: ``"exact"`` (the legacy free-and-exact window boundary, kept as the
+#: oracle reference).
+DETECTION_MODES = ("phi", "exact")
+
 
 class FailoverDeployment(GalliumMiddlebox):
-    """Gallium deployment over an active-standby switch pair."""
+    """Gallium deployment over an active-standby switch pair.
 
-    def __init__(self, plan, program, **kwargs):
+    ``detection`` selects how a primary crash is *noticed*: ``"phi"``
+    (the default) runs a heartbeat-driven φ-accrual detector
+    (:class:`~repro.telemetry.health.HealthMonitor`) so the promotion
+    window lasts until the detector actually declares the primary dead —
+    detection latency becomes a measured metric
+    (``health.detection_latency_us``); ``"exact"`` promotes at the fault
+    window's packet boundary exactly as before (detection is free), which
+    the experiments keep as the oracle reference.
+    """
+
+    def __init__(self, plan, program, detection: str = "phi",
+                 health_config: Optional[HealthConfig] = None, **kwargs):
+        if detection not in DETECTION_MODES:
+            raise ValueError(
+                f"detection must be one of {DETECTION_MODES}, got"
+                f" {detection!r}"
+            )
         super().__init__(plan, program, **kwargs)
+        self.detection = detection
+        self.health: Optional[HealthMonitor] = (
+            HealthMonitor(
+                self.telemetry.metrics,
+                health_config if health_config is not None
+                else HealthConfig(),
+            )
+            if detection == "phi" else None
+        )
         self.standby = SwitchModel(
             program,
             server_port=self.server_port,
@@ -92,6 +123,7 @@ class FailoverDeployment(GalliumMiddlebox):
     # -- the packet path -------------------------------------------------------
 
     def process_packet(self, packet, ingress_port: int = 1):
+        self._health_tick()
         journey = super().process_packet(packet, ingress_port)
         if not self._fallback_active:
             # Checkpoint the active switch's data-plane registers after
@@ -100,6 +132,12 @@ class FailoverDeployment(GalliumMiddlebox):
             # declares the primary dead at the next packet boundary.
             self._checkpoint_registers()
         return journey
+
+    def _health_tick(self) -> None:
+        """Synthesize the control-channel heartbeats due by now (no-op in
+        ``"exact"`` mode and while the primary is crashed)."""
+        if self.health is not None:
+            self.health.beat_until(self.telemetry.clock.now_us)
 
     def _checkpoint_registers(self) -> None:
         for name, placement in self.plan.placements.items():
@@ -167,10 +205,23 @@ class FailoverDeployment(GalliumMiddlebox):
                     self.state.scalars[name] = (
                         self._register_checkpoint[name]
                     )
+        if self.health is not None:
+            # Ground truth for the detector's latency measurement; the
+            # detector itself only learns of it through missing beats.
+            self.health.mark_crashed(self.telemetry.clock.now_us)
         if self._tracer is not None:
             self._tracer.record(
                 "failover_window_open", component="failover"
             )
+
+    def _fallback_may_exit(self) -> bool:
+        # φ mode: promotion waits for the detector to actually declare the
+        # primary dead — the window extends past the injected outage by
+        # the measured detection latency.  Exact mode: free detection at
+        # the window boundary, as before.
+        if self.health is None:
+            return True
+        return self.health.crash_detected(self.telemetry.clock.now_us)
 
     def _exit_fallback(self) -> None:
         self._promote()
@@ -178,12 +229,28 @@ class FailoverDeployment(GalliumMiddlebox):
         self.fault_log.append(("promote",))
         self.accounting.switch_resyncs += 1
         self._fallback_active = False
+        if self.health is not None:
+            # The promoted standby takes over the heartbeat stream.
+            self.health.revive(self.telemetry.clock.now_us)
         if self._tracer is not None:
             self._tracer.record(
                 "failover_promote", component="failover",
                 replays=self._c_replayed.value,
                 dropped=self._c_replay_dropped.value,
             )
+
+    def recover(self) -> None:
+        """End-of-run recovery: if the stream ended inside an undetected
+        promotion window, force the detection (booked separately as
+        ``health.forced_detections``) so the promotion still happens and
+        post-recovery equivalence can be checked."""
+        if (
+            self.health is not None
+            and self._fallback_active
+            and self.faults_armed
+        ):
+            self.health.force_detect(self.telemetry.clock.now_us)
+        super().recover()
 
     def _promote(self) -> None:
         """The standby becomes the active switch."""

@@ -108,6 +108,15 @@ class SwitchModel:
                                         INSTRUCTION_BOUNDS)
         self._h_post = metrics.histogram("switch.post_instructions",
                                          INSTRUCTION_BOUNDS)
+        # In-band telemetry source (None when INT is off).
+        self._int = self.telemetry.active_int
+
+    def _int_stamp(self, packet: RawPacket, hop: str, instructions: int,
+                   latency_us: float, punted: bool = False) -> None:
+        """Append one INT record to a sampled packet (no-op otherwise)."""
+        if self._int is not None and self._int.stamping:
+            self._int.stamp(packet, hop, instructions, latency_us,
+                            punted=punted)
 
     @property
     def fast_path_packets(self) -> int:
@@ -153,6 +162,11 @@ class SwitchModel:
         result = self._pre.run(view)
         clock.advance(result.instructions * SWITCH_INSTR_US)
         self._h_pre.observe(result.instructions)
+        self._int_stamp(
+            packet, "switch.pre", result.instructions,
+            PARSE_US + result.instructions * SWITCH_INSTR_US,
+            punted=result.verdict not in ("send", "drop"),
+        )
         if result.verdict == "send":
             self._c_fast.inc()
             port = self._resolve_egress(result.egress_port, ingress_port)
@@ -207,6 +221,7 @@ class SwitchModel:
             # only applies it, so this is not a second semantic verdict.
             if tracer is not None:
                 tracer.record("apply_verdict", verdict="drop")
+            self._int_stamp(packet, "switch.post", 0, 0.0)
             return SwitchOutput(dropped=True)
         if verdict_flag == FLAG_VERDICT_SEND:
             port = self._resolve_egress(
@@ -214,6 +229,7 @@ class SwitchModel:
             )
             if tracer is not None:
                 tracer.record("apply_verdict", verdict="send", port=port)
+            self._int_stamp(packet, "switch.post", 0, 0.0)
             return SwitchOutput(emitted=[(port, packet)])
         # No verdict yet: run the post-processing pipeline with the
         # packet's original ingress annotation restored.
@@ -227,6 +243,10 @@ class SwitchModel:
         result = self._post.run(view, initial_env=env)
         self.telemetry.clock.advance(result.instructions * SWITCH_INSTR_US)
         self._h_post.observe(result.instructions)
+        self._int_stamp(
+            packet, "switch.post", result.instructions,
+            result.instructions * SWITCH_INSTR_US,
+        )
         if result.verdict == "drop":
             self._c_dropped.inc()
             if tracer is not None:

@@ -11,6 +11,7 @@ the same seeds serialize to byte-identical JSON.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Default bucket upper bounds (µs) for latency-style histograms.
@@ -80,7 +81,9 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.sum = 0.0
-        self.max_observed = 0.0
+        # -inf, not 0.0: an all-negative observation stream must report
+        # its true (negative) maximum, not a phantom zero.
+        self.max_observed = float("-inf")
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -88,11 +91,10 @@ class Histogram:
         self.sum += value
         if value > self.max_observed:
             self.max_observed = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # bisect_left over the sorted inclusive upper bounds lands value
+        # in the first bucket with value <= bound; an overflow observation
+        # returns len(bounds), which is exactly the overflow bucket index.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -181,6 +183,21 @@ class MetricsRegistry:
                 raise ValueError(
                     f"metric {name!r} already registered as another type"
                 )
+
+    def lookup(self, name: str) -> Optional[Tuple[str, object]]:
+        """``("counter" | "gauge" | "histogram", metric)`` for a
+        registered name, or ``None`` — the time-series layer promotes
+        *existing* metrics and must never create them as a side effect."""
+        metric = self._counters.get(name)
+        if metric is not None:
+            return ("counter", metric)
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return ("gauge", gauge)
+        histogram = self._histograms.get(name)
+        if histogram is not None:
+            return ("histogram", histogram)
+        return None
 
     def counters_with_prefix(self, prefix: str) -> Iterator[Counter]:
         """Counters whose name starts with ``prefix``, sorted by name."""

@@ -188,23 +188,57 @@ class MultiTenantDeployment:
         seed: int = 0,
         tracing: bool = False,
         fast_path: bool = False,
+        fault_plan=None,
+        injector_seed: int = 0,
+        policy=None,
+        series_window_us: Optional[float] = None,
     ):
         self.allocator = SwitchResourceAllocator(budget)
         self.admission = self.allocator.admit(specs)
         self.seed = seed
+        self.fault_plan = fault_plan
         #: the one shared control-plane pipe (the M/M/1 FIFO)
         self.channel = RpcChannel()
         by_name = {spec.name: spec for spec in specs}
         tenants: List[TenantRuntime] = []
         for placement in self.admission.admitted:
             spec = by_name[placement.name]
+            injector = None
+            tenant_policy = policy
+            if fault_plan is not None:
+                # Tenant-scoped faults: only the named tenant gets an
+                # injector at all — isolation of the *unfaulted* tenants
+                # is by construction, and the oracle then proves the
+                # byte-level consequence.
+                from repro.tenancy.faults import (
+                    scoped_plan,
+                    tenant_injector_seed,
+                )
+
+                scoped = scoped_plan(fault_plan, spec.name)
+                if scoped.faults:
+                    from repro.faults.injector import FaultInjector
+                    from repro.runtime.degradation import DegradationPolicy
+
+                    tenant_policy = policy or DegradationPolicy()
+                    injector = FaultInjector(
+                        scoped,
+                        seed=tenant_injector_seed(injector_seed, spec.name),
+                        max_attempts=tenant_policy.retry.max_attempts,
+                    )
             middlebox = GalliumMiddlebox(
                 spec.plan,
                 spec.program,
                 config=spec.config,
                 seed=seed,
-                telemetry=Telemetry(tracing=tracing),
+                telemetry=Telemetry(
+                    tracing=tracing,
+                    series_window_us=series_window_us,
+                    series_tenant=spec.name,
+                ),
                 fast_path=fast_path,
+                policy=tenant_policy,
+                injector=injector,
             )
             # Share the RPC pipe; everything else stays per-tenant.
             middlebox.switch.control_plane.attach_channel(self.channel)

@@ -77,6 +77,8 @@ class IsolationResult:
     channel: Dict[str, dict] = field(default_factory=dict)
     #: per-tenant switch counters from the multi-tenant run
     counters: Dict[str, dict] = field(default_factory=dict)
+    #: faults actually injected, by kind (tenant-scoped runs only)
+    injected: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -109,14 +111,33 @@ def run_solo(
     packets: int,
     seed: int = 0,
     fast_path: bool = False,
+    fault_plan=None,
+    injector_seed: int = 0,
+    policy=None,
+    workload: Optional[IperfWorkload] = None,
 ) -> Tuple[List[PacketJourney], dict]:
     """One tenant's reference run: alone on its own switch.
 
     Compiles fresh (compilation is deterministic, and sharing compiled
     objects with the multi-tenant run could let one side's mutations
     leak into the other — the exact thing the oracle must not assume).
+
+    With ``fault_plan`` the solo run executes the given (already
+    unscoped) plan under ``injector_seed`` — the fault-isolation
+    oracle's reference for a faulted tenant, which must degrade
+    *identically* to the tenant's multi-tenant run.
     """
     (spec,) = build_tenant_specs([name])
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+        from repro.runtime.degradation import DegradationPolicy
+
+        policy = policy or DegradationPolicy()
+        injector = FaultInjector(
+            fault_plan, seed=injector_seed,
+            max_attempts=policy.retry.max_attempts,
+        )
     middlebox = GalliumMiddlebox(
         spec.plan,
         spec.program,
@@ -124,10 +145,14 @@ def run_solo(
         seed=seed,
         telemetry=Telemetry(),
         fast_path=fast_path,
+        policy=policy,
+        injector=injector,
     )
     middlebox.install()
     journeys = []
-    stream = islice(middlebox_stream(name, IperfWorkload()), packets)
+    stream = islice(
+        middlebox_stream(name, workload or IperfWorkload()), packets
+    )
     for packet, ingress_port in stream:
         journeys.append(middlebox.process_packet(packet, ingress_port))
     return journeys, deployment_state_snapshot(middlebox)

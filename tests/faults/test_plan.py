@@ -81,6 +81,7 @@ class TestSerialization:
         assert set(ALL_FAULT_KINDS) == {
             "link", "batch", "overflow", "crash", "reprogram", "stale",
             "reorder", "switch_crash", "crash_batch", "standby_stale",
+            "tenant_link",
         }
 
 

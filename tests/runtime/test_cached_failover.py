@@ -30,7 +30,7 @@ from tests.conftest import get_bundle
 from tests.faults.test_cached_faults import MAP_SOURCE
 
 
-def build(cache_entries=2, plan=None, injector_seed=0):
+def build(cache_entries=2, plan=None, injector_seed=0, detection="phi"):
     bundle = get_bundle("minilb")
     partition_plan, program = compile_middlebox(bundle.lowered)
     policy = DegradationPolicy()
@@ -43,6 +43,7 @@ def build(cache_entries=2, plan=None, injector_seed=0):
     box = CachedFailoverDeployment(
         partition_plan, program, cache_entries=cache_entries,
         config=bundle.config, policy=policy, injector=injector,
+        detection=detection,
     )
     box.install()
     box.state.vectors["backends"] = [
@@ -87,7 +88,7 @@ class TestComposition:
     def test_promotion_rebuilds_bounded_cache_and_fifo(self):
         crash = FaultPlan((PrimarySwitchCrash(at_packet=4, promotion_window=2),))
         box = build(cache_entries=2, plan=crash)
-        drive(box, 10)
+        drive(box, 14)  # φ detection extends the window past the nominal 2
         assert box.promoted
         assert box.standby is None
         # The promoted switch carries a well-formed bounded cache: within
@@ -103,17 +104,17 @@ class TestComposition:
     def test_eviction_keeps_working_after_promotion(self):
         crash = FaultPlan((PrimarySwitchCrash(at_packet=3, promotion_window=1),))
         box = build(cache_entries=2, plan=crash)
-        drive(box, 8)
+        drive(box, 12)  # φ detection extends the window past the nominal 1
         assert box.promoted
         evictions_at_promotion = box.stats.evictions
-        drive(box, 8, start=8)
+        drive(box, 8, start=12)
         assert box.switch_cache_occupancy()["map"] <= 2
         assert box.stats.evictions > evictions_at_promotion
 
     def test_hot_flow_hits_cache_after_promotion(self):
         crash = FaultPlan((PrimarySwitchCrash(at_packet=3, promotion_window=1),))
         box = build(cache_entries=4, plan=crash)
-        drive(box, 6)
+        drive(box, 12)  # φ detection extends the window past the nominal 1
         assert box.promoted
         flow = lambda: make_tcp_packet("10.6.9.1", "10.0.0.100", 9000, 80)
         first = box.process_packet(flow(), 1)

@@ -25,7 +25,8 @@ from tests.conftest import get_bundle
 from tests.faults.test_degradation import FAULTBOX
 
 
-def build_failover(name="mazunat", plan=None, seed=0, injector_seed=0):
+def build_failover(name="mazunat", plan=None, seed=0, injector_seed=0,
+                   detection="phi"):
     bundle = get_bundle(name)
     partition_plan, program = compile_middlebox(bundle.lowered)
     policy = DegradationPolicy()
@@ -37,7 +38,7 @@ def build_failover(name="mazunat", plan=None, seed=0, injector_seed=0):
         )
     box = FailoverDeployment(
         partition_plan, program, config=bundle.config, seed=seed,
-        policy=policy, injector=injector,
+        policy=policy, injector=injector, detection=detection,
     )
     box.install()
     return box
@@ -93,22 +94,55 @@ class TestPromotion:
     CRASH = FaultPlan((PrimarySwitchCrash(at_packet=3, promotion_window=2),))
 
     def test_window_runs_on_server_then_promotes(self):
+        """Under φ detection the window opens at the crash packet but
+        only closes once the detector declares the primary dead — the
+        window is contiguous, at least as long as the injected outage,
+        and its exact length is the *measured* detection latency."""
         box = build_failover(plan=self.CRASH)
-        journeys = drive(box, 8)
+        journeys = drive(box, 12)
         assert box.promoted
         assert box.standby is None
         assert box.failed_primary is not None
         assert box.failed_primary is not box.switch
         assert ("promote",) in box.fault_log
-        window = [j for j in journeys if j.fallback]
-        assert len(window) == 2  # packets 3 and 4
+        window = [j.packet_index for j in journeys if j.fallback]
+        assert window[0] == 3
+        assert window == list(range(3, 3 + len(window)))
+        assert len(window) >= 2  # nominal outage, extended by detection
+        metrics = box.telemetry.metrics
+        assert metrics.counter("failover.promotions").value == 1
+        assert metrics.counter(
+            "failover.promotion_window_packets"
+        ).value == len(window)
+        # Detection was measured, not forced or free.
+        assert metrics.counter("health.detections").value == 1
+        assert metrics.counter("health.forced_detections").value == 0
+        from repro.telemetry.health import expected_detection_latency_us
+
+        latency = box.health.detection_latency_us
+        assert latency is not None
+        assert 0.0 < latency <= expected_detection_latency_us(
+            box.health.config
+        )
+
+    def test_exact_mode_keeps_free_boundary_detection(self):
+        """``detection="exact"`` is the oracle reference: promotion at
+        the fault window's packet boundary, byte-exact legacy pins."""
+        box = build_failover(plan=self.CRASH, detection="exact")
+        journeys = drive(box, 8)
+        assert box.promoted
+        assert box.health is None
+        window = [j.packet_index for j in journeys if j.fallback]
+        assert window == [3, 4]
         metrics = box.telemetry.metrics
         assert metrics.counter("failover.promotions").value == 1
         assert metrics.counter("failover.promotion_window_packets").value == 2
+        assert metrics.counter("health.detections").value == 0
 
     def test_promoted_switch_resynced_from_server(self):
         box = build_failover(plan=self.CRASH)
-        drive(box, 8)
+        drive(box, 12)
+        assert box.promoted
         assert (
             box.switch.tables["nat_out"].snapshot()
             == box.state.maps["nat_out"]
@@ -158,7 +192,7 @@ class TestStaleStandby:
             PrimarySwitchCrash(at_packet=3, promotion_window=2),
         ))
         box = build_failover(plan=plan)
-        drive(box, 8)
+        drive(box, 12)
         assert box.promoted
         # The promoted switch missed every pre-crash replay, yet the bulk
         # resync rebuilt it from the server's authoritative copy.
@@ -175,14 +209,16 @@ class TestCrashDuringBatch:
                              start=2, stop=3),
         ))
         box = build_failover(plan=plan)
-        journeys = drive(box, 8)
+        journeys = drive(box, 12)
         assert box.promoted
         assert box.injector.injected.get("crash_during_batch", 0) == 1
         # The crash resolves transactionally first (packet 2's batch either
         # commits via roll-forward or aborts); the promotion window then
-        # covers the *next* packets.
+        # covers the *next* packets, for as long as φ detection takes.
         window = [j.packet_index for j in journeys if j.fallback]
-        assert window == [3, 4]
+        assert window[0] == 3
+        assert window == list(range(3, 3 + len(window)))
+        assert len(window) >= 2
 
     def test_multi_table_batch_rolls_back_through_crash(self):
         """mazunat's first-punt batch touches both NAT tables plus the
@@ -193,7 +229,9 @@ class TestCrashDuringBatch:
             CrashDuringBatch(probability=1.0, promotion_window=1,
                              start=0, stop=1),
         ))
-        box = build_failover(plan=plan)
+        # Exact-boundary detection: the rollback mechanics (not the
+        # detector) are under test, so keep the byte-exact legacy pins.
+        box = build_failover(plan=plan, detection="exact")
         journeys = drive(box, 4)
         metrics = box.telemetry.metrics
         assert metrics.counter(

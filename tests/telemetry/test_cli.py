@@ -133,3 +133,61 @@ class TestTraceSampling:
         packets = {e["packet"] for e in payload["events"]
                    if e["packet"] is not None}
         assert packets == {0}
+
+
+class TestObsCommand:
+    def test_human_output(self, capsys):
+        assert main(["obs", "mazunat", "--packets", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "mazunat [gallium]" in out
+        assert "series:" in out and "flows:" in out
+        assert "switch.fast_path_packets" in out
+        assert "switch.pre" in out
+
+    def test_json_matches_schema(self, capsys):
+        assert main(["obs", "mazunat", "--packets", "6", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("obs")) == []
+        assert payload["deployment"] == "gallium"
+        assert payload["health"] is None
+        assert payload["int"]["stamped_packets"] == 6
+        assert payload["series"]["series"]
+
+    def test_failover_reports_health(self, capsys):
+        assert main(["obs", "mazunat", "--packets", "6",
+                     "--deployment", "failover", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate(payload, load_schema("obs")) == []
+        health = payload["health"]
+        assert health is not None
+        assert health["heartbeats"] > 0
+        assert health["detections"] == 0  # no fault plan: nothing crashes
+        assert health["detection_latency_us"] is None
+
+    def test_json_byte_identical_across_reruns(self, capsys):
+        def run(argv):
+            assert main(argv) == 0
+            return capsys.readouterr().out
+
+        plain = ["obs", "mazunat", "--packets", "10", "--seed", "7",
+                 "--json"]
+        cached = ["obs", "minilb", "--packets", "10", "--seed", "7",
+                  "--deployment", "cached", "--json"]
+        assert run(plain) == run(plain)
+        assert run(cached) == run(cached)
+
+    def test_window_width_changes_bucketing_not_totals(self, capsys):
+        def totals(window_us):
+            assert main(["obs", "mazunat", "--packets", "8",
+                         "--window-us", window_us, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            series = payload["series"]["series"]["switch.fast_path_packets"]
+            return sum(w["delta"] for w in series["windows"])
+
+        assert totals("50") == totals("400")
+
+    def test_guards_reject_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "mazunat", "--sample-every", "0"])
+        with pytest.raises(SystemExit):
+            main(["obs", "mazunat", "--window-us", "0"])

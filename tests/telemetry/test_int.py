@@ -1,0 +1,166 @@
+"""In-band telemetry: deterministic sampling, per-hop stamps, flow
+aggregation, and the synthesized server hop for punted packets."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.sim.clock import SERVER_INSTR_US, SimClock
+from repro.telemetry import INT_KEY, Telemetry
+from repro.telemetry.int import IntCollector
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class FakePacket:
+    def __init__(self, key=(0x0A000001, 0x0A000002, 1000, 80, 6)):
+        self.metadata = {}
+        self._key = key
+
+    def five_tuple(self):
+        return self._key
+
+
+def journey(verdict="forward", server_instructions=0, punted=False,
+            fallback=False, queued=False, sync_wait_us=0.0):
+    return SimpleNamespace(
+        verdict=verdict, server_instructions=server_instructions,
+        punted=punted, fallback=fallback, queued=queued,
+        sync_wait_us=sync_wait_us,
+    )
+
+
+def make_collector(sample_every=1):
+    clock = SimClock()
+    metrics = MetricsRegistry()
+    return clock, metrics, IntCollector(clock, metrics,
+                                        sample_every=sample_every)
+
+
+class TestSampling:
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_sample_every_below_one_rejected(self, bad):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            IntCollector(clock, MetricsRegistry(), sample_every=bad)
+
+    def test_sample_is_every_kth_arrival(self):
+        _, metrics, collector = make_collector(sample_every=3)
+        decisions = []
+        for index in range(7):
+            collector.begin_packet(index, FakePacket())
+            decisions.append(collector.stamping)
+            collector.collect(journey())
+        assert decisions == [True, False, False, True, False, False, True]
+        assert metrics.counter_value("int.stamped_packets") == 3
+
+    def test_unsampled_packets_get_no_stamps(self):
+        _, _, collector = make_collector(sample_every=2)
+        packet = FakePacket()
+        collector.begin_packet(1, packet)  # 1 % 2 != 0: unsampled
+        assert collector.stamping is False
+        collector.collect(journey())
+        assert INT_KEY not in packet.metadata
+        assert collector.flow_reports() == []
+
+
+class TestStampsAndAggregation:
+    def test_stamp_rides_packet_metadata(self):
+        clock, _, collector = make_collector()
+        packet = FakePacket()
+        collector.begin_packet(0, packet)
+        clock.advance(1.5)
+        collector.stamp(packet, "switch.pre", instructions=12,
+                        latency_us=0.024, punted=True)
+        (record,) = packet.metadata[INT_KEY]
+        assert record["hop"] == "switch.pre"
+        assert record["instructions"] == 12
+        assert record["punted"] is True
+        assert record["time_us"] == 1.5
+
+    def test_flow_aggregate_folds_hops_and_journey_fields(self):
+        _, _, collector = make_collector()
+        for index in range(2):
+            packet = FakePacket()
+            collector.begin_packet(index, packet)
+            collector.stamp(packet, "switch.pre", 10, 0.02)
+            collector.collect(
+                journey(punted=index == 0, sync_wait_us=2.5),
+                queue_depth=3 - index,
+            )
+        (report,) = collector.flow_reports()
+        assert report["packets"] == 2
+        assert report["sampled"] == 2
+        assert report["punts"] == 1
+        assert report["max_queue_depth"] == 3
+        assert report["sync_wait_us"] == pytest.approx(5.0)
+        hop = report["hops"]["switch.pre"]
+        assert hop["packets"] == 2
+        assert hop["instructions"] == 20
+        assert hop["latency_us"] == pytest.approx(0.04)
+
+    def test_server_hop_synthesized_from_journey(self):
+        _, _, collector = make_collector()
+        packet = FakePacket()
+        collector.begin_packet(0, packet)
+        collector.collect(journey(server_instructions=40, punted=True))
+        (report,) = collector.flow_reports()
+        server = report["hops"]["server"]
+        assert server["packets"] == 1
+        assert server["instructions"] == 40
+        assert server["latency_us"] == pytest.approx(40 * SERVER_INSTR_US)
+
+    def test_drops_counted(self):
+        _, _, collector = make_collector()
+        collector.begin_packet(0, FakePacket())
+        collector.collect(journey(verdict="drop"))
+        (report,) = collector.flow_reports()
+        assert report["drops"] == 1
+
+    def test_flows_keep_first_seen_order(self):
+        _, _, collector = make_collector()
+        keys = [(1, 2, 3, 4, 6), (5, 6, 7, 8, 6), (1, 2, 3, 4, 6)]
+        for index, key in enumerate(keys):
+            collector.begin_packet(index, FakePacket(key))
+            collector.collect(journey())
+        labels = [f["flow"] for f in collector.flow_reports()]
+        assert labels == ["0.0.0.1:3->0.0.0.2:4/6", "0.0.0.5:7->0.0.0.6:8/6"]
+        assert collector.to_dict()["stamped_packets"] == 3
+
+
+class TestDeploymentIntegration:
+    def drive(self, name="mazunat", packets=12, sample_every=1):
+        from itertools import islice
+
+        from repro.runtime.deployment import (
+            GalliumMiddlebox,
+            compile_middlebox,
+        )
+        from repro.middleboxes import load
+        from repro.workloads import IperfWorkload, middlebox_stream
+
+        lowered = load(name).lowered
+        plan, program = compile_middlebox(lowered)
+        telemetry = Telemetry(int_sample_every=sample_every)
+        box = GalliumMiddlebox(plan, program, seed=0, telemetry=telemetry)
+        box.install()
+        stream = islice(middlebox_stream(name, IperfWorkload()), packets)
+        for packet, ingress in stream:
+            box.process_packet(packet.copy(), ingress)
+        return telemetry
+
+    def test_switch_traversals_are_stamped(self):
+        telemetry = self.drive()
+        report = telemetry.int_collector.to_dict()
+        assert report["stamped_packets"] == 12
+        (flow,) = report["flows"]
+        assert "switch.pre" in flow["hops"]
+        # The first packet of a flow punts: its server leg must appear.
+        assert "server" in flow["hops"]
+        assert flow["punts"] >= 1
+
+    def test_subsampling_reduces_stamped_count(self):
+        telemetry = self.drive(sample_every=4)
+        report = telemetry.int_collector.to_dict()
+        assert report["stamped_packets"] == 3  # arrivals 0, 4, 8
+        (flow,) = report["flows"]
+        assert flow["sampled"] == 3

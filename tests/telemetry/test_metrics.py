@@ -65,6 +65,41 @@ class TestHistogram:
         assert LATENCY_BOUNDS_US[0] < LATENCY_BOUNDS_US[-1]
         assert INSTRUCTION_BOUNDS == tuple(sorted(INSTRUCTION_BOUNDS))
 
+    def test_all_negative_stream_reports_negative_maximum(self):
+        """Regression: max_observed started at 0.0, so an all-negative
+        observation stream reported a phantom zero maximum (and p100
+        clamped to 0.0 instead of the true max)."""
+        registry = MetricsRegistry()
+        hist = registry.histogram("delta", (-10.0, 0.0, 10.0))
+        for value in (-25.0, -7.0, -3.0):
+            hist.observe(value)
+        assert hist.max_observed == -3.0
+        assert hist.percentile(1.0) == -3.0
+
+    def test_bisect_bucketing_matches_linear_scan(self):
+        registry = MetricsRegistry()
+        bounds = (1.0, 2.0, 4.0, 8.0)
+        hist = registry.histogram("scan", bounds)
+        values = [0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 7.0, 8.0, 8.1, 100.0]
+        for value in values:
+            hist.observe(value)
+        expected = [0] * (len(bounds) + 1)
+        for value in values:
+            for position, bound in enumerate(bounds):
+                if value <= bound:
+                    expected[position] += 1
+                    break
+            else:
+                expected[len(bounds)] += 1
+        assert hist.bucket_counts == expected
+
+    def test_empty_or_unsorted_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("empty", ())
+        with pytest.raises(ValueError):
+            registry.histogram("unsorted", (5.0, 1.0))
+
 
 class TestRegistry:
     def test_cross_type_name_collision_rejected(self):
