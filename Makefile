@@ -4,7 +4,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: help test verify symbolic-smoke lint lint-verify difftest \
 	difftest-smoke difftest-compiled faults faults-smoke failover-smoke \
-	telemetry-smoke obs-smoke tenancy-smoke perf perf-smoke benchmarks
+	pool-smoke telemetry-smoke obs-smoke tenancy-smoke perf perf-smoke \
+	benchmarks
 
 help:
 	@echo "Targets:"
@@ -20,6 +21,8 @@ help:
 	@echo "  faults          full fault campaign (500 scenarios)"
 	@echo "  faults-smoke    fixed-seed ~60s campaign slice"
 	@echo "  failover-smoke  fixed-seed ~60s active-standby failover campaign"
+	@echo "  pool-smoke      fixed-seed punt-path server-pool campaign"
+	@echo "                  (member crash/drain + live flow-state migration)"
 	@echo "  telemetry-smoke trace/metrics JSON on two middleboxes + schema check"
 	@echo "  obs-smoke       windowed series + INT + health JSON, schema-checked,"
 	@echo "                  byte-identical across re-runs; phi-detector smoke"
@@ -105,6 +108,18 @@ faults-smoke:
 failover-smoke:
 	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60 \
 		--failover
+
+# Punt-path server-pool campaign: member crashes and drains with live
+# flow-state migration, replayed against the pool-aware oracle (blast
+# radius limited to owned flows, full fallback forbidden while a member
+# survives).  The summary rollup — per-member crash/drain counts and
+# migration-window distributions — is schema-checked before it is
+# written.  Fixed seed, ~60 seconds.
+pool-smoke:
+	$(PYTHON) -m repro faults --runs 100000 --seed 0 --time-budget 60 \
+		--servers 3 --summary-json pool_summary.json
+	$(PYTHON) -m repro.telemetry.schema faults_summary pool_summary.json
+	rm -f pool_summary.json
 
 # Telemetry smoke: trace + metrics JSON on two example middleboxes, each
 # validated against the checked-in schemas (same flow CI runs).

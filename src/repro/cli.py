@@ -70,6 +70,7 @@ from repro.eval.experiments import (
     figure7_throughput,
     figure8_workloads,
     figure9_fct,
+    pool_recovery,
     table1_loc,
     table2_latency,
     table3_state_sync,
@@ -221,6 +222,9 @@ def cmd_experiments(args) -> int:
         print("Failover — standby promotion window cost")
         print(render_table(*failover_recovery()))
         print()
+        print("Server pool — member-crash migration cost")
+        print(render_table(*pool_recovery()))
+        print()
     if which in ("tenancy", "all"):
         print("Multi-tenancy — shared-channel queueing vs tenant count")
         print(render_table(*tenancy_sweep()))
@@ -262,6 +266,19 @@ def cmd_difftest(args) -> int:
 def cmd_faults(args) -> int:
     from repro.faults import run_campaign
 
+    servers = 0
+    if args.servers is not None:
+        if args.cached or args.failover:
+            raise SystemExit(
+                "error: --servers does not compose with --cached or"
+                " --failover — run those campaigns separately"
+            )
+        from repro.runtime.pool import default_member_names
+
+        # Validate the pool size up front (ValueError on N < 1) so a bad
+        # flag fails before any scenario runs.
+        default_member_names(args.servers)
+        servers = args.servers
     stats, failures = run_campaign(
         runs=args.runs,
         seed=args.seed,
@@ -273,6 +290,7 @@ def cmd_faults(args) -> int:
         cached=args.cached,
         cache_entries=args.cache_entries,
         failover=args.failover,
+        pool_servers=servers,
         log=print,  # streams progress and each failure report as found
     )
     print(stats.summary())
@@ -327,6 +345,9 @@ def cmd_tenancy(args) -> int:
     specs = build_tenant_specs(names)
     lint_report = verify_combined(specs, budget)
     isolation = None
+    series_window = (
+        args.series_window if args.series_window > 0 else None
+    )
     if args.admit_only:
         admission = SwitchResourceAllocator(budget).admit(specs)
     else:
@@ -336,6 +357,7 @@ def cmd_tenancy(args) -> int:
             budget=budget,
             seed=args.seed,
             fast_path=args.fast_path,
+            series_window_us=series_window,
         )
         admission = isolation.admission
     if args.json:
@@ -352,6 +374,9 @@ def cmd_tenancy(args) -> int:
             "channel": isolation.channel if isolation is not None else None,
             "counters": (
                 isolation.counters if isolation is not None else None
+            ),
+            "series": (
+                isolation.series if isolation is not None else None
             ),
         }
         check(payload, "tenancy", what="tenancy report")
@@ -768,6 +793,13 @@ def build_parser() -> argparse.ArgumentParser:
                                " failover deployment (adds switch-crash,"
                                " crash-during-batch and stale-standby"
                                " fault kinds)")
+    faults_parser.add_argument("--servers", type=int, default=None,
+                               metavar="N",
+                               help="run every scenario on a punt-path"
+                               " server pool of N members under pool fault"
+                               " plans (member crashes/drains with live"
+                               " flow-state migration); does not compose"
+                               " with --cached/--failover")
     faults_parser.add_argument("--summary-json", default=None, metavar="PATH",
                                help="write the cross-scenario rollup"
                                " (window-length distributions, rollback"
@@ -804,6 +836,10 @@ def build_parser() -> argparse.ArgumentParser:
     tenancy_parser.add_argument("--budget-table-slots", type=int,
                                 default=None, metavar="N",
                                 help="override table slots per stage")
+    tenancy_parser.add_argument("--series-window", type=float, default=100.0,
+                                metavar="US",
+                                help="per-tenant time-series window width"
+                                " in simulated µs (0 disables windowing)")
     tenancy_parser.add_argument("--budget-phv", type=int, default=None,
                                 metavar="BYTES",
                                 help="override shared PHV byte budget")

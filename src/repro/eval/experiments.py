@@ -562,6 +562,165 @@ def failover_recovery(
     return header, rows
 
 
+def pool_recovery(
+    name: str = "mazunat",
+    packet_size: int = 1500,
+    incident_window_s: float = 1.0,
+    metrics=None,
+) -> Tuple[List[str], List[List]]:
+    """Throughput cost of losing one punt-path pool member.
+
+    The pooled deployment (:mod:`repro.runtime.pool`) spreads punted
+    flows over N servers behind a connection-consistent selector, so a
+    member crash stalls only the ~1/N of punted flows that member owns
+    — the rest of the punt path keeps serving.  Recovery is a live
+    flow-state migration: the crashed member's slots re-home to the
+    survivors and the state they own is rebuilt from the switch's
+    replicated copies (or the server-side checkpoint for server-only
+    state), priced at ``MIGRATION_BASE_US + entries ×
+    MIGRATION_ENTRY_US`` on the simulated clock.
+
+    The first row is **measured**: a seeded pooled run of this
+    middlebox with an injected member crash, reporting the entry count
+    the migration actually moved and the window the deployment actually
+    charged.  The swept rows price reference pool sizes and state sizes
+    through the same model.  *Degraded Gbps* is throughput while the
+    migration window is open (the affected share of punted traffic
+    falls back to fast-path-only delivery, cf. the fallback rate in the
+    punt-queue table); *Effective Gbps* time-weights that window
+    against an ``incident_window_s`` incident — compare with the
+    switch-failover table above, where the whole punt path degrades.
+
+    Pass a :class:`repro.telemetry.MetricsRegistry` as ``metrics`` to
+    additionally publish the cells as ``pool.<scenario>.*`` gauges.
+    """
+    from itertools import islice
+
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, PoolMemberCrash
+    from repro.runtime.degradation import DegradationPolicy
+    from repro.runtime.deployment import compile_middlebox
+    from repro.runtime.pool import PooledDeployment
+    from repro.sim.clock import MIGRATION_BASE_US, MIGRATION_ENTRY_US
+    from repro.telemetry import Telemetry
+
+    workload = IperfWorkload(packet_size=packet_size)
+    profile = profile_middlebox(name, middlebox_stream(name, workload))
+    capacity = CapacityModel()
+    normal = capacity.gallium_throughput(
+        profile.slow_fraction,
+        profile.server_instructions_per_punt,
+        packet_size,
+        shim_bytes=profile.shim_to_server_bytes,
+    ).gbps
+    line_gbps = capacity.line_rate_pps(packet_size) * packet_size * 8 / 1e9
+    # A downed member's flows see fast-path-only delivery (the same
+    # fallback rate as a full punt-path outage) — but only for the 1/N
+    # share of flows the member owns.
+    fallback = line_gbps * (1.0 - profile.slow_fraction)
+
+    header = [
+        "Scenario", "Entries", "Window (ms)", "Affected",
+        "Normal Gbps", "Degraded Gbps", "Effective Gbps",
+    ]
+    rows = []
+    incident_ms = incident_window_s * 1000.0
+
+    def price(label: str, servers: int, entries: int, window_ms: float,
+              metric_prefix: str) -> None:
+        share = 1.0 / servers
+        degraded = normal - (normal - fallback) * share
+        effective = normal - (normal - degraded) * min(
+            1.0, window_ms / incident_ms
+        )
+        rows.append([
+            label,
+            entries,
+            round(window_ms, 3),
+            f"1/{servers}",
+            round(normal, 2),
+            round(degraded, 2),
+            round(effective, 2),
+        ])
+        if metrics is not None:
+            metrics.gauge(f"{metric_prefix}.window_ms").set(
+                round(window_ms, 4)
+            )
+            metrics.gauge(f"{metric_prefix}.degraded_gbps").set(
+                round(degraded, 3)
+            )
+            metrics.gauge(f"{metric_prefix}.effective_gbps").set(
+                round(effective, 3)
+            )
+
+    # Measured migration: a seeded pooled run with one member crash.
+    # Many short connections make the punt path (flow setup) do real
+    # work, so the crashed member owns real state to migrate.
+    bundle = load(name)
+    plan, program = compile_middlebox(bundle.lowered)
+    policy = DegradationPolicy()
+    punt_heavy = IperfWorkload(
+        packet_size=packet_size, connections=48, packets_per_connection=4
+    )
+    measured_packets = 200
+
+    def pooled_run(fault_plan=None):
+        injector = None
+        if fault_plan is not None:
+            injector = FaultInjector(
+                fault_plan, seed=0, max_attempts=policy.retry.max_attempts
+            )
+        deployment = PooledDeployment(
+            plan, program, servers=3, config=bundle.config, seed=0,
+            policy=policy, injector=injector, telemetry=Telemetry(),
+        )
+        deployment.install()
+        for packet, ingress_port in islice(
+            middlebox_stream(name, punt_heavy), measured_packets
+        ):
+            deployment.process_packet(packet, ingress_port)
+        deployment.recover()
+        return deployment
+
+    # Dry pass: find the member owning the most committed state — the
+    # worst-case single-member crash for this workload.
+    dry = pooled_run()
+    victim = max(
+        sorted(dry.pool.members),
+        key=lambda m: dry.pool.count_owned(
+            frozenset(dry.pool.selector.slots_owned(m))
+        ),
+    )
+    crashed = pooled_run(FaultPlan((
+        PoolMemberCrash(
+            member=victim,
+            at_packet=int(measured_packets * 0.6),
+            migration_window=10,
+        ),
+    )))
+    measured = crashed.telemetry.metrics
+    entries = measured.counter_value("pool.migrated_entries")
+    measured_ms = measured.histogram("pool.migration_us").sum / 1000.0
+    price(
+        f"measured crash servers=3 entries={entries}",
+        3, entries, measured_ms, "pool.measured",
+    )
+    if metrics is not None:
+        metrics.gauge("pool.measured.migrated_entries").set(entries)
+    # Reference sweep: pool size × migrated-state size.
+    for servers in (2, 4, 8):
+        for ref_entries in (256, 1024):
+            window_ms = (
+                MIGRATION_BASE_US + ref_entries * MIGRATION_ENTRY_US
+            ) / 1000.0
+            price(
+                f"servers={servers} entries={ref_entries} (reference)",
+                servers, ref_entries, window_ms,
+                f"pool.s{servers}_e{ref_entries}",
+            )
+    return header, rows
+
+
 def tenancy_sweep(
     names: Tuple[str, ...] = ("minilb", "mazunat", "lb", "firewall"),
     packets_per_tenant: int = 60,

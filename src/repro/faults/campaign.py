@@ -27,6 +27,7 @@ from repro.faults.oracle import (
 from repro.faults.plan import ALL_FAULT_KINDS, FaultPlan, generate_plan
 from repro.partition.constraints import SwitchResources
 from repro.runtime.degradation import DegradationPolicy
+from repro.runtime.pool import default_member_names
 from repro.switchsim.control_plane import RetryPolicy
 
 #: XOR'd into the program seed to derive the fault-plan seed.
@@ -80,6 +81,7 @@ class FaultFailure:
     result: FaultOracleResult
     cached: bool = False
     failover: bool = False
+    pool_servers: int = 0
     minimized_program: Optional[GenProgram] = None
     minimized_stream: Optional[StreamSpec] = None
     minimized_plan: Optional[FaultPlan] = None
@@ -103,7 +105,8 @@ class FaultFailure:
             "reproduce    : python -m repro faults --runs 1"
             f" --seed-override {self.program_seed}"
             + (" --cached" if self.cached else "")
-            + (" --failover" if self.failover else ""),
+            + (" --failover" if self.failover else "")
+            + (f" --servers {self.pool_servers}" if self.pool_servers else ""),
         ]
         if self.result.violation is not None:
             lines.append(f"violation    : {self.result.violation}")
@@ -169,6 +172,8 @@ _WINDOW_ATTRS = {
     "reprogram": "duration",
     "switch_crash": "promotion_window",
     "crash_batch": "promotion_window",
+    "pool_member_crash": "migration_window",
+    "pool_member_drain": "drain_window",
 }
 
 
@@ -202,10 +207,13 @@ class CampaignStats:
     rollback_scenarios_by_kind: Dict[str, int] = field(default_factory=dict)
     #: fault-window lengths (packets) drawn per kind, campaign-wide
     window_lengths: Dict[str, List[int]] = field(default_factory=dict)
+    #: flow-state migrations run by pooled deployments, campaign-wide
+    pool_migrations: int = 0
 
     def record(self, plan: FaultPlan, result: FaultOracleResult) -> None:
         self.runs += 1
         self.rollbacks += result.rollbacks
+        self.pool_migrations += result.migrations
         for kind in plan.kinds():
             self.scenarios_by_kind[kind] = (
                 self.scenarios_by_kind.get(kind, 0) + 1
@@ -256,6 +264,19 @@ class CampaignStats:
             }
             for kind, lengths in sorted(self.window_lengths.items())
         }
+        def _member_counts(prefix: str) -> Dict[str, int]:
+            counts: Dict[str, int] = {}
+            for label, count in self.injected.items():
+                if label.startswith(prefix + "[") and label.endswith("]"):
+                    member = label[len(prefix) + 1:-1]
+                    counts[member] = counts.get(member, 0) + count
+            return dict(sorted(counts.items()))
+
+        pool = {
+            "migrations": self.pool_migrations,
+            "member_crashes": _member_counts("pool_member_crash"),
+            "member_drains": _member_counts("pool_member_drain"),
+        }
         rollback_rates = {
             kind: {
                 "scenarios": scenarios,
@@ -286,6 +307,7 @@ class CampaignStats:
             "injected": dict(sorted(self.injected.items())),
             "scenarios_by_kind": dict(sorted(self.scenarios_by_kind.items())),
             "promotion_windows": windows,
+            "pool": pool,
             "rollbacks": {
                 "total": self.rollbacks,
                 "by_kind": rollback_rates,
@@ -321,6 +343,7 @@ def run_campaign(
     cached: bool = False,
     cache_entries: int = 2,
     failover: bool = False,
+    pool_servers: int = 0,
 ) -> Tuple[CampaignStats, List[FaultFailure]]:
     """Run the fault campaign; returns ``(stats, failures)``.
 
@@ -335,8 +358,14 @@ def run_campaign(
     (bounded caches on an active-standby pair, rebuilt at promotion);
     ``shrink_failures`` delta-debugs each failure — fault plan, program,
     and stream — before it is reported or written to the corpus.
+    ``pool_servers`` (≥2 to be interesting) drives every scenario on the
+    punt-path :class:`~repro.runtime.pool.PooledDeployment` under
+    pool-specific fault plans (member crashes and drains with live
+    flow-state migration); it does not compose with ``cached`` or
+    ``failover``.
     """
     stats = CampaignStats()
+    pool_names = default_member_names(pool_servers) if pool_servers else None
     failures: List[FaultFailure] = []
     started = time.monotonic()
     for index in range(runs):
@@ -355,7 +384,10 @@ def run_campaign(
         program = generate_program(program_seed)
         stream = StreamSpec(seed=stream_seed, count=packets)
         scenario_rng = random.Random(plan_seed)
-        fault_plan = generate_plan(scenario_rng, packets, failover=failover)
+        fault_plan = generate_plan(
+            scenario_rng, packets, failover=failover,
+            pool_members=pool_names,
+        )
         policy = random_policy(scenario_rng)
         result = run_fault_oracle(
             program.source(),
@@ -368,13 +400,14 @@ def run_campaign(
             cached=cached,
             cache_entries=cache_entries,
             failover=failover,
+            pool=pool_servers,
         )
         stats.record(fault_plan, result)
         if result.outcome in (FaultOutcome.VIOLATION, FaultOutcome.CRASH):
             failure = FaultFailure(
                 index, program_seed, stream, program, fault_plan, policy,
                 injector_seed, deploy_seed, result, cached=cached,
-                failover=failover,
+                failover=failover, pool_servers=pool_servers,
             )
             if shrink_failures:
                 (
@@ -384,6 +417,7 @@ def run_campaign(
                 ) = _shrink_failure(
                     failure, limits, cached=cached,
                     cache_entries=cache_entries, failover=failover,
+                    pool_servers=pool_servers,
                 )
                 if failure.minimized_program is not None:
                     # Re-collect provenance on the minimized scenario so
@@ -399,6 +433,7 @@ def run_campaign(
                         cached=cached,
                         cache_entries=cache_entries,
                         failover=failover,
+                        pool=pool_servers,
                     )
                     if replay.trace_diff is not None:
                         failure.result.trace_diff = replay.trace_diff
@@ -421,6 +456,7 @@ def _shrink_failure(
     cached: bool = False,
     cache_entries: int = 2,
     failover: bool = False,
+    pool_servers: int = 0,
 ):
     """Minimize (fault plan, program, stream) preserving the outcome class
     and, for violations, the violation kind."""
@@ -449,6 +485,7 @@ def _shrink_failure(
             cached=cached,
             cache_entries=cache_entries,
             failover=failover,
+            pool=pool_servers,
             provenance=False,
         )
         if replay.outcome is not want_outcome:

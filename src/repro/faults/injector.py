@@ -70,6 +70,16 @@ class FaultInjector:
     def _count(self, label: str) -> None:
         self.injected[label] = self.injected.get(label, 0) + 1
 
+    def note(self, label: str) -> None:
+        """Public counting hook for deployment-driven fault events.
+
+        Pool membership changes fire at window *edges* the deployment
+        detects, not at an injector query, so the deployment reports them
+        here (labels like ``pool_member_crash[srv1]``) and campaign
+        coverage sees per-member counts for free.
+        """
+        self._count(label)
+
     # -- per-packet bookkeeping ------------------------------------------------
 
     def begin_packet(self, index: int) -> None:
@@ -92,6 +102,19 @@ class FaultInjector:
                     self._restart_loses_state = True
                 return True
         return False
+
+    def pool_member_down(self, member: str, index: int) -> bool:
+        """Whether pool member ``member`` is down (crash) or quiescing
+        (drain) at packet ``index``; False once faults are cleared so
+        :meth:`~repro.runtime.pool.PooledDeployment.recover` completes
+        any pending migration."""
+        if self._cleared:
+            return False
+        return any(
+            spec.member == member and spec.active(index)
+            for kind in ("pool_member_crash", "pool_member_drain")
+            for spec in self.plan.by_kind(kind)
+        )
 
     def take_restart_state_loss(self) -> bool:
         """Whether the restart that just happened lost server state

@@ -62,6 +62,7 @@ from repro.runtime.deployment import (
 )
 from repro.runtime.cached_failover import CachedFailoverDeployment
 from repro.runtime.failover import FailoverDeployment
+from repro.runtime.pool import PooledDeployment, default_member_names
 from repro.switchsim.program import SwitchProgramError
 from repro.switchsim.switch_model import SwitchOutput
 
@@ -130,6 +131,12 @@ class FaultOracleResult:
     failover_mode: bool = False
     #: whether the failover DUT actually promoted its standby
     promoted: bool = False
+    #: True when the scenario ran the punt-path server pool deployment
+    pool_mode: bool = False
+    #: pool member count (0 when not in pool mode)
+    pool_servers: int = 0
+    #: flow-state migrations the pool DUT ran (crash + drain)
+    migrations: int = 0
     #: control-plane batches the DUT rolled back during the scenario
     #: (the ``control_plane.batches_rolled_back`` counter at finish)
     rollbacks: int = 0
@@ -202,6 +209,7 @@ def run_fault_oracle(
     cache_entries: int = 2,
     failover: bool = False,
     detection: str = "phi",
+    pool: int = 0,
     provenance: bool = True,
     _telemetry: Optional[tuple] = None,
 ) -> FaultOracleResult:
@@ -241,7 +249,26 @@ def run_fault_oracle(
     pass ``provenance=False``.  ``_telemetry`` is the internal hook the
     provenance re-run uses: a ``(dut_telemetry, reference_telemetry)``
     pair threaded into the two deployments.
+
+    With ``pool`` > 0 the deployment under test is the punt-path
+    :class:`~repro.runtime.pool.PooledDeployment` with that many members;
+    the reference stays the clean single-server deployment (all members
+    execute against one authoritative store, so a correct pool *is*
+    byte-equivalent to it) and the ``("pool_down", ...)`` /
+    ``("pool_migrate", ...)`` effect-log tags replay as no-ops — a
+    correct migration is an identity transform on committed state, which
+    the observable/final-state/convergence checks then verify.  The
+    extra :func:`_check_pool` pass asserts the no-fallback-while-
+    survivors-exist guarantee and bounds the blast radius of each member
+    outage to the flows an independently rebuilt selector says the
+    member owned.
     """
+    if pool and (cached or failover):
+        raise ValueError(
+            "pool mode does not compose with cached/failover scenarios yet"
+            " — run them separately"
+        )
+    pool_members = default_member_names(pool) if pool else []
     policy = policy or DegradationPolicy()
     dut_telemetry = _telemetry[0] if _telemetry is not None else None
     ref_telemetry = _telemetry[1] if _telemetry is not None else None
@@ -262,7 +289,17 @@ def run_fault_oracle(
         max_attempts=policy.retry.max_attempts,
     )
 
-    def deploy(failover_dut: bool = False, **kwargs) -> GalliumMiddlebox:
+    def deploy(
+        failover_dut: bool = False, pool_dut: bool = False, **kwargs
+    ) -> GalliumMiddlebox:
+        if pool_dut:
+            box = PooledDeployment(
+                plan, program, servers=pool,
+                port_pairs=dict(DEFAULT_PORT_PAIRS),
+                config=config, seed=deployment_seed, **kwargs,
+            )
+            box.install()
+            return box
         if cached and failover_dut:
             box = CachedFailoverDeployment(
                 plan, program, cache_entries=cache_entries,
@@ -291,8 +328,9 @@ def run_fault_oracle(
         return box
 
     try:
-        dut = deploy(failover_dut=failover, policy=policy,
-                     injector=injector, telemetry=dut_telemetry)
+        dut = deploy(failover_dut=failover, pool_dut=bool(pool),
+                     policy=policy, injector=injector,
+                     telemetry=dut_telemetry)
         reference = deploy(telemetry=ref_telemetry)
     except CacheConfigurationError as exc:
         return FaultOracleResult(
@@ -349,12 +387,21 @@ def run_fault_oracle(
             cached_mode=cached,
             failover_mode=failover,
             promoted=bool(getattr(dut, "promoted", False)),
+            pool_mode=bool(pool),
+            pool_servers=pool,
+            migrations=dut.telemetry.metrics.counter_value(
+                "pool.migrations"
+            ) if pool else 0,
             rollbacks=dut.telemetry.metrics.counter_value(
                 "control_plane.batches_rolled_back"
             ),
         )
 
     violation = _check_accounting(dut, records, len(packets))
+    if violation is None and pool:
+        violation = _check_pool(
+            dut, records, packets, fault_plan, pool_members, deployment_seed
+        )
     if violation is None:
         try:
             violation = _replay_reference(
@@ -392,7 +439,7 @@ def run_fault_oracle(
             injector_seed=injector_seed, deployment_seed=deployment_seed,
             limits=limits, config=config, verify_packets=verify_packets,
             cached=cached, cache_entries=cache_entries, failover=failover,
-            detection=detection,
+            detection=detection, pool=pool,
         )
     return result
 
@@ -460,6 +507,98 @@ def _check_accounting(
     return None
 
 
+def _check_pool(
+    dut: GalliumMiddlebox,
+    records: Dict[int, PacketRecord],
+    packets: List[Tuple[RawPacket, int]],
+    fault_plan,
+    pool_members: List[str],
+    deployment_seed: int,
+) -> Optional[FaultViolation]:
+    """Pool-specific guarantees, checked against an independent rebuild.
+
+    A member outage must degrade only the flows that member owns — never
+    the whole punt path — so: (1) full fallback never engages while at
+    least one member survives (generated pool plans always leave one),
+    (2) every stalled packet was attributed to a member that really was
+    down at that index, and whose slot the oracle's own reconstruction
+    of the member table (a pure function of names, seed, and slots)
+    assigns to that member, (3) every queue/degrade event with a pool
+    reason maps back to an attributed packet and vice versa, and (4)
+    each membership-change spec ran exactly one migration.
+    """
+    pool_specs = [
+        spec
+        for kind in ("pool_member_crash", "pool_member_drain")
+        for spec in fault_plan.by_kind(kind)
+    ]
+    for event in dut.fault_log:
+        if event[0] == "fallback":
+            return FaultViolation(
+                "pool", event[1],
+                "full fallback engaged while pool members survived"
+                f" (live: {sorted(dut.pool.members)})",
+            )
+    migrations = dut.telemetry.metrics.counter_value("pool.migrations")
+    if migrations != len(pool_specs):
+        return FaultViolation(
+            "pool", None,
+            f"{len(pool_specs)} membership-change specs but"
+            f" {migrations} migrations ran",
+        )
+
+    def members_at(index: int) -> List[str]:
+        gone = {
+            spec.member for spec in pool_specs
+            if spec.at_packet + spec.window_length <= index
+        }
+        return [name for name in pool_members if name not in gone]
+
+    for index in sorted(dut.pool.affected):
+        member, slot = dut.pool.affected[index]
+        if not any(
+            spec.member == member and spec.active(index)
+            for spec in pool_specs
+        ):
+            return FaultViolation(
+                "pool", index,
+                f"packet stalled on member {member!r} outside any"
+                " membership-change window",
+            )
+        selector = PooledDeployment.build_selector(
+            members_at(index), deployment_seed,
+            slots=dut.pool.selector.slots,
+        )
+        if selector.member_table()[slot] != member:
+            return FaultViolation(
+                "pool", index,
+                f"blast radius mismatch: DUT pinned slot {slot} to"
+                f" {member!r} but the rebuilt member table assigns it to"
+                f" {selector.member_table()[slot]!r}",
+            )
+        record = records.get(index)
+        if record is None or not (
+            record.queued or record.reason == "pool_member_down"
+        ):
+            return FaultViolation(
+                "pool", index,
+                "packet attributed to a member outage but its journey"
+                f" shows neither queueing nor a pool degrade"
+                f" (kind={getattr(record, 'kind', None)!r})",
+            )
+    for record in records.values():
+        if (
+            record.reason == "pool_member_down"
+            and record.index not in dut.pool.affected
+        ):
+            return FaultViolation(
+                "pool", record.index,
+                "packet degraded with reason 'pool_member_down' but no"
+                " member outage was attributed to it",
+            )
+    return None
+
+
 def _pristine(packets: List[Tuple[RawPacket, int]], index: int) -> RawPacket:
     packet, ingress = packets[index]
     clone = packet.copy()
@@ -502,6 +641,13 @@ def _replay_reference(
     }
     for event in dut.fault_log:
         tag = event[0]
+        if tag in ("pool_down", "pool_migrate"):
+            # Pool membership changes replay as no-ops: the DUT's
+            # migration must be an identity transform on committed state
+            # (delete + rebuild from the switch copy / server-only
+            # checkpoint), so a buggy migration surfaces in the
+            # observable / convergence / final-state checks instead.
+            continue
         if ref_tracer is not None and len(event) > 1:
             ref_tracer.begin_packet(event[1])
         if tag == "ingress":

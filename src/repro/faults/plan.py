@@ -54,6 +54,24 @@ Failover plans are generated with ``generate_plan(..., failover=True)``
 and never mix in server crashes, switch reprogramming, or punt
 reordering — those assume a single-switch deployment.
 
+Pool fault classes (punt-path server pools only)
+------------------------------------------------
+:class:`PoolMemberCrash`
+    One named pool member dies at a packet boundary and its flows stall
+    through the bounded migration window; at the window's close the
+    control plane migrates the member's owned flow state to the
+    survivors (rebuilt from the switch's replicated copy and the
+    server-only checkpoint).
+:class:`PoolMemberDrain`
+    One named member quiesces (stops accepting new punts) through a
+    drain window, then hands its flow state off gracefully — same
+    migration mechanics, zero reconstruction.
+
+Pool plans are generated with ``generate_plan(..., pool_members=[...])``
+and guarantee at least one surviving member; they never mix in
+single-server crash/reprogram kinds (a member outage must *not* trigger
+full switch-side fallback — that is the property under test).
+
 Tenancy fault classes (multi-tenant deployments only)
 -----------------------------------------------------
 :class:`TenantLinkFault`
@@ -205,18 +223,55 @@ class TenantLinkFault:
         )
 
 
+@dataclass(frozen=True)
+class PoolMemberCrash:
+    kind = "pool_member_crash"
+    member: str = "srv0"
+    at_packet: int = 5
+    #: packets before the crash migration completes (flows the member
+    #: owned queue or degrade per policy while it is open)
+    migration_window: int = 3
+
+    def active(self, index: int) -> bool:
+        return (
+            self.at_packet <= index < self.at_packet + self.migration_window
+        )
+
+    @property
+    def window_length(self) -> int:
+        return self.migration_window
+
+
+@dataclass(frozen=True)
+class PoolMemberDrain:
+    kind = "pool_member_drain"
+    member: str = "srv0"
+    at_packet: int = 5
+    #: packets the member quiesces for before the graceful handoff
+    drain_window: int = 3
+
+    def active(self, index: int) -> bool:
+        return self.at_packet <= index < self.at_packet + self.drain_window
+
+    @property
+    def window_length(self) -> int:
+        return self.drain_window
+
+
 def _in_window(index: int, start: int, stop: Optional[int]) -> bool:
     return index >= start and (stop is None or index < stop)
 
 
-#: kind tag -> spec class, for (de)serialization.
+#: kind tag -> spec class, for (de)serialization.  Append-only: new
+#: classes register at the end so ``ALL_FAULT_KINDS`` (and every summary
+#: keyed on it) stays stable for existing scenarios.
 FAULT_KINDS: Dict[str, Type] = {
     cls.kind: cls
     for cls in (
         LinkFault, BatchFault, WritebackOverflow, ServerCrash,
         SwitchReprogram, StaleReplication, PuntReorder,
         PrimarySwitchCrash, CrashDuringBatch, StandbyStaleReplay,
-        TenantLinkFault,
+        TenantLinkFault, PoolMemberCrash, PoolMemberDrain,
     )
 }
 
@@ -242,6 +297,15 @@ FAILOVER_EXTRA_KINDS: Tuple[str, ...] = ("link", "batch", "stale", "overflow")
 
 #: kinds exclusive to multi-tenant deployments (tenant-scoped faults).
 TENANCY_FAULT_KINDS: Tuple[str, ...] = ("tenant_link",)
+
+#: kinds exclusive to punt-path server pools (membership changes).
+POOL_FAULT_KINDS: Tuple[str, ...] = ("pool_member_crash", "pool_member_drain")
+
+#: base kinds a pool plan may additionally mix in — the same benign set
+#: as failover plans; single-server crash/reprogram kinds are excluded
+#: because a member outage must never look like a full server or switch
+#: outage.
+POOL_EXTRA_KINDS: Tuple[str, ...] = FAILOVER_EXTRA_KINDS
 
 
 @dataclass(frozen=True)
@@ -337,6 +401,16 @@ def _describe(spec) -> str:
             f"tenant {spec.tenant!r} link {spec.mode} {spec.direction}"
             f" p={spec.probability} [{spec.start},{spec.stop})"
         )
+    if isinstance(spec, PoolMemberCrash):
+        return (
+            f"pool member {spec.member!r} crash"
+            f" @{spec.at_packet}+{spec.migration_window}"
+        )
+    if isinstance(spec, PoolMemberDrain):
+        return (
+            f"pool member {spec.member!r} drain"
+            f" @{spec.at_packet}+{spec.drain_window}"
+        )
     return repr(spec)
 
 
@@ -376,7 +450,10 @@ def _draw_stale(rng: random.Random) -> StaleReplication:
 
 
 def generate_plan(
-    rng: random.Random, stream_len: int, failover: bool = False,
+    rng: random.Random,
+    stream_len: int,
+    failover: bool = False,
+    pool_members: Optional[List[str]] = None,
 ) -> FaultPlan:
     """Draw a random, internally consistent fault schedule.
 
@@ -389,7 +466,14 @@ def generate_plan(
     exactly one primary-crash kind (clean boundary crash or mid-batch
     connection crash), an optional stale-standby replay fault, and up to
     two extra kinds from :data:`FAILOVER_EXTRA_KINDS`.
+
+    With ``pool_members`` the plan targets a punt-path server pool:
+    member crashes and/or drains of *distinct* members with windows
+    placed inside the stream, always leaving at least one survivor, plus
+    up to two extras from :data:`POOL_EXTRA_KINDS`.
     """
+    if pool_members is not None:
+        return _generate_pool_plan(rng, stream_len, pool_members)
     if failover:
         return _generate_failover_plan(rng, stream_len)
     choices = list(BASE_FAULT_KINDS)
@@ -441,6 +525,68 @@ def generate_plan(
                         at_packet=at, outage=outage,
                         lose_state=rng.random() < 0.5,
                     ))
+    return FaultPlan(faults=tuple(specs))
+
+
+def _generate_pool_plan(
+    rng: random.Random, stream_len: int, pool_members: List[str],
+) -> FaultPlan:
+    """Pool schedule: membership changes of distinct members (≥1 survivor
+    always) plus up to two benign extras.
+
+    With a single member there is nothing to safely remove, so the plan
+    degenerates to extras only — the campaign still exercises the pooled
+    punt path under link/batch/stale pressure.
+    """
+    specs: List = []
+    members = list(pool_members)
+    reserved: List[Tuple[int, int]] = []
+
+    def place_window(length: int) -> Optional[int]:
+        for _ in range(8):
+            at = rng.randrange(0, max(1, stream_len - 1))
+            if all(at + length <= lo or at >= hi for lo, hi in reserved):
+                reserved.append((at, at + length))
+                return at
+        return None
+
+    removable = len(members) - 1
+    if removable >= 1:
+        pick = rng.randrange(3)  # 0: crash, 1: drain, 2: both
+        if pick == 2 and removable < 2:
+            pick = rng.randrange(2)
+        kinds = []
+        if pick in (0, 2):
+            kinds.append("pool_member_crash")
+        if pick in (1, 2):
+            kinds.append("pool_member_drain")
+        shuffled = members[:]
+        rng.shuffle(shuffled)
+        for position, kind in enumerate(kinds):
+            member = shuffled[position]
+            window = rng.randint(2, max(3, stream_len // 4))
+            at = place_window(window)
+            if at is None:
+                continue
+            if kind == "pool_member_crash":
+                specs.append(PoolMemberCrash(
+                    member=member, at_packet=at, migration_window=window,
+                ))
+            else:
+                specs.append(PoolMemberDrain(
+                    member=member, at_packet=at, drain_window=window,
+                ))
+    extras = list(POOL_EXTRA_KINDS)
+    rng.shuffle(extras)
+    for kind in extras[: rng.randint(0, 2)]:
+        if kind == "link":
+            specs.append(_draw_link(rng, stream_len))
+        elif kind == "batch":
+            specs.append(_draw_batch(rng))
+        elif kind == "stale":
+            specs.append(_draw_stale(rng))
+        elif kind == "overflow":
+            specs.append(_draw_overflow(rng))
     return FaultPlan(faults=tuple(specs))
 
 

@@ -18,6 +18,12 @@ Degradation reasons
 ``server_down`` / ``queue_overflow`` / ``total_outage``
     The server was unreachable and the bounded punt queue could not hold
     the packet; the fail-open/fail-closed policy decides the outcome.
+``pool_member_down``
+    The packet's owning pool member is down (crash) or quiescing
+    (drain), its migration window is still open, and the bounded punt
+    queue could not hold the packet; policy-arbitrated like
+    ``queue_overflow`` but accounted separately so the pool oracle can
+    bound the blast radius to the member's own flows.
 ``writeback_failed`` / ``writeback_overflow``
     The atomic update batch could not be committed after retries; the
     server rolls its state back (output commit forbids releasing the
@@ -39,7 +45,7 @@ UNSALVAGEABLE_REASONS = frozenset({
 #: Reasons the fail-open/fail-closed policy arbitrates.
 POLICY_REASONS = frozenset({
     "server_down", "queue_overflow", "total_outage",
-    "writeback_failed", "writeback_overflow",
+    "writeback_failed", "writeback_overflow", "pool_member_down",
 })
 
 #: The canonical drop-reason taxonomy.  Deployment, degradation policy,

@@ -479,7 +479,7 @@ class GalliumMiddlebox:
                 pre_instructions=first.pipeline_instructions,
                 packet_index=index,
             )
-        if injector.server_down(index):
+        if self._punt_destination_down(punted, index):
             return self._enqueue_punt(
                 index, punted, pristine, ingress_port,
                 first.pipeline_instructions,
@@ -488,6 +488,17 @@ class GalliumMiddlebox:
             index, punted, pristine, ingress_port,
             first.pipeline_instructions,
         )
+
+    def _punt_destination_down(self, punted: RawPacket, index: int) -> bool:
+        """Whether the current punt's destination server is unreachable
+        (the packet then queues or degrades per policy).
+
+        Hook: the base deployment has one server, so this is exactly the
+        injected server outage; the pooled deployment overrides it to
+        route the check through the flow selector — a member outage
+        stalls only the flows that member owns.
+        """
+        return self.injector.server_down(index)
 
     def _serve_punt(
         self,

@@ -1,0 +1,551 @@
+"""Punt-path server pool: N members behind a connection-consistent selector.
+
+The base :class:`~repro.runtime.deployment.GalliumMiddlebox` punts every
+slow-path packet to one :class:`~repro.runtime.server.ServerRuntime` —
+the last single point of failure once the switch side has active-standby
+failover.  :class:`PooledDeployment` replaces that single server with a
+:class:`ServerPool`: the switch-side :class:`FlowSelector` (the P4
+ActionSelector model) hashes each punted flow's canonical 5-tuple into a
+slot table, the slot resolves to one pool member, and every packet of a
+connection — both directions — is served by that member.
+
+**State pinning.**  All members execute against the deployment's one
+authoritative :class:`StateStore` (semantics stay byte-identical to the
+single-server deployment for every program — exactly what the fault
+oracle's reference replay requires), and the pool keeps an *ownership
+ledger* on top: every state entry a punt writes is pinned to the serving
+slot (maps per key, scalars/vectors whole).  Ownership commits only
+after the punt's update batch lands, so a rolled-back write-back leaves
+the ledger untouched.
+
+**Membership change = live flow-state migration.**  When a member
+crashes or drains, the slots it owned re-home (rendezvous hashing moves
+*only* those slots) and the control plane migrates the state those slots
+own to the surviving members:
+
+* crash — the dead member's copy is gone, so every owned entry is
+  physically rebuilt from the authoritative sources: the switch's
+  replicated copy for on-switch state (last-committed by construction of
+  the transactional write-back protocol) and the controller's per-punt
+  checkpoint for server-only state.  Byte-exact, and a real recovery
+  path the fault oracle can catch bugs in.
+* drain / join — the member is alive, so the transfer is lossless; the
+  entries are counted and priced but nothing needs reconstruction.
+
+During the bounded migration window (``at_packet`` until the window
+closes) punts owned by the down member queue in the deployment's bounded
+punt queue — overflow degrades with the dedicated ``pool_member_down``
+reason — while every other member keeps serving; the migration itself
+advances the simulated clock by ``MIGRATION_BASE_US + entries *
+MIGRATION_ENTRY_US`` so ``experiments recovery`` can price it next to
+switch-failover cost.  A member outage must never trip full switch-side
+fallback while at least one member survives; the pool-aware fault oracle
+asserts exactly that, plus that every stalled packet's flow was owned by
+a then-down member (the blast radius).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.ir.interp import StateStore
+from repro.net.packet import RawPacket
+from repro.partition.plan import PartitionPlan, PlacementKind
+from repro.runtime.deployment import GalliumMiddlebox, PacketJourney
+from repro.runtime.server import ServerRuntime
+from repro.sim.clock import MIGRATION_BASE_US, MIGRATION_ENTRY_US
+from repro.switchsim.selector import DEFAULT_SELECTOR_SLOTS, FlowSelector
+from repro.telemetry import LATENCY_BOUNDS_US
+
+#: XOR'd into the deployment seed to derive the selector's hash seed
+#: (distinct stream from the control plane's jitter RNG).
+_SELECTOR_SALT = 0x5E1EC7
+
+#: fault-plan kinds this deployment reacts to (string literals rather
+#: than an import from :mod:`repro.faults.plan` — the runtime layer must
+#: not depend on the fault DSL).
+_POOL_FAULT_KINDS = ("pool_member_crash", "pool_member_drain")
+
+
+def default_member_names(servers: int) -> List[str]:
+    """``srv0..srvN-1`` for ``--servers N``; validates early and loudly."""
+    if isinstance(servers, bool) or not isinstance(servers, int):
+        raise ValueError(
+            f"server pool size must be an integer, got {servers!r}"
+        )
+    if servers < 1:
+        raise ValueError(
+            f"a server pool needs at least one member, got servers={servers}"
+        )
+    return [f"srv{i}" for i in range(servers)]
+
+
+def validate_member_names(names: Sequence[str]) -> List[str]:
+    """Validate explicit member names before any deployment is built."""
+    out = list(names)
+    if not out:
+        raise ValueError(
+            "a server pool needs at least one member (member_names is empty)"
+        )
+    for name in out:
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"pool member names must be non-empty strings, got {name!r}"
+            )
+    dupes = sorted({name for name in out if out.count(name) > 1})
+    if dupes:
+        raise ValueError(f"duplicate pool member names: {dupes}")
+    return out
+
+
+@dataclass
+class PoolMember:
+    """One simulated server in the pool."""
+
+    name: str
+    runtime: ServerRuntime
+    #: punts this member completed (committed batches only)
+    punts_served: int = 0
+    #: packets stalled (queued or degraded) while this member was down
+    stalled_packets: int = 0
+
+
+class ServerPool:
+    """Members + selector + ownership ledger + server-only checkpoint."""
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        state: StateStore,
+        selector: FlowSelector,
+        members: Dict[str, PoolMember],
+    ):
+        self.plan = plan
+        self.state = state
+        self.selector = selector
+        self.members = members
+        self.retired: Dict[str, PoolMember] = {}
+        #: map name -> key -> owning slot (last committed writer)
+        self.map_owner: Dict[str, Dict[tuple, int]] = {}
+        #: scalar/vector name -> owning slot (member-granular state)
+        self.state_owner: Dict[str, int] = {}
+        #: packet index -> (member, slot) whose outage stalled it; the
+        #: fault oracle rebuilds the member table independently and
+        #: checks this blast-radius attribution entry by entry
+        self.affected: Dict[int, Tuple[str, int]] = {}
+        self._chk_maps: Dict[str, dict] = {}
+        self._chk_vectors: Dict[str, list] = {}
+        self._chk_scalars: Dict[str, int] = {}
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, packet: RawPacket) -> Tuple[PoolMember, int]:
+        """(owning member, slot) for one punted packet."""
+        slot = self.selector.slot_for_packet(packet)
+        return self.members[self.selector.member_table()[slot]], slot
+
+    # -- ownership + checkpoint ----------------------------------------------
+
+    def commit_serve(self, member: PoolMember, slot: int) -> None:
+        """Pin the punt's committed writes to ``slot`` and refresh the
+        server-only checkpoint for the members it touched.
+
+        Called only after the update batch landed — a rolled-back punt
+        never reaches this, so ledger and checkpoint always describe the
+        last *committed* state (mirroring the switch's replicated copy).
+        """
+        member.punts_served += 1
+        touched_server_only = set()
+        for op, name, keys, _value in member.runtime.last_journal:
+            placement = self.plan.placements.get(name)
+            if placement is None:
+                continue
+            if placement.member.kind == "map":
+                owners = self.map_owner.setdefault(name, {})
+                if op == "erase":
+                    owners.pop(tuple(keys), None)
+                else:
+                    owners[tuple(keys)] = slot
+            else:
+                self.state_owner[name] = slot
+            if not placement.on_switch:
+                touched_server_only.add(name)
+        for name in touched_server_only:
+            self._checkpoint_one(name)
+
+    def snapshot_checkpoint(self) -> None:
+        """Full server-only checkpoint (install time / after a resync)."""
+        self._chk_maps.clear()
+        self._chk_vectors.clear()
+        self._chk_scalars.clear()
+        for name, placement in self.plan.placements.items():
+            if placement.on_switch:
+                continue
+            self._checkpoint_one(name)
+
+    def _checkpoint_one(self, name: str) -> None:
+        kind = self.plan.placements[name].member.kind
+        if kind == "map":
+            self._chk_maps[name] = dict(self.state.maps[name])
+        elif kind == "vector":
+            self._chk_vectors[name] = list(self.state.vectors[name])
+        else:
+            self._chk_scalars[name] = self.state.scalars[name]
+
+    # -- migration -----------------------------------------------------------
+
+    def count_owned(self, slots: FrozenSet[int]) -> int:
+        """Entries pinned to ``slots`` (a graceful drain's transfer size)."""
+        entries = 0
+        for name, placement in self.plan.placements.items():
+            kind = placement.member.kind
+            if kind == "map":
+                entries += sum(
+                    1 for slot in self.map_owner.get(name, {}).values()
+                    if slot in slots
+                )
+            elif self.state_owner.get(name) in slots:
+                entries += (
+                    len(self.state.vectors[name]) if kind == "vector" else 1
+                )
+        return entries
+
+    def restore_owned(self, slots: FrozenSet[int], switch) -> int:
+        """Crash migration: rebuild every entry ``slots`` own from the
+        authoritative sources (switch replicated copy / server-only
+        checkpoint); returns the entry count.
+
+        At a packet boundary both sources equal the live value — the
+        write-back protocol commits before release, and the checkpoint
+        refreshes per committed punt — so a correct migration is an
+        identity transform on the shared store.  The rebuild is done
+        physically anyway: a bug in either source (or in ownership
+        tracking) surfaces as an oracle violation instead of hiding
+        behind shared memory.
+        """
+        entries = 0
+        for name, placement in self.plan.placements.items():
+            kind = placement.member.kind
+            if kind == "map":
+                owners = self.map_owner.get(name, {})
+                keys = [k for k, slot in owners.items() if slot in slots]
+                if not keys:
+                    continue
+                if placement.on_switch:
+                    source = switch.tables[name].snapshot()
+                else:
+                    source = self._chk_maps.get(name, {})
+                table = self.state.maps[name]
+                for key in keys:
+                    entries += 1
+                    if key in source:
+                        table[key] = source[key]
+                    else:
+                        table.pop(key, None)
+            elif kind == "vector":
+                if self.state_owner.get(name) not in slots:
+                    continue
+                vector = self.state.vectors[name]
+                entries += len(vector)
+                if placement.on_switch:
+                    snapshot = switch.tables[name].snapshot()
+                    length = 1 + max(
+                        (key[0] for key in snapshot), default=-1
+                    )
+                    if length > len(vector):
+                        vector.extend([0] * (length - len(vector)))
+                    for (position,), value in snapshot.items():
+                        vector[position] = value
+                else:
+                    self.state.vectors[name] = list(
+                        self._chk_vectors.get(name, vector)
+                    )
+            else:  # scalar
+                if self.state_owner.get(name) not in slots:
+                    continue
+                entries += 1
+                if placement.kind in (
+                    PlacementKind.SWITCH_REGISTER,
+                    PlacementKind.REPLICATED_REGISTER,
+                ):
+                    self.state.scalars[name] = switch.registers[name].value
+                else:
+                    self.state.scalars[name] = self._chk_scalars.get(
+                        name, self.state.scalars[name]
+                    )
+        return entries
+
+    def remove_member(self, name: str) -> PoolMember:
+        """Retire ``name``: selector re-homes only its slots."""
+        self.selector.remove_member(name)
+        member = self.members.pop(name)
+        self.retired[name] = member
+        return member
+
+    def add_member(self, name: str, runtime: ServerRuntime) -> PoolMember:
+        self.selector.add_member(name)
+        member = PoolMember(name=name, runtime=runtime)
+        self.members[name] = member
+        return member
+
+
+class PooledDeployment(GalliumMiddlebox):
+    """A :class:`GalliumMiddlebox` whose punt path fans out over a pool."""
+
+    def __init__(
+        self,
+        plan: PartitionPlan,
+        program,
+        servers: int = 2,
+        member_names: Optional[Sequence[str]] = None,
+        selector_slots: int = DEFAULT_SELECTOR_SLOTS,
+        **kwargs,
+    ):
+        # Validate the pool shape before any deployment machinery spins up
+        # — a bad --servers value must fail here, loudly, not deep inside
+        # install().
+        if member_names is not None:
+            names = validate_member_names(member_names)
+        else:
+            names = default_member_names(servers)
+        super().__init__(plan, program, **kwargs)
+        selector = self.build_selector(
+            names, self.seed, slots=selector_slots
+        )
+        members = {
+            name: PoolMember(name=name, runtime=self._build_member_runtime())
+            for name in names
+        }
+        self.pool = ServerPool(plan, self.state, selector, members)
+        # The base class built one ServerRuntime; keep `self.server`
+        # pointing at a live member (complete_punt rebinds it per punt).
+        self.server = members[selector.members[0]].runtime
+        metrics = self.telemetry.metrics
+        self._c_migrations = metrics.counter("pool.migrations")
+        self._c_migrated_entries = metrics.counter("pool.migrated_entries")
+        self._c_member_crashes = metrics.counter("pool.member_crashes")
+        self._c_member_drains = metrics.counter("pool.member_drains")
+        self._c_member_joins = metrics.counter("pool.member_joins")
+        self._h_migration_us = metrics.histogram(
+            "pool.migration_us", LATENCY_BOUNDS_US
+        )
+        self._down_member: Optional[str] = None
+        self._pool_started: set = set()
+        self._pool_done: set = set()
+
+    @classmethod
+    def build_selector(
+        cls,
+        member_names: Sequence[str],
+        deployment_seed: int,
+        slots: int = DEFAULT_SELECTOR_SLOTS,
+    ) -> FlowSelector:
+        """The member table is a pure function of (names, seed, slots);
+        the fault oracle rebuilds it independently to check blast radius."""
+        return FlowSelector(
+            member_names, seed=deployment_seed ^ _SELECTOR_SALT, slots=slots
+        )
+
+    def _build_member_runtime(self) -> ServerRuntime:
+        return ServerRuntime(
+            self.plan,
+            self.state,
+            self.program.shim_to_server,
+            self.program.shim_to_switch,
+            self.externs,
+            telemetry=self.telemetry,
+            fast_path=self.fast_path,
+        )
+
+    # -- deployment ----------------------------------------------------------
+
+    def install(self) -> None:
+        super().install()
+        self.pool.snapshot_checkpoint()
+
+    def crash_resync(self) -> None:
+        super().crash_resync()
+        # The base resync swapped in a fresh StateStore: re-point every
+        # member at it and re-baseline the server-only checkpoint.
+        self.pool.state = self.state
+        for member in self.pool.members.values():
+            member.runtime.state = self.state
+        for member in self.pool.retired.values():
+            member.runtime.state = self.state
+        self.pool.snapshot_checkpoint()
+
+    # -- punt path -----------------------------------------------------------
+
+    def complete_punt(self, punted_packet: RawPacket):
+        member, slot = self.pool.route(punted_packet)
+        self.server = member.runtime
+        completion = super().complete_punt(punted_packet)
+        # Only reached when the update batch committed (UpdateBatchError
+        # propagates past this point): pin the writes to the slot.
+        self.pool.commit_serve(member, slot)
+        return completion
+
+    def _punt_destination_down(self, punted: RawPacket, index: int) -> bool:
+        self._down_member = None
+        if super()._punt_destination_down(punted, index):
+            return True
+        if not self.faults_armed:
+            return False
+        member, slot = self.pool.route(punted)
+        if self.injector.pool_member_down(member.name, index):
+            self._down_member = member.name
+            self.pool.affected[index] = (member.name, slot)
+            member.stalled_packets += 1
+            return True
+        return False
+
+    def _enqueue_punt(
+        self,
+        index: int,
+        punted: RawPacket,
+        pristine: RawPacket,
+        ingress_port: int,
+        pre_instructions: int,
+    ) -> PacketJourney:
+        if (
+            self._down_member is not None
+            and len(self._punt_queue) >= self.policy.punt_queue_depth
+        ):
+            self.fault_log.append(("drop_punt", index))
+            return self._degrade(
+                pristine, ingress_port, index, "pool_member_down",
+                pre_instructions=pre_instructions, punted=True,
+            )
+        return super()._enqueue_punt(
+            index, punted, pristine, ingress_port, pre_instructions
+        )
+
+    # -- membership-change windows -------------------------------------------
+
+    def _advance_windows(self, index: int) -> None:
+        super()._advance_windows(index)
+        if not self.faults_armed:
+            return
+        for spec in self._pool_specs():
+            if index < spec.at_packet or spec in self._pool_done:
+                continue
+            if spec not in self._pool_started:
+                self._pool_started.add(spec)
+                if spec.member not in self.pool.members:
+                    raise ValueError(
+                        f"pool fault {spec.kind!r} references unknown"
+                        f" member {spec.member!r}"
+                        f" (live: {sorted(self.pool.members)})"
+                    )
+                self.fault_log.append(("pool_down", spec.kind, spec.member))
+                self.injector.note(f"{spec.kind}[{spec.member}]")
+                if spec.kind == "pool_member_crash":
+                    self._c_member_crashes.inc()
+                else:
+                    self._c_member_drains.inc()
+                if self._tracer is not None:
+                    self._tracer.record(
+                        "pool_member_down", component="deployment",
+                        member=spec.member, fault=spec.kind,
+                    )
+            if self.injector.pool_member_down(spec.member, index):
+                continue  # migration window still open
+            self._pool_done.add(spec)
+            entries = self._pool_migrate(
+                spec.member, crash=spec.kind == "pool_member_crash"
+            )
+            self.fault_log.append(("pool_migrate", spec.member, entries))
+            self._drain_punt_queue()
+
+    def _pool_specs(self) -> tuple:
+        plan = self.injector.plan
+        return tuple(
+            spec
+            for kind in _POOL_FAULT_KINDS
+            for spec in plan.by_kind(kind)
+        )
+
+    def _pool_migrate(self, member_name: str, crash: bool) -> int:
+        """Re-home ``member_name``'s slots and migrate the state they own;
+        returns the migrated entry count (the priced transfer size)."""
+        pool = self.pool
+        if member_name not in pool.members:
+            return 0
+        if len(pool.selector.members) == 1:
+            # Defensive: generated plans always leave a survivor, but a
+            # hand-written plan may not — keep the last member serving
+            # rather than migrating into nothing.
+            return 0
+        slots = frozenset(pool.selector.slots_owned(member_name))
+        if crash:
+            entries = pool.restore_owned(slots, self.switch)
+        else:
+            entries = pool.count_owned(slots)
+        pool.remove_member(member_name)
+        cost_us = MIGRATION_BASE_US + entries * MIGRATION_ENTRY_US
+        self.telemetry.clock.advance(cost_us)
+        self._c_migrations.inc()
+        self._c_migrated_entries.inc(entries)
+        self._h_migration_us.observe(cost_us)
+        if self._tracer is not None:
+            self._tracer.record(
+                "pool_migrate", component="deployment",
+                member=member_name, entries=entries,
+            )
+        return entries
+
+    # -- programmatic membership (no fault plan needed) -----------------------
+
+    def drain_member(self, name: str) -> int:
+        """Gracefully retire a live member now; returns migrated entries."""
+        if name not in self.pool.members:
+            raise ValueError(
+                f"cannot drain unknown member {name!r}"
+                f" (live: {sorted(self.pool.members)})"
+            )
+        if len(self.pool.members) == 1:
+            raise ValueError("cannot drain the last pool member")
+        self._c_member_drains.inc()
+        entries = self._pool_migrate(name, crash=False)
+        if self.faults_armed:
+            self.fault_log.append(("pool_migrate", name, entries))
+        return entries
+
+    def join_member(self, name: str) -> int:
+        """Add a member; flows on its re-homed slots migrate *to* it."""
+        if name in self.pool.members or name in self.pool.retired:
+            raise ValueError(f"pool member {name!r} already registered")
+        validate_member_names([name])
+        member = self.pool.add_member(name, self._build_member_runtime())
+        gained = frozenset(self.pool.selector.slots_owned(name))
+        entries = self.pool.count_owned(gained)
+        cost_us = MIGRATION_BASE_US + entries * MIGRATION_ENTRY_US
+        self.telemetry.clock.advance(cost_us)
+        self._c_member_joins.inc()
+        self._c_migrations.inc()
+        self._c_migrated_entries.inc(entries)
+        self._h_migration_us.observe(cost_us)
+        if self.faults_armed:
+            self.fault_log.append(("pool_migrate", member.name, entries))
+        return entries
+
+    # -- stats ---------------------------------------------------------------
+
+    def pool_stats(self) -> dict:
+        """Deterministic pool snapshot for CLI / telemetry payloads."""
+        selector = self.pool.selector
+        return {
+            "members": {
+                name: {
+                    "punts_served": member.punts_served,
+                    "stalled_packets": member.stalled_packets,
+                    "slots": len(selector.slots_owned(name)),
+                }
+                for name, member in sorted(self.pool.members.items())
+            },
+            "retired": sorted(self.pool.retired),
+            "selector_slots": selector.slots,
+            "migrations": self._c_migrations.value,
+            "migrated_entries": self._c_migrated_entries.value,
+        }

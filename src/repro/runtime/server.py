@@ -74,6 +74,10 @@ class ServerRuntime:
         }
         self.packets_handled = 0
         self.instructions_total = 0
+        #: full write journal of the most recent :meth:`handle` call
+        #: (including server-only members the update batch omits) — the
+        #: server pool reads it to pin written state to the serving slot.
+        self.last_journal: list = []
         self._c_punts = self.telemetry.metrics.counter("server.punts_handled")
         self._h_instructions = self.telemetry.metrics.histogram(
             "server.instructions_per_punt", INSTRUCTION_BOUNDS
@@ -113,7 +117,9 @@ class ServerRuntime:
             result.instructions_executed * SERVER_INSTR_US
         )
 
-        updates = self._updates_from_journal(self.state.drain_journal())
+        journal = self.state.drain_journal()
+        self.last_journal = journal
+        updates = self._updates_from_journal(journal)
         if tracer is not None:
             tracer.record(
                 "server_exec",

@@ -21,6 +21,12 @@ SWITCH_INSTR_US = 0.002
 SERVER_INSTR_US = 0.004
 #: One-way switch<->server link traversal for a punted frame.
 PUNT_LINK_US = 2.0
+#: Fixed control-plane cost to start a pool flow-state migration
+#: (selector table rewrite + member RPC round trip).
+MIGRATION_BASE_US = 50.0
+#: Per-entry cost to transfer one flow-state entry between pool members
+#: over the control-plane channel.
+MIGRATION_ENTRY_US = 0.5
 
 
 class SimClock:

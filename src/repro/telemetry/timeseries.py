@@ -66,6 +66,10 @@ DEFAULT_SERIES: Tuple[str, ...] = (
     "health.phi",
     "int.stamped_packets",
     "latency.end_to_end_us",
+    "pool.member_crashes",
+    "pool.member_drains",
+    "pool.migration_us",
+    "pool.migrations",
     "punt.served",
     "switch.dropped_packets",
     "switch.fast_path_packets",

@@ -242,6 +242,11 @@ class MultiTenantDeployment:
             )
             # Share the RPC pipe; everything else stays per-tenant.
             middlebox.switch.control_plane.attach_channel(self.channel)
+            if middlebox.telemetry.series is not None:
+                # Windowing on: promote the default series now, before
+                # any traffic, so window 0 starts at the epoch for every
+                # tenant and the per-tenant hubs line up.
+                middlebox.telemetry.series.promote_defaults()
             tenants.append(TenantRuntime(spec, placement, middlebox))
         self.switch = MultiTenantSwitchModel(tenants)
 
@@ -334,3 +339,13 @@ class MultiTenantDeployment:
         return {
             tenant.name: tenant.state_snapshot() for tenant in self.tenants
         }
+
+    def series_snapshots(self) -> Dict[str, dict]:
+        """Per-tenant windowed time series (tenants whose telemetry has
+        windowing on; empty when ``series_window_us`` was not given)."""
+        out: Dict[str, dict] = {}
+        for tenant in self.tenants:
+            hub = tenant.middlebox.telemetry.series
+            if hub is not None:
+                out[tenant.name] = hub.to_dict()
+        return out

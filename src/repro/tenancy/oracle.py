@@ -79,6 +79,8 @@ class IsolationResult:
     counters: Dict[str, dict] = field(default_factory=dict)
     #: faults actually injected, by kind (tenant-scoped runs only)
     injected: Dict[str, int] = field(default_factory=dict)
+    #: per-tenant windowed time series (``series_window_us`` runs only)
+    series: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -164,12 +166,19 @@ def run_isolation_oracle(
     budget: Optional[SharedSwitchBudget] = None,
     seed: int = 0,
     fast_path: bool = False,
+    series_window_us: Optional[float] = None,
 ) -> IsolationResult:
     """Run the multi-tenant deployment and compare every admitted tenant
-    against its solo reference."""
+    against its solo reference.
+
+    ``series_window_us`` turns on per-tenant windowed time series for
+    the multi-tenant run; the hubs land on
+    :attr:`IsolationResult.series` keyed by tenant name.
+    """
     specs = build_tenant_specs(list(names))
     shared = MultiTenantDeployment(
-        specs, budget=budget, seed=seed, fast_path=fast_path
+        specs, budget=budget, seed=seed, fast_path=fast_path,
+        series_window_us=series_window_us,
     )
     shared.install()
     streams = {
@@ -182,6 +191,7 @@ def run_isolation_oracle(
         admission=shared.admission,
         channel=shared.channel_stats(),
         counters=shared.switch.counters(),
+        series=shared.series_snapshots(),
     )
     for tenant in shared.tenants:
         solo_journeys, solo_state = run_solo(

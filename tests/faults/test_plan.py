@@ -81,7 +81,7 @@ class TestSerialization:
         assert set(ALL_FAULT_KINDS) == {
             "link", "batch", "overflow", "crash", "reprogram", "stale",
             "reorder", "switch_crash", "crash_batch", "standby_stale",
-            "tenant_link",
+            "tenant_link", "pool_member_crash", "pool_member_drain",
         }
 
 

@@ -1,0 +1,176 @@
+"""Pool fault plans, the pool-aware oracle, and the pooled campaign.
+
+The headline guarantee: a member crash degrades only the flows the
+member owned and live migration recovers them byte-exactly — proven by
+the oracle's reference replay plus its independent reconstruction of
+the member table — and generated pool plans always leave a survivor so
+full fallback never has an excuse to engage.
+"""
+
+import random
+
+import pytest
+
+from repro.difftest.oracle import StreamSpec
+from repro.faults.campaign import run_campaign
+from repro.faults.oracle import FaultOutcome, run_fault_oracle
+from repro.faults.plan import (
+    FaultPlan,
+    POOL_EXTRA_KINDS,
+    POOL_FAULT_KINDS,
+    PoolMemberCrash,
+    PoolMemberDrain,
+    generate_plan,
+)
+from repro.runtime.pool import default_member_names
+from repro.telemetry.schema import validate_named
+
+from tests.faults.test_degradation import FAULTBOX
+
+MEMBERS = default_member_names(3)
+
+
+class TestPlanGeneration:
+    def test_always_leaves_a_survivor(self):
+        for seed in range(200):
+            plan = generate_plan(
+                random.Random(seed), 25, pool_members=MEMBERS
+            )
+            removed = {
+                spec.member
+                for spec in plan.faults
+                if spec.kind in POOL_FAULT_KINDS
+            }
+            assert len(removed) < len(MEMBERS)
+            assert len(removed) == sum(
+                1 for spec in plan.faults if spec.kind in POOL_FAULT_KINDS
+            ), "pool kinds must target distinct members"
+
+    def test_single_member_pool_gets_no_membership_changes(self):
+        for seed in range(50):
+            plan = generate_plan(
+                random.Random(seed), 25, pool_members=["solo"]
+            )
+            assert not any(
+                spec.kind in POOL_FAULT_KINDS for span in [plan]
+                for spec in span.faults
+            )
+
+    def test_only_pool_and_benign_extras(self):
+        allowed = set(POOL_FAULT_KINDS) | set(POOL_EXTRA_KINDS)
+        for seed in range(100):
+            plan = generate_plan(
+                random.Random(seed), 25, pool_members=MEMBERS
+            )
+            assert set(plan.kinds()) <= allowed
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan((
+            PoolMemberCrash(member="srv1", at_packet=4, migration_window=3),
+            PoolMemberDrain(member="srv2", at_packet=12, drain_window=5),
+        ))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert "pool member 'srv1' crash" in plan.describe()
+
+    def test_windows_are_inclusive_exclusive(self):
+        spec = PoolMemberCrash(member="a", at_packet=5, migration_window=3)
+        assert not spec.active(4)
+        assert spec.active(5) and spec.active(7)
+        assert not spec.active(8)
+        assert spec.window_length == 3
+
+
+class TestPoolOracle:
+    def run(self, plan, pool=3, count=25, **kwargs):
+        return run_fault_oracle(
+            FAULTBOX, StreamSpec(seed=1, count=count), plan,
+            pool=pool, **kwargs,
+        )
+
+    def test_member_crash_is_degraded_ok(self):
+        result = self.run(FaultPlan((
+            PoolMemberCrash(member="srv1", at_packet=4,
+                            migration_window=4),
+        )))
+        assert result.outcome is FaultOutcome.DEGRADED_OK
+        assert result.violation is None
+        assert result.pool_mode and result.pool_servers == 3
+        assert result.migrations == 1
+        assert result.injected == {"pool_member_crash[srv1]": 1}
+
+    def test_crash_and_drain_both_migrate(self):
+        result = self.run(FaultPlan((
+            PoolMemberCrash(member="srv0", at_packet=3,
+                            migration_window=3),
+            PoolMemberDrain(member="srv2", at_packet=12, drain_window=4),
+        )), count=30)
+        assert result.outcome is FaultOutcome.DEGRADED_OK
+        assert result.violation is None
+        assert result.migrations == 2
+
+    def test_no_faults_is_clean(self):
+        result = self.run(FaultPlan())
+        assert result.outcome is FaultOutcome.CLEAN
+        assert result.migrations == 0
+
+    def test_unknown_member_is_a_crash_not_a_silent_skip(self):
+        result = self.run(FaultPlan((
+            PoolMemberCrash(member="ghost", at_packet=2,
+                            migration_window=3),
+        )))
+        assert result.outcome is FaultOutcome.CRASH
+        assert "unknown" in result.error
+
+    def test_pool_does_not_compose_with_cached_or_failover(self):
+        with pytest.raises(ValueError, match="does not compose"):
+            self.run(FaultPlan(), cached=True)
+        with pytest.raises(ValueError, match="does not compose"):
+            self.run(FaultPlan(), failover=True)
+
+
+class TestPooledCampaign:
+    def test_seeded_campaign_has_zero_violations(self):
+        stats, failures = run_campaign(25, seed=3, pool_servers=3)
+        assert failures == []
+        assert stats.violations == 0 and stats.crashes == 0
+        assert stats.runs == 25
+        assert stats.pool_migrations > 0
+        covered = (
+            stats.coverage["pool_member_crash"]
+            + stats.coverage["pool_member_drain"]
+        )
+        assert covered > 0
+
+    def test_summary_has_pool_rollup_and_passes_schema(self):
+        stats, _failures = run_campaign(10, seed=5, pool_servers=3)
+        summary = stats.summary_dict()
+        assert validate_named(summary, "faults_summary") == []
+        pool = summary["pool"]
+        assert pool["migrations"] == stats.pool_migrations
+        assert set(pool["member_crashes"]) <= set(MEMBERS)
+        assert set(pool["member_drains"]) <= set(MEMBERS)
+        # Migration windows appear in the per-kind window distribution.
+        windows = summary["promotion_windows"]
+        assert any(
+            kind in windows for kind in POOL_FAULT_KINDS
+        ), windows
+
+    def test_failure_reports_carry_the_servers_flag(self):
+        from repro.difftest.generator import generate_program
+        from repro.faults.campaign import FaultFailure
+        from repro.faults.oracle import FaultOracleResult
+        from repro.runtime.degradation import DegradationPolicy
+
+        failure = FaultFailure(
+            0, 42, StreamSpec(seed=1, count=5), generate_program(42),
+            FaultPlan(), DegradationPolicy(), 0, 0,
+            FaultOracleResult(FaultOutcome.VIOLATION), pool_servers=3,
+        )
+        assert "--servers 3" in failure.report()
+
+    def test_base_campaign_summary_still_passes_schema(self):
+        stats, _failures = run_campaign(5, seed=1)
+        summary = stats.summary_dict()
+        assert validate_named(summary, "faults_summary") == []
+        assert summary["pool"]["migrations"] == 0

@@ -30,6 +30,18 @@ class TestTenancyCommand:
         check(payload, "tenancy", what="tenancy report")  # must not raise
         assert payload["isolation"]["ok"] is True
         assert payload["packets_per_tenant"] == 10
+        # Per-tenant windowed series ride along in the JSON report.
+        assert set(payload["series"]) == {"minilb", "mazunat", "lb"}
+        for name, hub in payload["series"].items():
+            assert hub["tenant"] == name
+            assert "control_plane.rpc_queue_wait_us" in hub["series"]
+
+    def test_series_window_zero_disables_windowing(self, capsys):
+        assert main([
+            "tenancy", "--packets", "10", "--json", "--series-window", "0",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"] == {}
 
     def test_over_budget_set_fails_with_diagnostic(self, capsys):
         code = main([

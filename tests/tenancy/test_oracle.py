@@ -35,6 +35,23 @@ class TestIsolationOracle:
         assert {t["name"] for t in data["tenants"]} == set(TRIO)
         assert set(result.channel) == set(TRIO)
         assert set(result.counters) == set(TRIO)
+        assert result.series == {}  # windowing off by default
+
+    def test_series_window_yields_per_tenant_hubs(self):
+        result = run_isolation_oracle(
+            TRIO, packets_per_tenant=40, series_window_us=100.0
+        )
+        assert result.ok
+        assert set(result.series) == set(TRIO)
+        for name, hub in result.series.items():
+            assert hub["tenant"] == name
+            assert hub["window_us"] == 100.0
+            # Shared-channel pressure is windowed for every tenant: the
+            # punt path commits batches, so the RPC queue-wait series
+            # has at least one active window.
+            rpc = hub["series"]["control_plane.rpc_queue_wait_us"]
+            assert rpc["kind"] == "histogram"
+            assert rpc["windows"], hub
 
 
 class TestCombinedLint:
